@@ -1,0 +1,368 @@
+//! Deterministic finite automata.
+
+use crate::Symbol;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A deterministic finite automaton over a string alphabet.
+///
+/// Missing transitions are treated as transitions to an implicit dead
+/// (non-accepting, absorbing) state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_states: usize,
+    start: usize,
+    accepting: BTreeSet<usize>,
+    transitions: BTreeMap<(usize, Symbol), usize>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `num_states` states, a start state and accepting states.
+    pub fn new(num_states: usize, start: usize, accepting: Vec<usize>) -> Self {
+        assert!(start < num_states, "start state out of range");
+        Dfa {
+            num_states,
+            start,
+            accepting: accepting.into_iter().collect(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// True if `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// Sets the transition `from --symbol--> to`.
+    pub fn set_transition(&mut self, from: usize, symbol: impl Into<Symbol>, to: usize) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.transitions.insert((from, symbol.into()), to);
+    }
+
+    /// The successor of `state` on `symbol`, if defined.
+    pub fn step(&self, state: usize, symbol: &str) -> Option<usize> {
+        self.transitions.get(&(state, symbol.to_string())).copied()
+    }
+
+    /// The alphabet: every symbol mentioned by some transition.
+    pub fn alphabet(&self) -> BTreeSet<Symbol> {
+        self.transitions.keys().map(|(_, s)| s.clone()).collect()
+    }
+
+    /// True if the DFA accepts the word.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut state = self.start;
+        for symbol in word {
+            match self.step(state, symbol) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+
+    /// The states reachable from the start state.
+    pub fn reachable_states(&self) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::from([self.start]);
+        let mut queue = VecDeque::from([self.start]);
+        while let Some(state) = queue.pop_front() {
+            for ((from, _), &to) in &self.transitions {
+                if *from == state && seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The states from which an accepting state is reachable ("live" states).
+    pub fn live_states(&self) -> BTreeSet<usize> {
+        // reverse reachability from accepting states
+        let mut live: BTreeSet<usize> = self.accepting.clone();
+        loop {
+            let mut changed = false;
+            for ((from, _), to) in &self.transitions {
+                if live.contains(to) && live.insert(*from) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        live
+    }
+
+    /// True if the accepted language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reachable_states()
+            .intersection(&self.live_states())
+            .next()
+            .is_none()
+    }
+
+    /// True if the accepted language is prefix-closed: every prefix of an
+    /// accepted word is accepted.
+    ///
+    /// Structurally: no non-accepting state that is both reachable and live
+    /// may exist (from a non-accepting state on the way to acceptance, the
+    /// prefix read so far would be rejected).
+    pub fn is_prefix_closed(&self) -> bool {
+        let reachable = self.reachable_states();
+        let live = self.live_states();
+        reachable
+            .intersection(&live)
+            .all(|state| self.is_accepting(*state))
+    }
+
+    /// True if every cycle among *useful* (reachable and live) states is a
+    /// self loop.  This is the structural characterization of the output
+    /// languages of propositional Spocus transducers (§3.1): cumulative state
+    /// means a run can repeat its current step but can never return to an
+    /// earlier, different configuration.
+    pub fn has_only_self_loop_cycles(&self) -> bool {
+        let reachable = self.reachable_states();
+        let live = self.live_states();
+        let useful: BTreeSet<usize> = reachable.intersection(&live).copied().collect();
+        // Kahn-style cycle detection on the graph with self loops removed.
+        let mut indegree: BTreeMap<usize, usize> = useful.iter().map(|&s| (s, 0)).collect();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for ((from, _), &to) in &self.transitions {
+            if *from != to && useful.contains(from) && useful.contains(&to) {
+                edges.push((*from, to));
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        for &(_, to) in &edges {
+            *indegree.get_mut(&to).expect("useful state") += 1;
+        }
+        let mut queue: VecDeque<usize> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(state) = queue.pop_front() {
+            removed += 1;
+            for &(from, to) in &edges {
+                if from == state {
+                    let d = indegree.get_mut(&to).expect("useful state");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(to);
+                    }
+                }
+            }
+        }
+        removed == useful.len()
+    }
+
+    /// Enumerates all accepted words of length at most `max_len`, in
+    /// length-lexicographic order.
+    pub fn words_up_to(&self, max_len: usize) -> Vec<Vec<Symbol>> {
+        let alphabet: Vec<Symbol> = self.alphabet().into_iter().collect();
+        let mut out = Vec::new();
+        let mut frontier: Vec<(usize, Vec<Symbol>)> = vec![(self.start, Vec::new())];
+        if self.is_accepting(self.start) {
+            out.push(Vec::new());
+        }
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for (state, word) in &frontier {
+                for symbol in &alphabet {
+                    if let Some(to) = self.step(*state, symbol) {
+                        let mut extended = word.clone();
+                        extended.push(symbol.clone());
+                        if self.is_accepting(to) {
+                            out.push(extended.clone());
+                        }
+                        next.push((to, extended));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// The product DFA accepting the intersection of the two languages.
+    /// Both automata should share an alphabet; symbols missing from either
+    /// lead to the implicit dead state.
+    pub fn intersection(&self, other: &Dfa) -> Dfa {
+        let alphabet: BTreeSet<Symbol> = self
+            .alphabet()
+            .union(&other.alphabet())
+            .cloned()
+            .collect();
+        let index = |a: usize, b: usize| a * other.num_states + b;
+        let mut out = Dfa::new(
+            self.num_states * other.num_states,
+            index(self.start, other.start),
+            Vec::new(),
+        );
+        for a in 0..self.num_states {
+            for b in 0..other.num_states {
+                if self.is_accepting(a) && other.is_accepting(b) {
+                    out.accepting.insert(index(a, b));
+                }
+                for symbol in &alphabet {
+                    if let (Some(na), Some(nb)) = (self.step(a, symbol), other.step(b, symbol)) {
+                        out.set_transition(index(a, b), symbol.clone(), index(na, nb));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the two DFAs accept the same language (checked over the union
+    /// of their alphabets by breadth-first exploration of the product).
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let alphabet: BTreeSet<Symbol> = self
+            .alphabet()
+            .union(&other.alphabet())
+            .cloned()
+            .collect();
+        // Pair exploration with an explicit dead marker (None).
+        let start = (Some(self.start), Some(other.start));
+        let mut seen = BTreeSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some((a, b)) = queue.pop_front() {
+            let a_acc = a.map_or(false, |s| self.is_accepting(s));
+            let b_acc = b.map_or(false, |s| other.is_accepting(s));
+            if a_acc != b_acc {
+                return false;
+            }
+            for symbol in &alphabet {
+                let na = a.and_then(|s| self.step(s, symbol));
+                let nb = b.and_then(|s| other.step(s, symbol));
+                if (na.is_some() || nb.is_some()) && seen.insert((na, nb)) {
+                    queue.push_back((na, nb));
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(parts: &[&str]) -> Vec<Symbol> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// DFA for the prefix closure of `a b*` (accepts ε, a, ab, abb, …).
+    fn prefix_a_bstar() -> Dfa {
+        let mut dfa = Dfa::new(2, 0, vec![0, 1]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(1, "b", 1);
+        dfa
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let dfa = prefix_a_bstar();
+        assert!(dfa.accepts(&word(&[])));
+        assert!(dfa.accepts(&word(&["a"])));
+        assert!(dfa.accepts(&word(&["a", "b", "b"])));
+        assert!(!dfa.accepts(&word(&["b"])));
+        assert!(!dfa.accepts(&word(&["a", "a"])));
+    }
+
+    #[test]
+    fn reachability_and_liveness() {
+        let mut dfa = Dfa::new(4, 0, vec![1]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(2, "a", 1); // unreachable state 2
+        dfa.set_transition(0, "b", 3); // state 3 is a trap
+        assert_eq!(dfa.reachable_states(), BTreeSet::from([0, 1, 3]));
+        assert!(dfa.live_states().contains(&0));
+        assert!(!dfa.live_states().contains(&3));
+        assert!(!dfa.is_empty());
+    }
+
+    #[test]
+    fn empty_language_detected() {
+        let mut dfa = Dfa::new(2, 0, vec![1]);
+        dfa.set_transition(1, "a", 1); // accepting state unreachable
+        assert!(dfa.is_empty());
+        let dfa2 = Dfa::new(1, 0, vec![]);
+        assert!(dfa2.is_empty());
+    }
+
+    #[test]
+    fn prefix_closure_check() {
+        assert!(prefix_a_bstar().is_prefix_closed());
+        // Language {ab}: the prefix "a" is not accepted.
+        let mut dfa = Dfa::new(3, 0, vec![2]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(1, "b", 2);
+        assert!(!dfa.is_prefix_closed());
+    }
+
+    #[test]
+    fn self_loop_only_analysis_ignores_useless_states() {
+        // A 2-cycle between dead states must not affect the verdict.
+        let mut dfa = Dfa::new(4, 0, vec![0, 1]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(1, "b", 1);
+        dfa.set_transition(2, "a", 3);
+        dfa.set_transition(3, "a", 2);
+        assert!(dfa.has_only_self_loop_cycles());
+    }
+
+    #[test]
+    fn genuine_cycle_is_detected() {
+        let mut dfa = Dfa::new(2, 0, vec![0, 1]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(1, "b", 0);
+        assert!(!dfa.has_only_self_loop_cycles());
+    }
+
+    #[test]
+    fn word_enumeration_is_complete_up_to_length() {
+        let dfa = prefix_a_bstar();
+        let words = dfa.words_up_to(3);
+        assert!(words.contains(&word(&[])));
+        assert!(words.contains(&word(&["a"])));
+        assert!(words.contains(&word(&["a", "b"])));
+        assert!(words.contains(&word(&["a", "b", "b"])));
+        assert_eq!(words.len(), 4);
+    }
+
+    #[test]
+    fn intersection_and_equivalence() {
+        let a = prefix_a_bstar();
+        // prefix closure of a b* c restricted to {a,b}: same as prefix(a b*)
+        let mut b = Dfa::new(3, 0, vec![0, 1, 2]);
+        b.set_transition(0, "a", 1);
+        b.set_transition(1, "b", 1);
+        b.set_transition(1, "c", 2);
+        let product = a.intersection(&b);
+        assert!(product.accepts(&word(&["a", "b"])));
+        assert!(!product.accepts(&word(&["a", "b", "c"]))); // a's alphabet has no c
+        assert!(!a.equivalent(&b)); // b accepts abc
+        let c = prefix_a_bstar();
+        assert!(a.equivalent(&c));
+    }
+
+    #[test]
+    fn equivalence_distinguishes_subtle_differences() {
+        let a = prefix_a_bstar();
+        let mut b = prefix_a_bstar();
+        b.set_transition(1, "a", 1); // now accepts "aa"
+        assert!(!a.equivalent(&b));
+    }
+}

@@ -1,0 +1,83 @@
+//! # rtx-automata
+//!
+//! Finite automata substrate, used by the verification crate to exercise the
+//! paper's characterization of the output languages of *propositional* Spocus
+//! transducers (§3.1):
+//!
+//! > They are the prefix-closed regular languages accepted by finite automata
+//! > with no cycles except self loops.
+//!
+//! The crate provides nondeterministic and deterministic finite automata over
+//! a string alphabet, the subset construction, product constructions,
+//! language emptiness/equivalence checks, prefix-closure, bounded language
+//! enumeration, and the structural "self-loop-only cycles" test that captures
+//! the inflationary nature of Spocus states (one can never return to a
+//! previous state, so the only cycles a run graph can exhibit are self loops).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod nfa;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+
+/// A symbol of the automaton alphabet (an output proposition name in the
+/// propositional-transducer setting).
+pub type Symbol = String;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of §3.1: prefixes of `a b* c`.
+    fn prefix_abstar_c() -> Dfa {
+        // states: 0 = start (ε seen), 1 = a..b*, 2 = after c, 3 = dead
+        let mut dfa = Dfa::new(4, 0, vec![0, 1, 2]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(0, "b", 3);
+        dfa.set_transition(0, "c", 3);
+        dfa.set_transition(1, "a", 3);
+        dfa.set_transition(1, "b", 1);
+        dfa.set_transition(1, "c", 2);
+        dfa.set_transition(2, "a", 3);
+        dfa.set_transition(2, "b", 3);
+        dfa.set_transition(2, "c", 3);
+        dfa.set_transition(3, "a", 3);
+        dfa.set_transition(3, "b", 3);
+        dfa.set_transition(3, "c", 3);
+        dfa
+    }
+
+    #[test]
+    fn abstar_c_prefixes_is_prefix_closed_and_self_loop_only() {
+        let dfa = prefix_abstar_c();
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&["a".into()]));
+        assert!(dfa.accepts(&["a".into(), "b".into(), "b".into()]));
+        assert!(dfa.accepts(&["a".into(), "b".into(), "c".into()]));
+        assert!(!dfa.accepts(&["b".into()]));
+        assert!(!dfa.accepts(&["a".into(), "c".into(), "c".into()]));
+        assert!(dfa.is_prefix_closed());
+        assert!(dfa.has_only_self_loop_cycles());
+    }
+
+    #[test]
+    fn ab_star_language_is_not_self_loop_only() {
+        // (ab)* needs a genuine 2-cycle, which Spocus propositional
+        // transducers cannot generate (the paper's counterexample).
+        let mut dfa = Dfa::new(3, 0, vec![0]);
+        dfa.set_transition(0, "a", 1);
+        dfa.set_transition(1, "b", 0);
+        dfa.set_transition(0, "b", 2);
+        dfa.set_transition(1, "a", 2);
+        dfa.set_transition(2, "a", 2);
+        dfa.set_transition(2, "b", 2);
+        assert!(dfa.accepts(&["a".into(), "b".into()]));
+        assert!(!dfa.has_only_self_loop_cycles());
+        // and its prefix closure is a different language: "a" is a prefix of
+        // a word of (ab)* but is not in (ab)*.
+        assert!(!dfa.is_prefix_closed());
+    }
+}

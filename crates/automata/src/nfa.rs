@@ -1,0 +1,205 @@
+//! Nondeterministic finite automata and the subset construction.
+
+use crate::{Dfa, Symbol};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterministic finite automaton (without ε-transitions) over a string
+/// alphabet.
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    num_states: usize,
+    start: BTreeSet<usize>,
+    accepting: BTreeSet<usize>,
+    transitions: BTreeMap<(usize, Symbol), BTreeSet<usize>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `num_states` states.
+    pub fn new(num_states: usize, start: Vec<usize>, accepting: Vec<usize>) -> Self {
+        Nfa {
+            num_states,
+            start: start.into_iter().collect(),
+            accepting: accepting.into_iter().collect(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Adds a transition `from --symbol--> to`.
+    pub fn add_transition(&mut self, from: usize, symbol: impl Into<Symbol>, to: usize) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.transitions
+            .entry((from, symbol.into()))
+            .or_default()
+            .insert(to);
+    }
+
+    /// Marks a state as accepting.
+    pub fn add_accepting(&mut self, state: usize) {
+        assert!(state < self.num_states);
+        self.accepting.insert(state);
+    }
+
+    /// The alphabet of symbols mentioned by some transition.
+    pub fn alphabet(&self) -> BTreeSet<Symbol> {
+        self.transitions.keys().map(|(_, s)| s.clone()).collect()
+    }
+
+    /// True if the NFA accepts the word.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut current = self.start.clone();
+        for symbol in word {
+            let mut next = BTreeSet::new();
+            for &state in &current {
+                if let Some(tos) = self.transitions.get(&(state, symbol.clone())) {
+                    next.extend(tos.iter().copied());
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.accepting.contains(s))
+    }
+
+    /// Determinises the NFA with the subset construction.  Only reachable
+    /// subsets become DFA states; the empty subset is not materialised
+    /// (missing transitions of the resulting [`Dfa`] play that role).
+    pub fn determinize(&self) -> Dfa {
+        let alphabet = self.alphabet();
+        let mut subset_index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut transitions: Vec<(usize, Symbol, usize)> = Vec::new();
+
+        let start_subset = self.start.clone();
+        subset_index.insert(start_subset.clone(), 0);
+        subsets.push(start_subset.clone());
+        let mut queue = VecDeque::from([start_subset]);
+
+        while let Some(subset) = queue.pop_front() {
+            let from_index = subset_index[&subset];
+            for symbol in &alphabet {
+                let mut target = BTreeSet::new();
+                for &state in &subset {
+                    if let Some(tos) = self.transitions.get(&(state, symbol.clone())) {
+                        target.extend(tos.iter().copied());
+                    }
+                }
+                if target.is_empty() {
+                    continue;
+                }
+                let to_index = match subset_index.get(&target) {
+                    Some(&i) => i,
+                    None => {
+                        let i = subsets.len();
+                        subset_index.insert(target.clone(), i);
+                        subsets.push(target.clone());
+                        queue.push_back(target.clone());
+                        i
+                    }
+                };
+                transitions.push((from_index, symbol.clone(), to_index));
+            }
+        }
+
+        let accepting: Vec<usize> = subsets
+            .iter()
+            .enumerate()
+            .filter(|(_, subset)| subset.iter().any(|s| self.accepting.contains(s)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut dfa = Dfa::new(subsets.len().max(1), 0, accepting);
+        for (from, symbol, to) in transitions {
+            dfa.set_transition(from, symbol, to);
+        }
+        dfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(parts: &[&str]) -> Vec<Symbol> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// NFA for words over {a,b} whose second-to-last symbol is `a`.
+    fn second_to_last_a() -> Nfa {
+        let mut nfa = Nfa::new(3, vec![0], vec![2]);
+        for s in ["a", "b"] {
+            nfa.add_transition(0, s, 0);
+            nfa.add_transition(1, s, 2);
+        }
+        nfa.add_transition(0, "a", 1);
+        nfa
+    }
+
+    #[test]
+    fn nfa_acceptance() {
+        let nfa = second_to_last_a();
+        assert!(nfa.accepts(&word(&["a", "b"])));
+        assert!(nfa.accepts(&word(&["b", "a", "a"])));
+        assert!(!nfa.accepts(&word(&["b", "b"])));
+        assert!(!nfa.accepts(&word(&["a"])));
+        assert!(!nfa.accepts(&word(&[])));
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        let nfa = second_to_last_a();
+        let dfa = nfa.determinize();
+        // exhaustive comparison on all words up to length 5
+        let alphabet = ["a", "b"];
+        let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for w in &words {
+                for s in alphabet {
+                    let mut e = w.clone();
+                    e.push(s.to_string());
+                    next.push(e);
+                }
+            }
+            words.extend(next.clone());
+            words.dedup();
+        }
+        for w in &words {
+            assert_eq!(nfa.accepts(w), dfa.accepts(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_start_states() {
+        let mut nfa = Nfa::new(2, vec![0, 1], vec![1]);
+        nfa.add_transition(0, "a", 1);
+        // accepting because start set already intersects accepting states
+        assert!(nfa.accepts(&word(&[])));
+        assert!(nfa.accepts(&word(&["a"])));
+        let dfa = nfa.determinize();
+        assert!(dfa.accepts(&word(&[])));
+    }
+
+    #[test]
+    fn empty_nfa_determinizes_to_empty_language() {
+        let nfa = Nfa::new(1, vec![0], vec![]);
+        let dfa = nfa.determinize();
+        assert!(dfa.is_empty());
+    }
+
+    #[test]
+    fn accepting_marker_can_be_added_later() {
+        let mut nfa = Nfa::new(2, vec![0], vec![]);
+        nfa.add_transition(0, "a", 1);
+        assert!(!nfa.accepts(&word(&["a"])));
+        nfa.add_accepting(1);
+        assert!(nfa.accepts(&word(&["a"])));
+        assert_eq!(nfa.num_states(), 2);
+        assert_eq!(nfa.alphabet().len(), 1);
+    }
+}

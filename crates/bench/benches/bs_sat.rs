@@ -1,0 +1,66 @@
+//! PERF-SAT: grounded Bernays–Schönfinkel satisfiability — the engine behind
+//! every decision procedure.  Sweeps the number of existential witnesses (the
+//! `k` of the small-model bound) and the number of constants, exposing the
+//! exponential regime the paper's NEXPTIME bound predicts.
+
+use criterion::Criterion;
+use rtx::logic::{solve_bs, BsProblem, Formula, Term};
+use rtx::prelude::Value;
+
+/// ∃ k pairwise-distinct witnesses, all in the free relation `R`, with a
+/// universal constraint that `R` is irreflexive over a `c`-constant domain.
+fn instance(k: usize, constants: usize) -> BsProblem {
+    let vars: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
+    let mut conjuncts: Vec<Formula> = vars
+        .iter()
+        .map(|v| Formula::atom("R", [Term::var(v.clone()), Term::var(v.clone())]))
+        .collect();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            conjuncts.push(Formula::neq(
+                Term::var(vars[i].clone()),
+                Term::var(vars[j].clone()),
+            ));
+        }
+    }
+    let existential = Formula::exists(vars, Formula::and(conjuncts));
+    let universal = Formula::forall(
+        ["u", "v"],
+        Formula::implies(
+            Formula::and(vec![
+                Formula::atom("S", [Term::var("u"), Term::var("v")]),
+                Formula::atom("S", [Term::var("v"), Term::var("u")]),
+            ]),
+            Formula::eq(Term::var("u"), Term::var("v")),
+        ),
+    );
+    let mut problem = BsProblem::new(Formula::and(vec![existential, universal]));
+    problem.add_constants((0..constants).map(|i| Value::str(format!("c{i}"))));
+    problem
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bs_sat_vs_existential_width");
+    for k in [1usize, 3, 5] {
+        let problem = instance(k, 2);
+        group.bench_function(format!("k={k}"), |b| {
+            b.iter(|| assert!(solve_bs(&problem).unwrap().is_satisfiable()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bs_sat_vs_constants");
+    for constants in [2usize, 6, 12] {
+        let problem = instance(2, constants);
+        group.bench_function(format!("constants={constants}"), |b| {
+            b.iter(|| assert!(solve_bs(&problem).unwrap().is_satisfiable()));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

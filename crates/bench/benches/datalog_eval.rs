@@ -1,0 +1,58 @@
+//! PERF-DL: the set-at-a-time output-program evaluation the paper advocates —
+//! Spocus step cost versus catalog size, and the naive vs semi-naive ablation
+//! on a recursive substrate workload.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::datalog::{evaluate_stratified, parse_program, EvalOptions, FixpointStrategy};
+use rtx::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+
+    let mut group = c.benchmark_group("spocus_step_vs_catalog_size");
+    for products in [100usize, 1_000, 10_000] {
+        let db = rtx::workloads::catalog(products, 1);
+        let inputs = rtx::workloads::customer_session(&db, 4, products, 0.9, 3);
+        group.bench_function(format!("products={products}"), |b| {
+            b.iter(|| short.run(&db, &inputs).unwrap());
+        });
+    }
+    group.finish();
+
+    // Ablation: naive vs semi-naive fixpoint on transitive closure of a chain.
+    let tc = parse_program(
+        "tc(X,Y) :- edge(X,Y).\n\
+         tc(X,Z) :- edge(X,Y), tc(Y,Z).",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("datalog_fixpoint_ablation");
+    for n in [20usize, 60] {
+        let schema = Schema::from_pairs([("edge", 2)]).unwrap();
+        let mut edb = Instance::empty(&schema);
+        for i in 0..n {
+            edb.insert(
+                "edge",
+                Tuple::new(vec![Value::int(i as i64), Value::int(i as i64 + 1)]),
+            )
+            .unwrap();
+        }
+        for (label, strategy) in [
+            ("naive", FixpointStrategy::Naive),
+            ("semi-naive", FixpointStrategy::SemiNaive),
+        ] {
+            group.bench_function(format!("{label}/chain={n}"), |b| {
+                b.iter(|| {
+                    evaluate_stratified(&tc, &edb, EvalOptions { strategy }).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,44 @@
+//! FIG1 / FIG2: regenerate the Figure 1 (`short`) and Figure 2 (`friendly`)
+//! runs and measure a full run of each model, plus run cost as the session
+//! length grows.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let friendly = models::friendly();
+    let db = models::figure1_database();
+
+    // Print the regenerated figures once so the bench log documents them.
+    let fig1 = short.run(&db, &models::figure1_inputs()).unwrap();
+    println!("--- Figure 1 (short) ---\n{fig1}");
+    let fig2 = friendly.run(&db, &models::figure2_inputs()).unwrap();
+    println!("--- Figure 2 (friendly) ---\n{fig2}");
+
+    c.bench_function("fig1_short_run", |b| {
+        let inputs = models::figure1_inputs();
+        b.iter(|| short.run(&db, &inputs).unwrap());
+    });
+    c.bench_function("fig2_friendly_run", |b| {
+        let inputs = models::figure2_inputs();
+        b.iter(|| friendly.run(&db, &inputs).unwrap());
+    });
+
+    let mut group = c.benchmark_group("short_run_vs_session_length");
+    for steps in [2usize, 8, 32] {
+        let catalog = rtx::workloads::catalog(16, 1);
+        let inputs = rtx::workloads::customer_session(&catalog, steps, 16, 0.9, 7);
+        group.bench_function(format!("steps={steps}"), |b| {
+            b.iter(|| short.run(&catalog, &inputs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! EX-PROP: the propositional `a b* c` example (§3.1) — enumeration of
+//! `Gen(T)` and construction of its DFA, with the prefix-closed /
+//! self-loop-only characterisation check.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::verify::genlang::{check_characterisation, gen_language_dfa};
+
+fn benches(c: &mut Criterion) {
+    let t = models::abstar_c();
+
+    let mut group = c.benchmark_group("gen_language_enumeration");
+    for max_len in [3usize, 5, 7] {
+        group.bench_function(format!("max_len={max_len}"), |b| {
+            b.iter(|| t.generate_words(max_len).unwrap());
+        });
+    }
+    group.finish();
+
+    c.bench_function("gen_language_dfa_construction", |b| {
+        b.iter(|| {
+            let dfa = gen_language_dfa(&t).unwrap();
+            assert!(dfa.is_prefix_closed());
+            assert!(dfa.has_only_self_loop_cycles());
+        });
+    });
+    c.bench_function("gen_language_characterisation", |b| {
+        b.iter(|| assert!(check_characterisation(&t, 4).unwrap()));
+    });
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! THM31: log validation (Theorem 3.1) — cost of auditing valid logs as the
+//! log length grows (fixed schema, the Σᵖ₂ regime) and cost of rejecting a
+//! tampered log.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let db = models::figure1_database();
+
+    let mut group = c.benchmark_group("thm31_valid_log_vs_length");
+    for steps in [1usize, 2, 3] {
+        let inputs = rtx::workloads::customer_session(&db, steps, 3, 1.0, 11);
+        let log = rtx::workloads::log_of(&short, &db, &inputs);
+        group.bench_function(format!("steps={steps}"), |b| {
+            b.iter(|| {
+                let verdict = validate_log(&short, &db, &log).unwrap();
+                assert!(verdict.is_valid());
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("thm31_reject_tampered_log", |b| {
+        let inputs = rtx::workloads::customer_session(&db, 1, 3, 1.0, 13);
+        let log = rtx::workloads::tamper_log(
+            &rtx::workloads::log_of(&short, &db, &inputs),
+            "lemonde",
+        );
+        b.iter(|| {
+            let verdict = validate_log(&short, &db, &log).unwrap();
+            assert!(!verdict.is_valid());
+        });
+    });
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

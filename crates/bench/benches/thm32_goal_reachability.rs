@@ -1,0 +1,41 @@
+//! THM32: goal reachability (Theorem 3.2) — reachable and unreachable goals,
+//! and scaling with the number of output rules in the business model.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::datalog::Atom;
+use rtx::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let db = models::figure1_database();
+
+    c.bench_function("thm32_reachable_goal", |b| {
+        let goal = Goal::atom(Atom::new("deliver", [Term::constant(Value::str("time"))]));
+        b.iter(|| assert!(is_goal_reachable(&short, &db, &goal).unwrap().is_some()));
+    });
+    c.bench_function("thm32_unreachable_goal", |b| {
+        let goal = Goal::atom(Atom::new(
+            "deliver",
+            [Term::constant(Value::str("economist"))],
+        ));
+        b.iter(|| assert!(is_goal_reachable(&short, &db, &goal).unwrap().is_none()));
+    });
+
+    let mut group = c.benchmark_group("thm32_vs_model_size");
+    for outputs in [1usize, 4, 8] {
+        let model = rtx::workloads::scaled_model(outputs, 2);
+        let scaled_db = rtx::workloads::scaled_database(2, 4);
+        let goal = Goal::atom(Atom::new("out0", [Term::constant(Value::str("r0"))]));
+        group.bench_function(format!("outputs={outputs}"), |b| {
+            b.iter(|| assert!(is_goal_reachable(&model, &scaled_db, &goal).unwrap().is_some()));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

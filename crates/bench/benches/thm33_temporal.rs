@@ -1,0 +1,74 @@
+//! THM33: verification of `T_past-input` temporal properties (Theorem 3.3) —
+//! a property that holds and a mutant model on which it fails.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn audited_model(safe: bool) -> SpocusTransducer {
+    let deliver_rule = if safe {
+        "deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)"
+    } else {
+        "deliver(X) :- past-order(X), price(X,Y)"
+    };
+    SpocusBuilder::new(if safe { "audited" } else { "mutant" })
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .output("paid-now", 2)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule(deliver_rule)
+        .output_rule("paid-now(X,Y) :- pay(X,Y)")
+        .build()
+        .unwrap()
+}
+
+fn no_unpaid_delivery() -> Formula {
+    Formula::forall(
+        ["x", "y"],
+        Formula::implies(
+            Formula::and(vec![
+                Formula::atom("deliver", [Term::var("x")]),
+                Formula::atom("price", [Term::var("x"), Term::var("y")]),
+            ]),
+            Formula::or(vec![
+                Formula::atom("past-pay", [Term::var("x"), Term::var("y")]),
+                Formula::atom("paid-now", [Term::var("x"), Term::var("y")]),
+            ]),
+        ),
+    )
+}
+
+fn benches(c: &mut Criterion) {
+    let db = models::figure1_database();
+    let property = no_unpaid_delivery();
+
+    c.bench_function("thm33_property_holds", |b| {
+        let model = audited_model(true);
+        b.iter(|| assert!(holds_in_all_runs(&model, &db, &property).unwrap().holds()));
+    });
+    c.bench_function("thm33_property_violated", |b| {
+        let model = audited_model(false);
+        b.iter(|| assert!(!holds_in_all_runs(&model, &db, &property).unwrap().holds()));
+    });
+
+    let mut group = c.benchmark_group("thm33_vs_catalog_size");
+    for products in [3usize, 6, 12] {
+        let catalog = rtx::workloads::catalog(products, 3);
+        let model = audited_model(true);
+        group.bench_function(format!("products={products}"), |b| {
+            b.iter(|| assert!(holds_in_all_runs(&model, &catalog, &property).unwrap().holds()));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,54 @@
+//! THM35: customization containment (Theorem 3.5 / Corollary 3.6) — the
+//! short/friendly audit and a rejected rogue customization.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let friendly = models::friendly();
+    let db = models::figure1_database();
+
+    c.bench_function("thm35_accept_friendly", |b| {
+        b.iter(|| {
+            assert!(customization_preserves_logs(&short, &friendly, &db)
+                .unwrap()
+                .is_contained())
+        });
+    });
+
+    let rogue = SpocusBuilder::new("rogue")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- order(X), price(X,Y)")
+        .build()
+        .unwrap();
+    c.bench_function("thm35_reject_rogue", |b| {
+        b.iter(|| {
+            assert!(!customization_preserves_logs(&short, &rogue, &db)
+                .unwrap()
+                .is_contained())
+        });
+    });
+
+    c.bench_function("thm35_syntactic_check", |b| {
+        b.iter(|| {
+            assert!(rtx::verify::syntactically_safe_customization(
+                &short, &friendly
+            ))
+        });
+    });
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

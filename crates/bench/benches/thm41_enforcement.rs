@@ -1,0 +1,64 @@
+//! THM41: enforcement of `T_sdi` policies (Theorem 4.1) — policy compilation
+//! cost and the runtime overhead of running the policed model versus the bare
+//! one.
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::datalog::{Atom, BodyLiteral};
+use rtx::prelude::*;
+use rtx::verify::enforce::add_enforcement;
+
+fn availability_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new("order", [Term::var("x")]))],
+        Formula::atom("available", [Term::var("x")]),
+    )
+    .unwrap()
+}
+
+fn price_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new(
+            "pay",
+            [Term::var("x"), Term::var("y")],
+        ))],
+        Formula::atom("price", [Term::var("x"), Term::var("y")]),
+    )
+    .unwrap()
+}
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let policies = [availability_policy(), price_policy()];
+
+    c.bench_function("thm41_compile_policies", |b| {
+        b.iter(|| {
+            for p in &policies {
+                assert!(!p.compile_to_error_rules().unwrap().is_empty());
+            }
+        });
+    });
+    c.bench_function("thm41_build_enforced_transducer", |b| {
+        b.iter(|| add_enforcement(&short, &policies).unwrap());
+    });
+
+    // Enforcement overhead at run time: bare vs policed model on the same
+    // 16-step session.
+    let db = rtx::workloads::catalog(8, 2);
+    let inputs = rtx::workloads::customer_session(&db, 16, 8, 0.8, 5);
+    let policed = add_enforcement(&short, &policies).unwrap();
+    let mut group = c.benchmark_group("thm41_run_overhead");
+    group.bench_function("bare", |b| {
+        b.iter(|| short.run(&db, &inputs).unwrap());
+    });
+    group.bench_function("policed", |b| {
+        b.iter(|| policed.run(&db, &inputs).unwrap());
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

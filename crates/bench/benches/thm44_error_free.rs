@@ -1,0 +1,70 @@
+//! THM44 / THM46: verification over error-free runs — checking a `T_sdi`
+//! policy against an input-controlled model (Theorem 4.4) and error-free-run
+//! containment between two policed models (Theorem 4.6).
+
+use criterion::Criterion;
+use rtx::core::models;
+use rtx::datalog::{Atom, BodyLiteral};
+use rtx::prelude::*;
+use rtx::verify::enforce::add_enforcement;
+
+fn availability_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new("order", [Term::var("x")]))],
+        Formula::atom("available", [Term::var("x")]),
+    )
+    .unwrap()
+}
+
+fn price_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new(
+            "pay",
+            [Term::var("x"), Term::var("y")],
+        ))],
+        Formula::atom("price", [Term::var("x"), Term::var("y")]),
+    )
+    .unwrap()
+}
+
+fn benches(c: &mut Criterion) {
+    let short = models::short();
+    let db = models::figure1_database();
+    let lenient = add_enforcement(&short, &[availability_policy()]).unwrap();
+    let strict = add_enforcement(&short, &[availability_policy(), price_policy()]).unwrap();
+
+    c.bench_function("thm44_policy_holds_on_error_free_runs", |b| {
+        b.iter(|| {
+            assert!(error_free_runs_satisfy(&strict, &db, &price_policy())
+                .unwrap()
+                .holds())
+        });
+    });
+    c.bench_function("thm44_policy_violated_without_enforcement", |b| {
+        b.iter(|| {
+            assert!(!error_free_runs_satisfy(&lenient, &db, &price_policy())
+                .unwrap()
+                .holds())
+        });
+    });
+    c.bench_function("thm46_containment_holds", |b| {
+        b.iter(|| {
+            assert!(error_free_containment(&strict, &lenient, &db)
+                .unwrap()
+                .holds())
+        });
+    });
+    c.bench_function("thm46_containment_refuted", |b| {
+        b.iter(|| {
+            assert!(!error_free_containment(&lenient, &strict, &db)
+                .unwrap()
+                .holds())
+        });
+    });
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! # rtx-bench
+//!
+//! Criterion benchmark harness for the reproduction.  Each bench target
+//! regenerates one experiment of `EXPERIMENTS.md` / `DESIGN.md`:
+//!
+//! * `fig_runs` — the Figure 1 (`short`) and Figure 2 (`friendly`) runs;
+//! * `thm31_log_validation` — log validation vs. log length and schema size;
+//! * `thm32_goal_reachability` — goal reachability;
+//! * `thm33_temporal` — temporal-property verification;
+//! * `thm35_containment` — customization containment;
+//! * `thm41_enforcement` — `T_sdi` policy compilation and enforced runs;
+//! * `thm44_error_free` — verification over error-free runs;
+//! * `gen_language` — `Gen(T)` enumeration and DFA construction;
+//! * `datalog_eval` — naive vs. semi-naive datalog evaluation (ablation);
+//! * `bs_sat` — grounded Bernays–Schönfinkel satisfiability scaling.
+//!
+//! The library itself only hosts shared helpers.
+
+/// Standard, short Criterion configuration so that the full suite runs in a
+/// few minutes: small sample counts and measurement windows.
+pub fn criterion_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .without_plots()
+}

@@ -1,0 +1,188 @@
+//! A programmatic builder for Spocus transducers.
+
+use crate::{CoreError, SpocusTransducer, TransducerSchema};
+use rtx_datalog::{parse_rule, Program, Rule};
+use rtx_relational::{RelationName, Schema};
+use std::collections::BTreeSet;
+
+/// A fluent builder for [`SpocusTransducer`]s.
+///
+/// The state schema is derived automatically (`past-R` for every input `R`),
+/// matching the Spocus definition; only inputs, outputs, database relations,
+/// the log and the output rules need to be declared.
+///
+/// ```
+/// use rtx_core::{SpocusBuilder, RelationalTransducer};
+///
+/// let transducer = SpocusBuilder::new("mini")
+///     .input("order", 1)
+///     .database("price", 2)
+///     .output("sendbill", 2)
+///     .log(["sendbill"])
+///     .output_rule("sendbill(X,Y) :- order(X), price(X,Y)")
+///     .build()
+///     .unwrap();
+/// assert_eq!(transducer.schema().input().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpocusBuilder {
+    name: String,
+    inputs: Vec<(String, usize)>,
+    outputs: Vec<(String, usize)>,
+    db: Vec<(String, usize)>,
+    log: BTreeSet<String>,
+    full_log: bool,
+    rules: Vec<Rule>,
+    errors: Vec<String>,
+}
+
+impl SpocusBuilder {
+    /// Starts a builder for a transducer with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SpocusBuilder {
+            name: name.into(),
+            ..SpocusBuilder::default()
+        }
+    }
+
+    /// Declares an input relation.
+    pub fn input(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.inputs.push((name.into(), arity));
+        self
+    }
+
+    /// Declares an output relation.
+    pub fn output(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.outputs.push((name.into(), arity));
+        self
+    }
+
+    /// Declares a database relation.
+    pub fn database(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.db.push((name.into(), arity));
+        self
+    }
+
+    /// Declares log relations (may be called repeatedly).
+    pub fn log<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.log.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Logs every input and output relation.
+    pub fn full_log(mut self) -> Self {
+        self.full_log = true;
+        self
+    }
+
+    /// Adds an output rule in the paper's concrete syntax.
+    pub fn output_rule(mut self, text: &str) -> Self {
+        match parse_rule(text) {
+            Ok(rule) => self.rules.push(rule),
+            Err(e) => self.errors.push(format!("{text}: {e}")),
+        }
+        self
+    }
+
+    /// Adds an output rule given as an AST.
+    pub fn output_rule_ast(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Builds and validates the transducer.
+    pub fn build(self) -> Result<SpocusTransducer, CoreError> {
+        if let Some(first) = self.errors.first() {
+            return Err(CoreError::Parse {
+                detail: first.clone(),
+            });
+        }
+        let input = Schema::from_pairs(self.inputs.clone())?;
+        let output = Schema::from_pairs(self.outputs.clone())?;
+        let db = Schema::from_pairs(self.db.clone())?;
+        let state = TransducerSchema::cumulative_state_schema(&input);
+        let log: Vec<RelationName> = if self.full_log {
+            input.names().chain(output.names()).cloned().collect()
+        } else {
+            self.log.iter().map(RelationName::new).collect()
+        };
+        let schema = TransducerSchema::new(input, state, output, db, log)?;
+        SpocusTransducer::new(self.name, schema, Program::new(self.rules))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_valid_transducer() {
+        let t = SpocusBuilder::new("short")
+            .input("order", 1)
+            .input("pay", 2)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .log(["sendbill", "pay", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+            .build()
+            .unwrap();
+        assert_eq!(t.name(), "short");
+        assert!(t.schema().state().contains("past-pay"));
+        assert_eq!(t.schema().log().len(), 3);
+        assert!(!t.schema().is_full_log());
+    }
+
+    #[test]
+    fn full_log_logs_everything() {
+        let t = SpocusBuilder::new("t")
+            .input("a", 0)
+            .output("b", 0)
+            .full_log()
+            .output_rule("b :- a")
+            .build()
+            .unwrap();
+        assert!(t.schema().is_full_log());
+    }
+
+    #[test]
+    fn parse_errors_surface_at_build_time() {
+        let err = SpocusBuilder::new("broken")
+            .input("a", 0)
+            .output("b", 0)
+            .output_rule("b :- a(")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Parse { .. }));
+    }
+
+    #[test]
+    fn spocus_violations_surface_at_build_time() {
+        let err = SpocusBuilder::new("broken")
+            .input("a", 0)
+            .output("b", 0)
+            .output_rule("c :- a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotSpocus { .. }));
+    }
+
+    #[test]
+    fn ast_rules_are_accepted() {
+        let rule = parse_rule("b :- a").unwrap();
+        let t = SpocusBuilder::new("t")
+            .input("a", 0)
+            .output("b", 0)
+            .log(["b"])
+            .output_rule_ast(rule)
+            .build()
+            .unwrap();
+        assert_eq!(t.output_program().len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Input-control disciplines (§4).
+//!
+//! A basic relational transducer cannot restrict its inputs: any sequence of
+//! input instances is a run.  Section 4 of the paper enriches the model by
+//! designating distinguished output relations and calling a run *valid* only
+//! if they behave in a prescribed way.  The three mechanisms are incomparable
+//! in expressive power (see §4); the paper, and this reproduction, focus on
+//! error-free runs.
+
+use crate::Run;
+
+/// The three input-control mechanisms of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ControlDiscipline {
+    /// Mechanism (1): a run is valid iff no output contains a fact of the
+    /// distinguished relation `error`.
+    ErrorFree,
+    /// Mechanism (2): a run is valid iff every output contains the
+    /// propositional fact `ok`.
+    OkAtEveryStep,
+    /// Mechanism (3): a run is valid iff it is finite and its last output
+    /// contains the propositional fact `accept`.
+    AcceptAtEnd,
+}
+
+impl ControlDiscipline {
+    /// All three disciplines, for exhaustive testing.
+    pub const ALL: [ControlDiscipline; 3] = [
+        ControlDiscipline::ErrorFree,
+        ControlDiscipline::OkAtEveryStep,
+        ControlDiscipline::AcceptAtEnd,
+    ];
+
+    /// The distinguished output relation this discipline inspects.
+    pub fn relation(&self) -> &'static str {
+        match self {
+            ControlDiscipline::ErrorFree => "error",
+            ControlDiscipline::OkAtEveryStep => "ok",
+            ControlDiscipline::AcceptAtEnd => "accept",
+        }
+    }
+
+    /// True if the run is valid under this discipline.
+    pub fn accepts(&self, run: &Run) -> bool {
+        match self {
+            ControlDiscipline::ErrorFree => run.is_error_free(),
+            ControlDiscipline::OkAtEveryStep => run.has_ok_at_every_step(),
+            ControlDiscipline::AcceptAtEnd => run.is_accepted(),
+        }
+    }
+}
+
+impl std::fmt::Display for ControlDiscipline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlDiscipline::ErrorFree => write!(f, "error-free"),
+            ControlDiscipline::OkAtEveryStep => write!(f, "ok-at-every-step"),
+            ControlDiscipline::AcceptAtEnd => write!(f, "accept-at-end"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RelationalTransducer, SpocusBuilder};
+    use rtx_relational::{Instance, InstanceSequence, Schema, Tuple};
+
+    /// A toy model: `error` when paying an unordered product, `ok` when an
+    /// order is present, `accept` when a `close` input arrives.
+    fn controlled() -> crate::SpocusTransducer {
+        SpocusBuilder::new("controlled")
+            .input("order", 1)
+            .input("pay", 1)
+            .input("close", 0)
+            .output("error", 0)
+            .output("ok", 0)
+            .output("accept", 0)
+            .log(["order", "pay"])
+            .output_rule("error :- pay(X), NOT past-order(X), NOT order(X)")
+            .output_rule("ok :- order(X)")
+            .output_rule("accept :- close")
+            .build()
+            .unwrap()
+    }
+
+    fn step(orders: &[&str], pays: &[&str], close: bool) -> Instance {
+        let schema = Schema::from_pairs([("order", 1), ("pay", 1), ("close", 0)]).unwrap();
+        let mut inst = Instance::empty(&schema);
+        for o in orders {
+            inst.insert("order", Tuple::from_iter([*o])).unwrap();
+        }
+        for p in pays {
+            inst.insert("pay", Tuple::from_iter([*p])).unwrap();
+        }
+        if close {
+            inst.insert("close", Tuple::unit()).unwrap();
+        }
+        inst
+    }
+
+    fn run_of(steps: Vec<Instance>) -> Run {
+        let t = controlled();
+        let inputs = InstanceSequence::new(
+            Schema::from_pairs([("order", 1), ("pay", 1), ("close", 0)]).unwrap(),
+            steps,
+        )
+        .unwrap();
+        t.run(&Instance::empty(&Schema::empty()), &inputs).unwrap()
+    }
+
+    #[test]
+    fn disciplines_judge_runs_independently() {
+        // A polite customer: order, then pay, then close.
+        let good = run_of(vec![
+            step(&["time"], &[], false),
+            step(&["newsweek"], &["time"], false),
+            step(&["lemonde"], &[], true),
+        ]);
+        assert!(ControlDiscipline::ErrorFree.accepts(&good));
+        assert!(ControlDiscipline::OkAtEveryStep.accepts(&good));
+        assert!(ControlDiscipline::AcceptAtEnd.accepts(&good));
+
+        // Paying before ordering violates error-freeness only.
+        let fraud = run_of(vec![
+            step(&["time"], &["newsweek"], false),
+            step(&["lemonde"], &[], true),
+        ]);
+        assert!(!ControlDiscipline::ErrorFree.accepts(&fraud));
+        assert!(ControlDiscipline::OkAtEveryStep.accepts(&fraud));
+        assert!(ControlDiscipline::AcceptAtEnd.accepts(&fraud));
+
+        // A step with no order violates ok-at-every-step only.
+        let silent = run_of(vec![step(&["time"], &[], false), step(&[], &["time"], true)]);
+        assert!(ControlDiscipline::ErrorFree.accepts(&silent));
+        assert!(!ControlDiscipline::OkAtEveryStep.accepts(&silent));
+        assert!(ControlDiscipline::AcceptAtEnd.accepts(&silent));
+
+        // Never closing violates accept-at-end only.
+        let unfinished = run_of(vec![step(&["time"], &[], false)]);
+        assert!(ControlDiscipline::ErrorFree.accepts(&unfinished));
+        assert!(ControlDiscipline::OkAtEveryStep.accepts(&unfinished));
+        assert!(!ControlDiscipline::AcceptAtEnd.accepts(&unfinished));
+    }
+
+    #[test]
+    fn relation_names_and_display() {
+        assert_eq!(ControlDiscipline::ErrorFree.relation(), "error");
+        assert_eq!(ControlDiscipline::OkAtEveryStep.relation(), "ok");
+        assert_eq!(ControlDiscipline::AcceptAtEnd.relation(), "accept");
+        assert_eq!(ControlDiscipline::ALL.len(), 3);
+        assert_eq!(ControlDiscipline::ErrorFree.to_string(), "error-free");
+    }
+}

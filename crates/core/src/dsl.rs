@@ -1,0 +1,440 @@
+//! Parser for the paper's transducer program syntax.
+//!
+//! The concrete syntax is the one used for `TRANSDUCER SHORT` and
+//! `TRANSDUCER FRIENDLY` in §2.1:
+//!
+//! ```text
+//! transducer short
+//! schema
+//!   database: price, available;
+//!   input: order, pay;
+//!   state: past-order, past-pay;
+//!   output: sendbill, deliver;
+//!   log: sendbill, pay, deliver;
+//! state rules
+//!   past-order(X) +:- order(X);
+//!   past-pay(X,Y) +:- pay(X,Y);
+//! output rules
+//!   sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+//!   deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).
+//! ```
+//!
+//! Relation arities are not written in the schema section; they are inferred
+//! from the rules (an explicit `name/arity` form is also accepted for
+//! relations that no rule mentions).  Rules may be terminated by `;` or `.`;
+//! `%` and `//` start comments.  The `schema`/`relations` keyword line is
+//! optional, as is the `state:` line (the Spocus state schema is determined
+//! by the inputs).
+
+use crate::{CoreError, SpocusTransducer, TransducerSchema};
+use rtx_datalog::parser::{parse_program_kinded, RuleKind};
+use rtx_datalog::{BodyLiteral, Program, Rule};
+use rtx_logic::Term;
+use rtx_relational::{RelationName, Schema};
+use std::collections::BTreeMap;
+
+/// Parses a transducer program in the paper's concrete syntax.
+pub fn parse_transducer(text: &str) -> Result<SpocusTransducer, CoreError> {
+    let cleaned = strip_comments(text);
+    let lower = cleaned.to_ascii_lowercase();
+
+    // Locate the rule sections.
+    let state_rules_pos = lower.find("state rules");
+    let output_rules_pos = lower.find("output rules").ok_or_else(|| CoreError::Parse {
+        detail: "missing `output rules` section".into(),
+    })?;
+    let header_end = state_rules_pos.unwrap_or(output_rules_pos);
+    if let Some(sp) = state_rules_pos {
+        if sp > output_rules_pos {
+            return Err(CoreError::Parse {
+                detail: "`state rules` must precede `output rules`".into(),
+            });
+        }
+    }
+
+    let header = &cleaned[..header_end];
+    let state_rules_text = match state_rules_pos {
+        Some(sp) => &cleaned[sp + "state rules".len()..output_rules_pos],
+        None => "",
+    };
+    let output_rules_text = &cleaned[output_rules_pos + "output rules".len()..];
+
+    // Name.
+    let name = parse_name(header).unwrap_or_else(|| "unnamed".to_string());
+
+    // Declarations.
+    let decls = parse_declarations(header)?;
+    let input_decl = decls.get("input").cloned().unwrap_or_default();
+    let output_decl = decls.get("output").cloned().unwrap_or_default();
+    let db_decl = decls.get("database").cloned().unwrap_or_default();
+    let log_decl = decls.get("log").cloned().unwrap_or_default();
+    if input_decl.is_empty() {
+        return Err(CoreError::Parse {
+            detail: "missing `input:` declaration".into(),
+        });
+    }
+    if output_decl.is_empty() {
+        return Err(CoreError::Parse {
+            detail: "missing `output:` declaration".into(),
+        });
+    }
+
+    // Rules.
+    let state_rules = parse_rules(state_rules_text, ";")?;
+    let output_rules = parse_rules(output_rules_text, ";")?;
+    for (rule, kind) in &state_rules {
+        if *kind != RuleKind::Cumulative {
+            return Err(CoreError::NotSpocus {
+                detail: format!("state rule `{rule}` must use `+:-` (cumulative semantics)"),
+            });
+        }
+        check_cumulative_shape(rule)?;
+    }
+    for (rule, kind) in &output_rules {
+        if *kind != RuleKind::Plain {
+            return Err(CoreError::Parse {
+                detail: format!("output rule `{rule}` must use `:-`, not `+:-`"),
+            });
+        }
+    }
+
+    // Arity inference.
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+    let mut note = |name: &str, arity: usize| -> Result<(), CoreError> {
+        match arities.get(name) {
+            Some(&a) if a != arity => Err(CoreError::Parse {
+                detail: format!("relation `{name}` used with arities {a} and {arity}"),
+            }),
+            _ => {
+                arities.insert(name.to_string(), arity);
+                Ok(())
+            }
+        }
+    };
+    for (rule, _) in state_rules.iter().chain(output_rules.iter()) {
+        note(rule.head.relation.as_str(), rule.head.arity())?;
+        for lit in &rule.body {
+            if let BodyLiteral::Positive(a) | BodyLiteral::Negative(a) = lit {
+                note(a.relation.as_str(), a.arity())?;
+            }
+        }
+    }
+    // Explicit `name/arity` declarations override / complete the inference.
+    for decl in [&input_decl, &output_decl, &db_decl] {
+        for (name, explicit) in decl {
+            if let Some(a) = explicit {
+                note(name, *a)?;
+            }
+        }
+    }
+
+    let resolve = |decl: &[(String, Option<usize>)]| -> Result<Vec<(String, usize)>, CoreError> {
+        decl.iter()
+            .map(|(name, explicit)| {
+                let arity = explicit.or_else(|| arities.get(name).copied()).ok_or_else(|| {
+                    CoreError::Parse {
+                        detail: format!(
+                            "cannot infer the arity of `{name}`; no rule mentions it (use `{name}/k`)"
+                        ),
+                    }
+                })?;
+                Ok((name.clone(), arity))
+            })
+            .collect()
+    };
+
+    let input = Schema::from_pairs(resolve(&input_decl)?)?;
+    let output = Schema::from_pairs(resolve(&output_decl)?)?;
+    let db = Schema::from_pairs(resolve(&db_decl)?)?;
+    let state = TransducerSchema::cumulative_state_schema(&input);
+
+    // The `state:` declaration, if present, must agree with the derived one.
+    if let Some(state_decl) = decls.get("state") {
+        for (name, _) in state_decl {
+            if !state.contains(name.as_str()) {
+                return Err(CoreError::NotSpocus {
+                    detail: format!(
+                        "declared state relation `{name}` is not of the form past-R for an input R"
+                    ),
+                });
+            }
+        }
+    }
+    // Every declared state rule must target a derived state relation and
+    // cumulate the matching input.
+    for (rule, _) in &state_rules {
+        let head = rule.head.relation.clone();
+        if !state.contains(head.clone()) {
+            return Err(CoreError::NotSpocus {
+                detail: format!("state rule defines `{head}`, which is not past-R for an input R"),
+            });
+        }
+    }
+
+    let log: Vec<RelationName> = log_decl
+        .iter()
+        .map(|(n, _)| RelationName::new(n.clone()))
+        .collect();
+    let schema = TransducerSchema::new(input, state, output, db, log)?;
+    SpocusTransducer::new(
+        name,
+        schema,
+        Program::new(output_rules.into_iter().map(|(r, _)| r).collect()),
+    )
+}
+
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            let no_pct = line.split('%').next().unwrap_or("");
+            no_pct.split("//").next().unwrap_or("").to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_name(header: &str) -> Option<String> {
+    for line in header.lines() {
+        let trimmed = line.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("transducer") {
+            let name = rest.trim();
+            if !name.is_empty() {
+                // take the original-cased name from the same position
+                let start = trimmed.len() - name.len();
+                return Some(trimmed[start..].trim().to_lowercase());
+            }
+        }
+    }
+    None
+}
+
+type Declarations = BTreeMap<String, Vec<(String, Option<usize>)>>;
+
+fn parse_declarations(header: &str) -> Result<Declarations, CoreError> {
+    let mut out: Declarations = BTreeMap::new();
+    // Scan for "keyword:" markers and take the text up to the next ';'.
+    let keywords = ["database", "input", "state", "output", "log"];
+    let lower = header.to_ascii_lowercase();
+    for keyword in keywords {
+        let marker = format!("{keyword}:");
+        if let Some(pos) = lower.find(&marker) {
+            let rest = &header[pos + marker.len()..];
+            let list_text = rest.split(';').next().unwrap_or("").trim();
+            let mut entries = Vec::new();
+            for raw in list_text.split(',') {
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    continue;
+                }
+                let (name, arity) = match raw.split_once('/') {
+                    Some((n, a)) => {
+                        let arity = a.trim().parse::<usize>().map_err(|_| CoreError::Parse {
+                            detail: format!("invalid arity in declaration `{raw}`"),
+                        })?;
+                        (n.trim().to_string(), Some(arity))
+                    }
+                    None => (raw.to_string(), None),
+                };
+                entries.push((name, arity));
+            }
+            out.insert(keyword.to_string(), entries);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_rules(text: &str, _sep: &str) -> Result<Vec<(Rule, RuleKind)>, CoreError> {
+    // Accept both ';' and '.' as rule terminators by normalising to '.'.
+    let normalised = text.replace(';', ".");
+    parse_program_kinded(&normalised).map_err(CoreError::from)
+}
+
+/// Checks that a cumulative state rule has exactly the Spocus shape
+/// `past-R(x1, …, xk) +:- R(x1, …, xk)`: the single body atom is the
+/// corresponding input relation with the same variable list (no projection,
+/// no constants, no extra literals).  This is precisely the restriction whose
+/// relaxation makes log validity undecidable (Proposition 3.1).
+fn check_cumulative_shape(rule: &Rule) -> Result<(), CoreError> {
+    let head = &rule.head;
+    let base = head
+        .relation
+        .strip_past()
+        .ok_or_else(|| CoreError::NotSpocus {
+            detail: format!("state relation `{}` is not of the form past-R", head.relation),
+        })?;
+    if rule.body.len() != 1 {
+        return Err(CoreError::NotSpocus {
+            detail: format!("state rule `{rule}` must have exactly one body atom"),
+        });
+    }
+    let body_atom = match &rule.body[0] {
+        BodyLiteral::Positive(a) => a,
+        other => {
+            return Err(CoreError::NotSpocus {
+                detail: format!("state rule body `{other}` must be a positive atom"),
+            })
+        }
+    };
+    if body_atom.relation != base {
+        return Err(CoreError::NotSpocus {
+            detail: format!(
+                "state rule for `{}` must cumulate `{base}`, not `{}`",
+                head.relation, body_atom.relation
+            ),
+        });
+    }
+    if head.args != body_atom.args
+        || head.args.iter().any(|t| !matches!(t, Term::Var(_)))
+    {
+        return Err(CoreError::NotSpocus {
+            detail: format!(
+                "state rule `{rule}` must copy the input tuple unchanged (projections are not Spocus; see Proposition 3.1)"
+            ),
+        });
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for t in &head.args {
+        if let Term::Var(v) = t {
+            if !seen.insert(v.clone()) {
+                return Err(CoreError::NotSpocus {
+                    detail: format!(
+                        "state rule `{rule}` repeats variable `{v}`; selections are not Spocus"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::RelationalTransducer;
+
+    const SHORT: &str = "\
+transducer short
+schema
+  database: price, available/1;
+  input: order, pay;
+  state: past-order, past-pay;
+  output: sendbill, deliver;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).";
+
+    #[test]
+    fn parses_the_short_program() {
+        let t = parse_transducer(SHORT).unwrap();
+        assert_eq!(t.name(), "short");
+        assert_eq!(t.schema().input().arity_of("pay"), Some(2));
+        assert_eq!(t.schema().db().arity_of("available"), Some(1));
+        assert_eq!(t.schema().output().arity_of("sendbill"), Some(2));
+        assert_eq!(t.schema().log().len(), 3);
+        assert_eq!(t.output_program().len(), 2);
+        // parsed transducer behaves identically to the builder-based model
+        let built = models::short();
+        assert_eq!(t.schema(), built.schema());
+        assert_eq!(t.output_program(), built.output_program());
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        assert!(matches!(
+            parse_transducer("transducer empty\ninput: a;\n"),
+            Err(CoreError::Parse { .. })
+        ));
+        let no_input = "transducer x\noutput: b;\noutput rules\n b :- c(X).";
+        assert!(matches!(
+            parse_transducer(no_input),
+            Err(CoreError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn uninferable_arity_requires_explicit_declaration() {
+        // `cancel` never appears in a rule: its arity cannot be inferred.
+        let text = "\
+transducer t
+input: order, cancel;
+output: deliver;
+log: deliver;
+state rules
+  past-order(X) +:- order(X);
+output rules
+  deliver(X) :- past-order(X).";
+        assert!(matches!(parse_transducer(text), Err(CoreError::Parse { .. })));
+
+        let fixed = text.replace("order, cancel;", "order, cancel/1;");
+        let t = parse_transducer(&fixed).unwrap();
+        assert_eq!(t.schema().input().arity_of("cancel"), Some(1));
+        assert!(t.schema().state().contains("past-cancel"));
+    }
+
+    #[test]
+    fn projection_state_rules_are_rejected_as_non_spocus() {
+        // The Proposition 3.1 gadget: R2(y) +:- R(x,y) uses projection.
+        let text = "\
+transducer gadget
+input: R;
+output: violation;
+log: violation;
+state rules
+  past-R(X,Y) +:- R(X,Y);
+  past-R2(Y) +:- R(X,Y);
+output rules
+  violation :- past-R(X,Y), past-R(X,Z), Y <> Z.";
+        assert!(matches!(
+            parse_transducer(text),
+            Err(CoreError::NotSpocus { .. })
+        ));
+    }
+
+    #[test]
+    fn state_rules_must_be_cumulative() {
+        let text = SHORT.replace("past-order(X) +:- order(X);", "past-order(X) :- order(X);");
+        assert!(matches!(
+            parse_transducer(&text),
+            Err(CoreError::NotSpocus { .. })
+        ));
+    }
+
+    #[test]
+    fn output_rules_must_not_be_cumulative() {
+        let text = SHORT.replace(
+            "sendbill(X,Y) :- order(X)",
+            "sendbill(X,Y) +:- order(X)",
+        );
+        assert!(matches!(
+            parse_transducer(&text),
+            Err(CoreError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let commented = format!("% business model\n{SHORT}\n% end");
+        assert!(parse_transducer(&commented).is_ok());
+    }
+
+    #[test]
+    fn parsed_short_runs_like_figure_1() {
+        let t = parse_transducer(SHORT).unwrap();
+        let run = t
+            .run(&models::figure1_database(), &models::figure1_inputs())
+            .unwrap();
+        assert!(run.len() >= 2);
+        // the second step delivers Time after payment
+        assert!(run
+            .outputs()
+            .get(1)
+            .unwrap()
+            .holds("deliver", &rtx_relational::Tuple::from_iter(["time"])));
+    }
+}

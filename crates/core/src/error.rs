@@ -1,0 +1,87 @@
+//! Error type for the transducer core.
+
+use std::fmt;
+
+/// Errors from constructing or running transducers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The transducer schema violates a structural condition of §2.2
+    /// (components not disjoint, log not contained in `in ∪ out`, …).
+    InvalidSchema {
+        /// Explanation of the violation.
+        detail: String,
+    },
+    /// A Spocus restriction of §3.1 is violated (state relations not of the
+    /// `past-R` form, output rule mentioning a forbidden relation, recursion,
+    /// negation of a non-base relation, unsafe rule, …).
+    NotSpocus {
+        /// Explanation of the violation.
+        detail: String,
+    },
+    /// A run was attempted with inputs or a database that do not match the
+    /// transducer schema.
+    SchemaMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A syntax error in the transducer DSL.
+    Parse {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// An error bubbled up from the datalog engine.
+    Datalog(rtx_datalog::DatalogError),
+    /// An error bubbled up from the relational layer.
+    Relational(rtx_relational::RelationalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSchema { detail } => write!(f, "invalid transducer schema: {detail}"),
+            CoreError::NotSpocus { detail } => write!(f, "not a Spocus transducer: {detail}"),
+            CoreError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            CoreError::Parse { detail } => write!(f, "transducer parse error: {detail}"),
+            CoreError::Datalog(e) => write!(f, "datalog error: {e}"),
+            CoreError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<rtx_datalog::DatalogError> for CoreError {
+    fn from(e: rtx_datalog::DatalogError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+impl From<rtx_relational::RelationalError> for CoreError {
+    fn from(e: rtx_relational::RelationalError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::NotSpocus {
+            detail: "projection in state rule".into(),
+        };
+        assert!(e.to_string().contains("Spocus"));
+        let e: CoreError = rtx_relational::RelationalError::UnknownRelation { name: "r".into() }.into();
+        assert!(matches!(e, CoreError::Relational(_)));
+        let e: CoreError = rtx_datalog::DatalogError::Parse {
+            message: "x".into(),
+            fragment: "y".into(),
+        }
+        .into();
+        assert!(matches!(e, CoreError::Datalog(_)));
+        assert!(CoreError::Parse { detail: "bad".into() }.to_string().contains("bad"));
+        assert!(CoreError::InvalidSchema { detail: "d".into() }.to_string().contains("schema"));
+        assert!(CoreError::SchemaMismatch { detail: "m".into() }.to_string().contains("mismatch"));
+    }
+}

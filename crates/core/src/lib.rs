@@ -1,0 +1,71 @@
+//! # rtx-core
+//!
+//! The paper's primary contribution: **relational transducers** as declarative
+//! specifications of electronic-commerce business models, and the restricted
+//! **Spocus** class (Semi-Positive Outputs, CUmulative State) for which the
+//! verification problems of §3–§4 are decidable.
+//!
+//! The crate implements the formal model of §2.2 and the Spocus definition of
+//! §3.1 exactly:
+//!
+//! * [`TransducerSchema`] — the five-component schema `(in, state, out, db,
+//!   log)` with its disjointness and `log ⊆ in ∪ out` conditions;
+//! * [`RelationalTransducer`] — the abstract machine: a state function `σ`
+//!   and an output function `ω` mapping `(Iᵢ, Sᵢ₋₁, D)` to the next state and
+//!   output, together with the induced [`Run`] semantics (state, output and
+//!   log sequences);
+//! * [`SpocusTransducer`] — the restricted class: state relations `past-R`
+//!   that cumulate inputs, outputs defined by a non-recursive semipositive
+//!   datalog¬≠ program, with every Spocus restriction statically validated at
+//!   construction time;
+//! * [`parse_transducer`] — the paper's concrete program syntax
+//!   (`transducer short … state rules … output rules …`);
+//! * [`models`] — the paper's worked examples (`short`, `friendly`, the
+//!   propositional `a b* c` generator) together with the Figure 1/Figure 2
+//!   catalog and input sequences;
+//! * [`ControlDiscipline`] — the §4 input-control mechanisms (`error`-free
+//!   runs, `ok`-at-every-step, `accept`-at-the-end) and their run validity
+//!   predicates;
+//! * [`PropositionalTransducer`] — propositional Spocus transducers and the
+//!   enumeration of their generated output languages `Gen(T)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod control;
+mod dsl;
+mod error;
+pub mod models;
+mod propositional;
+mod run;
+mod schema;
+mod spocus;
+mod transducer;
+
+pub use builder::SpocusBuilder;
+pub use control::ControlDiscipline;
+pub use dsl::parse_transducer;
+pub use error::CoreError;
+pub use propositional::PropositionalTransducer;
+pub use run::{Run, RunStep};
+pub use schema::TransducerSchema;
+pub use spocus::SpocusTransducer;
+pub use transducer::RelationalTransducer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{Tuple, Value};
+
+    #[test]
+    fn short_model_reproduces_figure_1_deliveries() {
+        let transducer = models::short();
+        let db = models::figure1_database();
+        let inputs = models::figure1_inputs();
+        let run = transducer.run(&db, &inputs).unwrap();
+        // Step 2 of Figure 1: deliver(Time) after pay(Time, 855).
+        let deliver_step = run.outputs().get(1).unwrap();
+        assert!(deliver_step.holds("deliver", &Tuple::from_iter([Value::str("time")])));
+    }
+}

@@ -1,0 +1,313 @@
+//! The paper's worked business models and the Figure 1 / Figure 2 scenarios.
+//!
+//! * [`short`] — the minimal order/bill/pay/deliver model of §2.1;
+//! * [`friendly`] — the customer-friendly customization of `short` (warnings
+//!   for unavailable products, wrong payments, duplicate payments, and
+//!   reminders of pending bills);
+//! * [`abstar_c`] — the propositional transducer of §3.1 generating the
+//!   prefixes of `a b* c`;
+//! * [`figure1_database`] / [`figure1_inputs`] — the catalog (Time 855,
+//!   Newsweek 845, Le Monde 8350) and the input sequence of Figure 1;
+//! * [`figure2_inputs`] — the input sequence of Figure 2, which exercises
+//!   every warning of `friendly`.
+//!
+//! The published figures are reproduced from the running-text description
+//! (the original images are not part of the source text); the *shape* of the
+//! exchange — order, bill, pay, deliver, plus each warning — follows §2.1.
+
+use crate::{parse_transducer, PropositionalTransducer, SpocusTransducer};
+use rtx_relational::{Instance, InstanceSequence, Schema, Tuple, Value};
+
+/// The `TRANSDUCER SHORT` program of §2.1.
+pub const SHORT_PROGRAM: &str = "\
+transducer short
+schema
+  database: price, available/1;
+  input: order, pay;
+  state: past-order, past-pay;
+  output: sendbill, deliver;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).";
+
+/// The `TRANSDUCER FRIENDLY` program of §2.1.
+pub const FRIENDLY_PROGRAM: &str = "\
+transducer friendly
+relations
+  database: price, available;
+  input: order, pay, pending-bills;
+  state: past-order, past-pay;
+  output: sendbill, deliver, unavailable, rejectpay, alreadypaid, rebill;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  unavailable(X) :- order(X), NOT available(X);
+  rejectpay(X) :- pay(X,Y), NOT past-order(X);
+  rejectpay(X) :- pay(X,Y), past-order(X), NOT price(X,Y);
+  alreadypaid(X) :- pay(X,Y), past-pay(X,Y);
+  rebill(X,Y) :- pending-bills, past-order(X), price(X,Y), NOT past-pay(X,Y).";
+
+/// The propositional transducer of §3.1 generating prefixes of `a b* c`.
+pub const ABSTAR_C_PROGRAM: &str = "\
+transducer abstar-c
+  input: A/0, B/0, C/0;
+  output: a/0, b/0, c/0;
+  log: a, b, c;
+state rules
+  past-A +:- A;
+  past-B +:- B;
+  past-C +:- C;
+output rules
+  a :- A, NOT past-A;
+  b :- B, past-A, NOT past-C, NOT C;
+  c :- C, past-A, NOT past-C.";
+
+/// Builds the `short` transducer.
+pub fn short() -> SpocusTransducer {
+    parse_transducer(SHORT_PROGRAM).expect("the short program is a valid Spocus transducer")
+}
+
+/// Builds the `friendly` transducer.
+pub fn friendly() -> SpocusTransducer {
+    parse_transducer(FRIENDLY_PROGRAM).expect("the friendly program is a valid Spocus transducer")
+}
+
+/// Builds the propositional `a b* c` prefix generator.
+pub fn abstar_c() -> PropositionalTransducer {
+    let inner =
+        parse_transducer(ABSTAR_C_PROGRAM).expect("the ab*c program is a valid Spocus transducer");
+    PropositionalTransducer::new(inner).expect("the ab*c program is propositional")
+}
+
+/// The database schema shared by `short` and `friendly`.
+pub fn catalog_schema() -> Schema {
+    Schema::from_pairs([("price", 2), ("available", 1)]).expect("distinct relations")
+}
+
+/// The input schema of `short`.
+pub fn short_input_schema() -> Schema {
+    Schema::from_pairs([("order", 1), ("pay", 2)]).expect("distinct relations")
+}
+
+/// The input schema of `friendly`.
+pub fn friendly_input_schema() -> Schema {
+    Schema::from_pairs([("order", 1), ("pay", 2), ("pending-bills", 0)])
+        .expect("distinct relations")
+}
+
+/// The Figure 1 catalog: Time costs 855, Newsweek 845, Le Monde 8350; Time
+/// and Newsweek are available, Le Monde is not (so that Figure 2 can show the
+/// `unavailable` warning).
+pub fn figure1_database() -> Instance {
+    let mut db = Instance::empty(&catalog_schema());
+    for (product, amount) in [("time", 855), ("newsweek", 845), ("lemonde", 8350)] {
+        db.insert(
+            "price",
+            Tuple::new(vec![Value::str(product), Value::int(amount)]),
+        )
+        .expect("schema declares price/2");
+    }
+    for product in ["time", "newsweek"] {
+        db.insert("available", Tuple::from_iter([product]))
+            .expect("schema declares available/1");
+    }
+    db
+}
+
+fn short_step(orders: &[&str], pays: &[(&str, i64)]) -> Instance {
+    let mut inst = Instance::empty(&short_input_schema());
+    for o in orders {
+        inst.insert("order", Tuple::from_iter([*o])).expect("order/1");
+    }
+    for (p, amount) in pays {
+        inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amount)]))
+            .expect("pay/2");
+    }
+    inst
+}
+
+fn friendly_step(orders: &[&str], pays: &[(&str, i64)], pending_bills: bool) -> Instance {
+    let mut inst = Instance::empty(&friendly_input_schema());
+    for o in orders {
+        inst.insert("order", Tuple::from_iter([*o])).expect("order/1");
+    }
+    for (p, amount) in pays {
+        inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amount)]))
+            .expect("pay/2");
+    }
+    if pending_bills {
+        inst.insert("pending-bills", Tuple::unit())
+            .expect("pending-bills/0");
+    }
+    inst
+}
+
+/// The Figure 1 input sequence for `short`:
+///
+/// 1. order Time and Newsweek → bills for both;
+/// 2. pay Time (855) → Time is delivered;
+/// 3. order Le Monde → bill for Le Monde;
+/// 4. pay Newsweek (845) → Newsweek is delivered.
+pub fn figure1_inputs() -> InstanceSequence {
+    InstanceSequence::new(
+        short_input_schema(),
+        vec![
+            short_step(&["time", "newsweek"], &[]),
+            short_step(&[], &[("time", 855)]),
+            short_step(&["lemonde"], &[]),
+            short_step(&[], &[("newsweek", 845)]),
+        ],
+    )
+    .expect("steps share the input schema")
+}
+
+/// The Figure 2 input sequence for `friendly`, exercising every warning:
+///
+/// 1. order Time and Le Monde → bill for both, `unavailable(lemonde)`;
+/// 2. pay Newsweek (845) without ordering it → `rejectpay(newsweek)`;
+/// 3. pay Time with the wrong amount (1000) → `rejectpay(time)`;
+/// 4. pay Time (855) → Time is delivered;
+/// 5. pay Time (855) again → `alreadypaid(time)`;
+/// 6. ask for pending bills → `rebill(lemonde, 8350)`.
+pub fn figure2_inputs() -> InstanceSequence {
+    InstanceSequence::new(
+        friendly_input_schema(),
+        vec![
+            friendly_step(&["time", "lemonde"], &[], false),
+            friendly_step(&[], &[("newsweek", 845)], false),
+            friendly_step(&[], &[("time", 1000)], false),
+            friendly_step(&[], &[("time", 855)], false),
+            friendly_step(&[], &[("time", 855)], false),
+            friendly_step(&[], &[], true),
+        ],
+    )
+    .expect("steps share the input schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationalTransducer;
+
+    #[test]
+    fn figure1_run_of_short() {
+        let run = short().run(&figure1_database(), &figure1_inputs()).unwrap();
+        assert_eq!(run.len(), 4);
+
+        let step1 = run.outputs().get(0).unwrap();
+        assert!(step1.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+        assert!(step1.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("newsweek"), Value::int(845)])
+        ));
+        assert!(step1.relation("deliver").unwrap().is_empty());
+
+        let step2 = run.outputs().get(1).unwrap();
+        assert!(step2.holds("deliver", &Tuple::from_iter(["time"])));
+
+        let step3 = run.outputs().get(2).unwrap();
+        assert!(step3.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("lemonde"), Value::int(8350)])
+        ));
+
+        let step4 = run.outputs().get(3).unwrap();
+        assert!(step4.holds("deliver", &Tuple::from_iter(["newsweek"])));
+    }
+
+    #[test]
+    fn figure2_run_of_friendly_shows_every_warning() {
+        let run = friendly()
+            .run(&figure1_database(), &figure2_inputs())
+            .unwrap();
+        assert_eq!(run.len(), 6);
+
+        let step1 = run.outputs().get(0).unwrap();
+        assert!(step1.holds("unavailable", &Tuple::from_iter(["lemonde"])));
+        assert!(step1.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("lemonde"), Value::int(8350)])
+        ));
+
+        let step2 = run.outputs().get(1).unwrap();
+        assert!(step2.holds("rejectpay", &Tuple::from_iter(["newsweek"])));
+
+        let step3 = run.outputs().get(2).unwrap();
+        assert!(step3.holds("rejectpay", &Tuple::from_iter(["time"])));
+        assert!(step3.relation("deliver").unwrap().is_empty());
+
+        let step4 = run.outputs().get(3).unwrap();
+        assert!(step4.holds("deliver", &Tuple::from_iter(["time"])));
+
+        let step5 = run.outputs().get(4).unwrap();
+        assert!(step5.holds("alreadypaid", &Tuple::from_iter(["time"])));
+        assert!(step5.relation("deliver").unwrap().is_empty());
+
+        let step6 = run.outputs().get(5).unwrap();
+        assert!(step6.holds(
+            "rebill",
+            &Tuple::new(vec![Value::str("lemonde"), Value::int(8350)])
+        ));
+        assert!(!step6.holds(
+            "rebill",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+    }
+
+    #[test]
+    fn short_and_friendly_produce_the_same_logs_on_short_inputs() {
+        // §2.1 observes that short and friendly have exactly the same valid
+        // logs.  On any input sequence over short's input schema (extended
+        // with an empty pending-bills relation), the two transducers produce
+        // identical logs.
+        let short_run = short().run(&figure1_database(), &figure1_inputs()).unwrap();
+
+        // Re-run the same business exchange through friendly.
+        let friendly_inputs = InstanceSequence::new(
+            friendly_input_schema(),
+            figure1_inputs()
+                .iter()
+                .map(|step| {
+                    let mut inst = Instance::empty(&friendly_input_schema());
+                    for (name, rel) in step.iter() {
+                        for tuple in rel.iter() {
+                            inst.insert(name.clone(), tuple.clone()).unwrap();
+                        }
+                    }
+                    inst
+                })
+                .collect(),
+        )
+        .unwrap();
+        let friendly_run = friendly()
+            .run(&figure1_database(), &friendly_inputs)
+            .unwrap();
+
+        assert_eq!(short_run.log(), friendly_run.log());
+    }
+
+    #[test]
+    fn figure1_database_contents() {
+        let db = figure1_database();
+        assert_eq!(db.relation("price").unwrap().len(), 3);
+        assert_eq!(db.relation("available").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(short().name(), "short");
+        assert_eq!(friendly().name(), "friendly");
+        assert_eq!(abstar_c().inner().name(), "abstar-c");
+    }
+}

@@ -1,0 +1,323 @@
+//! Propositional Spocus transducers and their generated languages (§3.1).
+
+use crate::{CoreError, RelationalTransducer, SpocusTransducer};
+use rtx_relational::{Instance, InstanceSequence, RelationName, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A propositional Spocus transducer: all input and output relations are
+/// 0-ary (propositions).
+///
+/// For such transducers the paper studies the *generated language* `Gen(T)`:
+/// output sequences in which at most one proposition is emitted per step,
+/// read as words over the output alphabet (steps with an empty output
+/// contribute nothing to the word).  The paper characterises these languages
+/// as the prefix-closed regular languages accepted by automata whose only
+/// cycles are self-loops; the verification crate checks that characterisation
+/// using the enumeration provided here.
+#[derive(Debug, Clone)]
+pub struct PropositionalTransducer {
+    inner: SpocusTransducer,
+    inputs: Vec<RelationName>,
+    outputs: Vec<RelationName>,
+}
+
+impl PropositionalTransducer {
+    /// Wraps a Spocus transducer, checking that every input and output
+    /// relation is propositional (0-ary) and that it uses no database
+    /// relations.
+    pub fn new(inner: SpocusTransducer) -> Result<Self, CoreError> {
+        let schema = inner.schema();
+        for (name, arity) in schema.input().iter().chain(schema.output().iter()) {
+            if arity != 0 {
+                return Err(CoreError::NotSpocus {
+                    detail: format!(
+                        "relation `{name}` has arity {arity}; a propositional transducer only uses 0-ary relations"
+                    ),
+                });
+            }
+        }
+        if !schema.db().is_empty() {
+            return Err(CoreError::NotSpocus {
+                detail: "a propositional transducer uses no database relations".into(),
+            });
+        }
+        let inputs = schema.input().names().cloned().collect();
+        let outputs = schema.output().names().cloned().collect();
+        Ok(PropositionalTransducer {
+            inner,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// The underlying Spocus transducer.
+    pub fn inner(&self) -> &SpocusTransducer {
+        &self.inner
+    }
+
+    /// The output alphabet (output proposition names).
+    pub fn alphabet(&self) -> Vec<String> {
+        self.outputs.iter().map(|r| r.as_str().to_string()).collect()
+    }
+
+    /// The number of input propositions.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Enumerates `Gen(T)` up to input sequences of length `max_steps`:
+    /// the set of words (over the output alphabet) produced by some input
+    /// sequence all of whose steps output at most one proposition.  Steps
+    /// with an empty output contribute no letter.
+    ///
+    /// The search is over reachable cumulative states (subsets of the input
+    /// propositions already seen), so it terminates even though there are
+    /// `2^k` input choices per step.
+    pub fn generate_words(&self, max_steps: usize) -> Result<BTreeSet<Vec<String>>, CoreError> {
+        let db = Instance::empty(self.inner.schema().db());
+        let empty_state = Instance::empty(self.inner.schema().state());
+
+        // Memoised exploration over (state, remaining steps) pairs would still
+        // enumerate distinct words; we instead do a BFS over (state, word)
+        // pairs, bounded by max_steps, de-duplicating on both components.
+        let mut words: BTreeSet<Vec<String>> = BTreeSet::from([Vec::new()]);
+        let mut frontier: BTreeSet<(Instance, Vec<String>)> =
+            BTreeSet::from([(empty_state, Vec::new())]);
+
+        let input_subsets = self.input_subsets();
+        for _ in 0..max_steps {
+            let mut next_frontier = BTreeSet::new();
+            for (state, word) in &frontier {
+                for subset in &input_subsets {
+                    let input = self.input_instance(subset)?;
+                    let output = self.inner.output_step(&input, state, &db)?;
+                    let emitted: Vec<&RelationName> = self
+                        .outputs
+                        .iter()
+                        .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                        .collect();
+                    if emitted.len() > 1 {
+                        // Not a legal step of a propositional-output run.
+                        continue;
+                    }
+                    let mut new_word = word.clone();
+                    if let Some(o) = emitted.first() {
+                        new_word.push(o.as_str().to_string());
+                    }
+                    let new_state = self.inner.state_step(&input, state, &db)?;
+                    words.insert(new_word.clone());
+                    next_frontier.insert((new_state, new_word));
+                }
+            }
+            if next_frontier == frontier {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        Ok(words)
+    }
+
+    /// Runs the transducer on an explicit sequence of input subsets (each a
+    /// set of input proposition names), returning the emitted word.  Errors
+    /// if some step outputs more than one proposition.
+    pub fn word_of_inputs(&self, steps: &[Vec<&str>]) -> Result<Vec<String>, CoreError> {
+        let db = Instance::empty(self.inner.schema().db());
+        let mut instances = Vec::new();
+        for step in steps {
+            let names: BTreeSet<RelationName> =
+                step.iter().map(|s| RelationName::new(*s)).collect();
+            instances.push(self.input_instance(&names)?);
+        }
+        let inputs = InstanceSequence::new(self.inner.schema().input().clone(), instances)?;
+        let run = self.inner.run(&db, &inputs)?;
+        let mut word = Vec::new();
+        for output in run.outputs().iter() {
+            let emitted: Vec<String> = self
+                .outputs
+                .iter()
+                .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                .map(|o| o.as_str().to_string())
+                .collect();
+            if emitted.len() > 1 {
+                return Err(CoreError::SchemaMismatch {
+                    detail: format!("step emitted {} propositions at once", emitted.len()),
+                });
+            }
+            word.extend(emitted);
+        }
+        Ok(word)
+    }
+
+    fn input_subsets(&self) -> Vec<BTreeSet<RelationName>> {
+        let k = self.inputs.len();
+        (0..(1usize << k))
+            .map(|bits| {
+                self.inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| bits & (1 << i) != 0)
+                    .map(|(_, r)| r.clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn input_instance(&self, subset: &BTreeSet<RelationName>) -> Result<Instance, CoreError> {
+        let mut inst = Instance::empty(self.inner.schema().input());
+        for name in subset {
+            inst.insert(name.clone(), Tuple::unit())?;
+        }
+        Ok(inst)
+    }
+
+    /// Explores the reachable cumulative states and the single-proposition
+    /// transitions between them, returning `(states, transitions, initial)`
+    /// where `transitions[i]` maps an output symbol to the successor state
+    /// indexes reachable while emitting it.  Silent (empty-output) transitions
+    /// are returned separately so callers can ε-close them.
+    #[allow(clippy::type_complexity)]
+    pub fn transition_system(
+        &self,
+        ) -> Result<(Vec<Instance>, Vec<BTreeMap<String, BTreeSet<usize>>>, Vec<BTreeSet<usize>>), CoreError>
+    {
+        let db = Instance::empty(self.inner.schema().db());
+        let mut states: Vec<Instance> = vec![Instance::empty(self.inner.schema().state())];
+        let mut index: BTreeMap<Instance, usize> = BTreeMap::new();
+        index.insert(states[0].clone(), 0);
+        let mut labelled: Vec<BTreeMap<String, BTreeSet<usize>>> = vec![BTreeMap::new()];
+        let mut silent: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
+
+        let subsets = self.input_subsets();
+        let mut queue = vec![0usize];
+        while let Some(state_index) = queue.pop() {
+            let state = states[state_index].clone();
+            for subset in &subsets {
+                let input = self.input_instance(subset)?;
+                let output = self.inner.output_step(&input, &state, &db)?;
+                let emitted: Vec<String> = self
+                    .outputs
+                    .iter()
+                    .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                    .map(|o| o.as_str().to_string())
+                    .collect();
+                if emitted.len() > 1 {
+                    continue;
+                }
+                let next_state = self.inner.state_step(&input, &state, &db)?;
+                let next_index = match index.get(&next_state) {
+                    Some(&i) => i,
+                    None => {
+                        let i = states.len();
+                        index.insert(next_state.clone(), i);
+                        states.push(next_state);
+                        labelled.push(BTreeMap::new());
+                        silent.push(BTreeSet::new());
+                        queue.push(i);
+                        i
+                    }
+                };
+                match emitted.first() {
+                    Some(symbol) => {
+                        labelled[state_index]
+                            .entry(symbol.clone())
+                            .or_default()
+                            .insert(next_index);
+                    }
+                    None => {
+                        silent[state_index].insert(next_index);
+                    }
+                }
+            }
+        }
+        Ok((states, labelled, silent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn abstar_c_example_generates_prefixes_of_a_bstar_c() {
+        let t = models::abstar_c();
+        let words = t.generate_words(4).unwrap();
+        // prefixes of a b* c up to length 4
+        let expected: BTreeSet<Vec<String>> = [
+            vec![],
+            vec!["a"],
+            vec!["a", "b"],
+            vec!["a", "c"],
+            vec!["a", "b", "b"],
+            vec!["a", "b", "c"],
+            vec!["a", "b", "b", "b"],
+            vec!["a", "b", "b", "c"],
+        ]
+        .iter()
+        .map(|w| w.iter().map(|s| s.to_string()).collect())
+        .collect();
+        assert_eq!(words, expected);
+    }
+
+    #[test]
+    fn words_are_prefix_closed() {
+        let t = models::abstar_c();
+        let words = t.generate_words(4).unwrap();
+        for w in &words {
+            for cut in 0..w.len() {
+                assert!(words.contains(&w[..cut].to_vec()), "prefix of {w:?} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_input_sequences_produce_expected_words() {
+        let t = models::abstar_c();
+        assert_eq!(
+            t.word_of_inputs(&[vec!["A"], vec!["B"], vec!["B"], vec!["C"]]).unwrap(),
+            vec!["a", "b", "b", "c"]
+        );
+        // repeating A after the first step emits nothing (NOT past-A blocks it)
+        assert_eq!(
+            t.word_of_inputs(&[vec!["A"], vec!["A"]]).unwrap(),
+            vec!["a"]
+        );
+        // C before A emits nothing
+        assert_eq!(t.word_of_inputs(&[vec!["C"]]).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn non_propositional_transducers_are_rejected() {
+        assert!(matches!(
+            PropositionalTransducer::new(models::short()),
+            Err(CoreError::NotSpocus { .. })
+        ));
+    }
+
+    #[test]
+    fn alphabet_and_metadata() {
+        let t = models::abstar_c();
+        assert_eq!(t.alphabet(), vec!["a", "b", "c"]);
+        assert_eq!(t.input_count(), 3);
+        assert_eq!(t.inner().name(), "abstar-c");
+    }
+
+    #[test]
+    fn transition_system_is_finite_and_inflationary() {
+        let t = models::abstar_c();
+        let (states, labelled, silent) = t.transition_system().unwrap();
+        // at most 2^3 cumulative states
+        assert!(states.len() <= 8);
+        assert_eq!(labelled.len(), states.len());
+        assert_eq!(silent.len(), states.len());
+        // inflationary: every transition goes to a state with at least as many
+        // accumulated facts
+        for (i, map) in labelled.iter().enumerate() {
+            for targets in map.values() {
+                for &j in targets {
+                    assert!(states[j].total_tuples() >= states[i].total_tuples());
+                }
+            }
+        }
+    }
+}

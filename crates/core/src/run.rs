@@ -1,0 +1,300 @@
+//! Runs of a relational transducer.
+
+use crate::{CoreError, TransducerSchema};
+use rtx_relational::{Instance, InstanceSequence, RelationName, Tuple};
+use std::fmt;
+
+/// A complete run of a transducer: the input, state, output and log sequences
+/// of §2.2, all of the same length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    schema: TransducerSchema,
+    db: Instance,
+    inputs: InstanceSequence,
+    states: InstanceSequence,
+    outputs: InstanceSequence,
+    log: InstanceSequence,
+}
+
+/// A view of one step of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStep<'a> {
+    /// 0-based step index.
+    pub index: usize,
+    /// The input instance of the step.
+    pub input: &'a Instance,
+    /// The state instance *after* the step.
+    pub state: &'a Instance,
+    /// The output instance of the step.
+    pub output: &'a Instance,
+    /// The log instance of the step.
+    pub log: &'a Instance,
+}
+
+impl Run {
+    /// Assembles a run from its components, computing the log sequence
+    /// `Lᵢ = (Iᵢ ∪ Oᵢ)|log`.
+    pub fn new(
+        schema: TransducerSchema,
+        db: Instance,
+        inputs: InstanceSequence,
+        states: InstanceSequence,
+        outputs: InstanceSequence,
+    ) -> Result<Self, CoreError> {
+        if inputs.len() != states.len() || inputs.len() != outputs.len() {
+            return Err(CoreError::SchemaMismatch {
+                detail: format!(
+                    "sequence lengths differ: {} inputs, {} states, {} outputs",
+                    inputs.len(),
+                    states.len(),
+                    outputs.len()
+                ),
+            });
+        }
+        let log_names: Vec<RelationName> = schema.log().iter().cloned().collect();
+        let mut log = InstanceSequence::empty(schema.log_schema());
+        for (input, output) in inputs.iter().zip(outputs.iter()) {
+            let combined = input.union(output)?;
+            log.push(combined.restrict_to(log_names.clone()))?;
+        }
+        Ok(Run {
+            schema,
+            db,
+            inputs,
+            states,
+            outputs,
+            log,
+        })
+    }
+
+    /// The transducer schema of the run.
+    pub fn schema(&self) -> &TransducerSchema {
+        &self.schema
+    }
+
+    /// The database the run was executed against.
+    pub fn db(&self) -> &Instance {
+        &self.db
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True for the empty run.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The input sequence.
+    pub fn inputs(&self) -> &InstanceSequence {
+        &self.inputs
+    }
+
+    /// The state sequence (`states().get(i)` is the state *after* step `i`).
+    pub fn states(&self) -> &InstanceSequence {
+        &self.states
+    }
+
+    /// The output sequence.
+    pub fn outputs(&self) -> &InstanceSequence {
+        &self.outputs
+    }
+
+    /// The log sequence (the restriction of `Iᵢ ∪ Oᵢ` to the log relations).
+    pub fn log(&self) -> &InstanceSequence {
+        &self.log
+    }
+
+    /// Iterates over the steps of the run.
+    pub fn steps(&self) -> impl Iterator<Item = RunStep<'_>> {
+        (0..self.len()).map(move |i| RunStep {
+            index: i,
+            input: self.inputs.get(i).expect("aligned"),
+            state: self.states.get(i).expect("aligned"),
+            output: self.outputs.get(i).expect("aligned"),
+            log: self.log.get(i).expect("aligned"),
+        })
+    }
+
+    /// True if some step outputs a tuple in the given relation.
+    pub fn ever_outputs(&self, relation: impl Into<RelationName>, tuple: &Tuple) -> bool {
+        let relation = relation.into();
+        self.outputs
+            .iter()
+            .any(|o| o.holds(relation.clone(), tuple))
+    }
+
+    /// True if no step outputs any `error` fact (§4, mechanism 1).
+    pub fn is_error_free(&self) -> bool {
+        self.no_output_in("error")
+    }
+
+    /// True if every step outputs the propositional fact `ok` (§4, mechanism 2).
+    pub fn has_ok_at_every_step(&self) -> bool {
+        self.outputs.iter().all(|o| {
+            o.relation("ok")
+                .map_or(false, rtx_relational::Relation::holds)
+        })
+    }
+
+    /// True if the run is non-empty and its last output contains `accept`
+    /// (§4, mechanism 3).
+    pub fn is_accepted(&self) -> bool {
+        self.outputs
+            .last()
+            .and_then(|o| o.relation("accept"))
+            .map_or(false, rtx_relational::Relation::holds)
+    }
+
+    fn no_output_in(&self, relation: &str) -> bool {
+        self.outputs
+            .iter()
+            .all(|o| o.relation(relation).map_or(true, |r| r.is_empty()))
+    }
+}
+
+impl fmt::Display for Run {
+    /// Formats the run in the style of Figure 1/Figure 2 of the paper: one
+    /// block per step listing the non-empty input and output relations.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in self.steps() {
+            writeln!(f, "step {}:", step.index + 1)?;
+            writeln!(f, "  input:  {}", step.input)?;
+            writeln!(f, "  output: {}", step.output)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{Schema, Value};
+
+    fn schema() -> TransducerSchema {
+        let input = Schema::from_pairs([("order", 1)]).unwrap();
+        let output = Schema::from_pairs([("deliver", 1), ("error", 0), ("ok", 0), ("accept", 0)])
+            .unwrap();
+        TransducerSchema::new(
+            input.clone(),
+            TransducerSchema::cumulative_state_schema(&input),
+            output,
+            Schema::empty(),
+            [RelationName::new("deliver"), RelationName::new("order")],
+        )
+        .unwrap()
+    }
+
+    fn instance(schema: &Schema, facts: &[(&str, &[&str])]) -> Instance {
+        let mut inst = Instance::empty(schema);
+        for (rel, vals) in facts {
+            if vals.is_empty() {
+                inst.insert(*rel, Tuple::unit()).unwrap();
+            } else {
+                inst.insert(*rel, Tuple::from_iter(vals.iter().copied()))
+                    .unwrap();
+            }
+        }
+        inst
+    }
+
+    fn build_run(output_facts: Vec<Vec<(&'static str, &'static [&'static str])>>) -> Run {
+        let s = schema();
+        let n = output_facts.len();
+        let inputs = InstanceSequence::new(
+            s.input().clone(),
+            (0..n)
+                .map(|i| {
+                    instance(
+                        s.input(),
+                        &[("order", [["time", "newsweek"][i % 2]].as_slice())],
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let states = InstanceSequence::new(
+            s.state().clone(),
+            (0..n).map(|_| Instance::empty(s.state())).collect(),
+        )
+        .unwrap();
+        let outputs = InstanceSequence::new(
+            s.output().clone(),
+            output_facts
+                .iter()
+                .map(|facts| instance(s.output(), facts))
+                .collect(),
+        )
+        .unwrap();
+        Run::new(s, Instance::empty(&Schema::empty()), inputs, states, outputs).unwrap()
+    }
+
+    #[test]
+    fn log_is_restriction_of_input_union_output() {
+        let run = build_run(vec![vec![("deliver", &["time"])], vec![]]);
+        assert_eq!(run.len(), 2);
+        let log0 = run.log().get(0).unwrap();
+        assert!(log0.holds("deliver", &Tuple::from_iter(["time"])));
+        assert!(log0.holds("order", &Tuple::from_iter(["time"])));
+        // the output relation `error` is not logged
+        assert!(log0.relation("error").is_none());
+        let log1 = run.log().get(1).unwrap();
+        assert!(!log1.holds("deliver", &Tuple::from_iter(["time"])));
+    }
+
+    #[test]
+    fn control_discipline_predicates() {
+        let clean = build_run(vec![vec![("ok", &[])], vec![("ok", &[]), ("accept", &[])]]);
+        assert!(clean.is_error_free());
+        assert!(clean.has_ok_at_every_step());
+        assert!(clean.is_accepted());
+
+        let faulty = build_run(vec![vec![("ok", &[])], vec![("error", &[])]]);
+        assert!(!faulty.is_error_free());
+        assert!(!faulty.has_ok_at_every_step());
+        assert!(!faulty.is_accepted());
+
+        let empty = build_run(vec![]);
+        assert!(empty.is_error_free());
+        assert!(empty.has_ok_at_every_step());
+        assert!(!empty.is_accepted());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn steps_iterate_in_order() {
+        let run = build_run(vec![vec![("deliver", &["time"])], vec![]]);
+        let steps: Vec<_> = run.steps().collect();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].index, 0);
+        assert!(steps[0].output.holds("deliver", &Tuple::from_iter(["time"])));
+        assert!(run.ever_outputs("deliver", &Tuple::from_iter(["time"])));
+        assert!(!run.ever_outputs("deliver", &Tuple::from_iter([Value::str("lemonde")])));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let s = schema();
+        let inputs = InstanceSequence::new(
+            s.input().clone(),
+            vec![Instance::empty(s.input())],
+        )
+        .unwrap();
+        let states = InstanceSequence::empty(s.state().clone());
+        let outputs = InstanceSequence::empty(s.output().clone());
+        assert!(matches!(
+            Run::new(s, Instance::empty(&Schema::empty()), inputs, states, outputs),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_steps_like_figures() {
+        let run = build_run(vec![vec![("deliver", &["time"])]]);
+        let text = run.to_string();
+        assert!(text.contains("step 1"));
+        assert!(text.contains("deliver"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Transducer schemas.
+
+use crate::CoreError;
+use rtx_relational::{RelationName, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A transducer schema `(in, state, out, db, log)` (§2.2).
+///
+/// Invariants enforced at construction:
+///
+/// * the `in`, `state`, `out` and `db` components are pairwise disjoint;
+/// * `log ⊆ in ∪ out`;
+/// * every log relation exists (with consistent arity) in `in ∪ out`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransducerSchema {
+    input: Schema,
+    state: Schema,
+    output: Schema,
+    db: Schema,
+    log: BTreeSet<RelationName>,
+}
+
+impl TransducerSchema {
+    /// Creates a transducer schema, checking the §2.2 conditions.
+    pub fn new(
+        input: Schema,
+        state: Schema,
+        output: Schema,
+        db: Schema,
+        log: impl IntoIterator<Item = RelationName>,
+    ) -> Result<Self, CoreError> {
+        let components: [(&str, &Schema); 4] = [
+            ("input", &input),
+            ("state", &state),
+            ("output", &output),
+            ("db", &db),
+        ];
+        for i in 0..components.len() {
+            for j in (i + 1)..components.len() {
+                let (name_a, a) = components[i];
+                let (name_b, b) = components[j];
+                if !a.is_disjoint_from(b) {
+                    return Err(CoreError::InvalidSchema {
+                        detail: format!("{name_a} and {name_b} relations are not disjoint"),
+                    });
+                }
+            }
+        }
+        let log: BTreeSet<RelationName> = log.into_iter().collect();
+        for rel in &log {
+            if !input.contains(rel.clone()) && !output.contains(rel.clone()) {
+                return Err(CoreError::InvalidSchema {
+                    detail: format!("log relation `{rel}` is neither an input nor an output"),
+                });
+            }
+        }
+        Ok(TransducerSchema {
+            input,
+            state,
+            output,
+            db,
+            log,
+        })
+    }
+
+    /// The input relations.
+    pub fn input(&self) -> &Schema {
+        &self.input
+    }
+
+    /// The state relations.
+    pub fn state(&self) -> &Schema {
+        &self.state
+    }
+
+    /// The output relations.
+    pub fn output(&self) -> &Schema {
+        &self.output
+    }
+
+    /// The database relations.
+    pub fn db(&self) -> &Schema {
+        &self.db
+    }
+
+    /// The log relation names.
+    pub fn log(&self) -> &BTreeSet<RelationName> {
+        &self.log
+    }
+
+    /// True if the log contains every input and output relation ("full log").
+    pub fn is_full_log(&self) -> bool {
+        self.input
+            .names()
+            .chain(self.output.names())
+            .all(|n| self.log.contains(n))
+    }
+
+    /// The schema of the log relations (a sub-schema of `in ∪ out`).
+    pub fn log_schema(&self) -> Schema {
+        self.in_out_schema().restrict_to(self.log.iter().cloned())
+    }
+
+    /// The union `in ∪ out` (well-defined because they are disjoint).
+    pub fn in_out_schema(&self) -> Schema {
+        self.input
+            .union(&self.output)
+            .expect("input and output are disjoint by construction")
+    }
+
+    /// The union `in ∪ state ∪ db`: the relations an output rule body may
+    /// mention.
+    pub fn body_schema(&self) -> Schema {
+        self.input
+            .union(&self.state)
+            .and_then(|s| s.union(&self.db))
+            .expect("components are disjoint by construction")
+    }
+
+    /// The state schema a Spocus transducer must have: one `past-R` relation
+    /// per input relation `R`, of the same arity (§3.1, item 1).
+    pub fn cumulative_state_schema(input: &Schema) -> Schema {
+        Schema::from_pairs(input.iter().map(|(name, arity)| (name.past(), arity)))
+            .expect("renaming preserves distinctness")
+    }
+
+    /// True if this schema's state component is exactly the cumulative state
+    /// schema for its inputs.
+    pub fn has_cumulative_state(&self) -> bool {
+        self.state == Self::cumulative_state_schema(&self.input)
+    }
+}
+
+impl fmt::Display for TransducerSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "input:    {}", self.input)?;
+        writeln!(f, "state:    {}", self.state)?;
+        writeln!(f, "output:   {}", self.output)?;
+        writeln!(f, "database: {}", self.db)?;
+        write!(
+            f,
+            "log:      {{{}}}",
+            self.log
+                .iter()
+                .map(|r| r.as_str().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_schema() -> TransducerSchema {
+        let input = Schema::from_pairs([("order", 1), ("pay", 2)]).unwrap();
+        let state = TransducerSchema::cumulative_state_schema(&input);
+        let output = Schema::from_pairs([("sendbill", 2), ("deliver", 1)]).unwrap();
+        let db = Schema::from_pairs([("price", 2), ("available", 1)]).unwrap();
+        TransducerSchema::new(
+            input,
+            state,
+            output,
+            db,
+            ["sendbill", "pay", "deliver"].map(RelationName::new),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_schema_accessors() {
+        let s = short_schema();
+        assert_eq!(s.input().len(), 2);
+        assert_eq!(s.state().len(), 2);
+        assert!(s.state().contains("past-order"));
+        assert_eq!(s.output().len(), 2);
+        assert_eq!(s.db().len(), 2);
+        assert_eq!(s.log().len(), 3);
+        assert!(s.has_cumulative_state());
+        assert!(!s.is_full_log());
+        assert_eq!(s.log_schema().len(), 3);
+        assert_eq!(s.in_out_schema().len(), 4);
+        assert_eq!(s.body_schema().len(), 6);
+    }
+
+    #[test]
+    fn overlapping_components_rejected() {
+        let input = Schema::from_pairs([("order", 1)]).unwrap();
+        let output = Schema::from_pairs([("order", 1)]).unwrap();
+        let err = TransducerSchema::new(
+            input,
+            Schema::empty(),
+            output,
+            Schema::empty(),
+            Vec::<RelationName>::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchema { .. }));
+    }
+
+    #[test]
+    fn log_must_be_input_or_output() {
+        let input = Schema::from_pairs([("order", 1)]).unwrap();
+        let output = Schema::from_pairs([("deliver", 1)]).unwrap();
+        let err = TransducerSchema::new(
+            input.clone(),
+            Schema::empty(),
+            output.clone(),
+            Schema::empty(),
+            [RelationName::new("price")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchema { .. }));
+
+        let ok = TransducerSchema::new(
+            input,
+            Schema::empty(),
+            output,
+            Schema::empty(),
+            [RelationName::new("deliver"), RelationName::new("order")],
+        )
+        .unwrap();
+        assert!(ok.is_full_log());
+    }
+
+    #[test]
+    fn cumulative_state_schema_shape() {
+        let input = Schema::from_pairs([("order", 1), ("pay", 2)]).unwrap();
+        let state = TransducerSchema::cumulative_state_schema(&input);
+        assert_eq!(state.arity_of("past-order"), Some(1));
+        assert_eq!(state.arity_of("past-pay"), Some(2));
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let text = short_schema().to_string();
+        for needle in ["input", "state", "output", "database", "log", "past-order"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Abstract syntax of datalog¬≠ rules and programs.
+
+use crate::DatalogError;
+use rtx_logic::Term;
+use rtx_relational::RelationName;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relational atom `R(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation symbol.
+    pub relation: RelationName,
+    /// The argument terms (variables or constants).
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new<N, I, T>(relation: N, args: I) -> Self
+    where
+        N: Into<RelationName>,
+        I: IntoIterator<Item = T>,
+        T: Into<Term>,
+    {
+        Atom {
+            relation: relation.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The variables occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal of a rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BodyLiteral {
+    /// A positive atom.
+    Positive(Atom),
+    /// A negated atom (`NOT R(x̄)`).
+    Negative(Atom),
+    /// An inequality `t1 ≠ t2` (written `t1 <> t2` in the paper's syntax).
+    NotEqual(Term, Term),
+}
+
+impl BodyLiteral {
+    /// The variables occurring in the literal.
+    pub fn variables(&self) -> BTreeSet<String> {
+        match self {
+            BodyLiteral::Positive(a) | BodyLiteral::Negative(a) => a.variables(),
+            BodyLiteral::NotEqual(a, b) => [a, b]
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect(),
+        }
+    }
+
+    /// The relation referenced, if the literal is an atom.
+    pub fn relation(&self) -> Option<&RelationName> {
+        match self {
+            BodyLiteral::Positive(a) | BodyLiteral::Negative(a) => Some(&a.relation),
+            BodyLiteral::NotEqual(..) => None,
+        }
+    }
+
+    /// True for a positive atom.
+    pub fn is_positive_atom(&self) -> bool {
+        matches!(self, BodyLiteral::Positive(_))
+    }
+
+    /// True for a negated atom.
+    pub fn is_negative_atom(&self) -> bool {
+        matches!(self, BodyLiteral::Negative(_))
+    }
+}
+
+impl fmt::Display for BodyLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLiteral::Positive(a) => write!(f, "{a}"),
+            BodyLiteral::Negative(a) => write!(f, "NOT {a}"),
+            BodyLiteral::NotEqual(a, b) => write!(f, "{a} <> {b}"),
+        }
+    }
+}
+
+/// A datalog rule `head :- body`.
+///
+/// A rule with an empty body is a fact template: it fires unconditionally
+/// (provided it is safe, i.e. ground).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals, in the order written.
+    pub body: Vec<BodyLiteral>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<BodyLiteral>) -> Self {
+        Rule { head, body }
+    }
+
+    /// All variables occurring anywhere in the rule.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = self.head.variables();
+        for lit in &self.body {
+            out.extend(lit.variables());
+        }
+        out
+    }
+
+    /// Variables occurring in positive body literals.
+    pub fn positively_bound_variables(&self) -> BTreeSet<String> {
+        self.body
+            .iter()
+            .filter(|l| l.is_positive_atom())
+            .flat_map(BodyLiteral::variables)
+            .collect()
+    }
+
+    /// The relations referenced in the body (positive and negative atoms).
+    pub fn body_relations(&self) -> BTreeSet<RelationName> {
+        self.body
+            .iter()
+            .filter_map(|l| l.relation().cloned())
+            .collect()
+    }
+
+    /// The relations referenced in negated body atoms.
+    pub fn negated_relations(&self) -> BTreeSet<RelationName> {
+        self.body
+            .iter()
+            .filter(|l| l.is_negative_atom())
+            .filter_map(|l| l.relation().cloned())
+            .collect()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if self.body.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, " :- ")?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A datalog program: an ordered list of rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// The empty program.
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// The rules, in order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Merges another program's rules after this program's rules.
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+    }
+
+    /// The derived (IDB) relations: those appearing in some rule head.
+    pub fn idb_relations(&self) -> BTreeSet<RelationName> {
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    }
+
+    /// The extensional (EDB) relations: those appearing in bodies but never in
+    /// a head.
+    pub fn edb_relations(&self) -> BTreeSet<RelationName> {
+        let idb = self.idb_relations();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body_relations())
+            .filter(|r| !idb.contains(r))
+            .collect()
+    }
+
+    /// Every relation mentioned, with its arity.  Errors on inconsistent use.
+    pub fn relation_arities(&self) -> Result<BTreeMap<RelationName, usize>, DatalogError> {
+        let mut out: BTreeMap<RelationName, usize> = BTreeMap::new();
+        let note =
+            |name: &RelationName, arity: usize, out: &mut BTreeMap<RelationName, usize>| {
+                match out.get(name) {
+                    Some(&a) if a != arity => Err(DatalogError::InconsistentArity {
+                        relation: name.as_str().to_string(),
+                        first: a,
+                        second: arity,
+                    }),
+                    _ => {
+                        out.insert(name.clone(), arity);
+                        Ok(())
+                    }
+                }
+            };
+        for rule in &self.rules {
+            note(&rule.head.relation, rule.head.arity(), &mut out)?;
+            for lit in &rule.body {
+                if let BodyLiteral::Positive(a) | BodyLiteral::Negative(a) = lit {
+                    note(&a.relation, a.arity(), &mut out)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The rules whose head is the given relation.
+    pub fn rules_for(&self, relation: &RelationName) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| &r.head.relation == relation)
+            .collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for Program {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::Value;
+
+    fn deliver_rule() -> Rule {
+        // deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).
+        Rule::new(
+            Atom::new("deliver", [Term::var("X")]),
+            vec![
+                BodyLiteral::Positive(Atom::new("past-order", [Term::var("X")])),
+                BodyLiteral::Positive(Atom::new("price", [Term::var("X"), Term::var("Y")])),
+                BodyLiteral::Positive(Atom::new("pay", [Term::var("X"), Term::var("Y")])),
+                BodyLiteral::Negative(Atom::new("past-pay", [Term::var("X"), Term::var("Y")])),
+            ],
+        )
+    }
+
+    #[test]
+    fn atom_variables_and_arity() {
+        let a = Atom::new("price", [Term::var("X"), Term::constant(Value::int(855))]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.variables(), BTreeSet::from(["X".to_string()]));
+    }
+
+    #[test]
+    fn rule_variable_analysis() {
+        let r = deliver_rule();
+        assert_eq!(
+            r.variables(),
+            BTreeSet::from(["X".to_string(), "Y".to_string()])
+        );
+        assert_eq!(
+            r.positively_bound_variables(),
+            BTreeSet::from(["X".to_string(), "Y".to_string()])
+        );
+        assert_eq!(
+            r.negated_relations(),
+            BTreeSet::from([RelationName::new("past-pay")])
+        );
+        assert_eq!(r.body_relations().len(), 4);
+    }
+
+    #[test]
+    fn program_idb_edb_partition() {
+        let p = Program::new(vec![deliver_rule()]);
+        assert_eq!(p.idb_relations(), BTreeSet::from([RelationName::new("deliver")]));
+        let edb = p.edb_relations();
+        assert!(edb.contains(&RelationName::new("price")));
+        assert!(edb.contains(&RelationName::new("past-pay")));
+        assert!(!edb.contains(&RelationName::new("deliver")));
+    }
+
+    #[test]
+    fn arity_consistency() {
+        let mut p = Program::new(vec![deliver_rule()]);
+        assert_eq!(
+            p.relation_arities().unwrap()[&RelationName::new("pay")],
+            2
+        );
+        p.push(Rule::new(
+            Atom::new("deliver", [Term::var("X"), Term::var("Y")]),
+            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("X"), Term::var("Y")]))],
+        ));
+        assert!(matches!(
+            p.relation_arities(),
+            Err(DatalogError::InconsistentArity { .. })
+        ));
+    }
+
+    #[test]
+    fn rules_for_selects_by_head() {
+        let p = Program::new(vec![deliver_rule()]);
+        assert_eq!(p.rules_for(&RelationName::new("deliver")).len(), 1);
+        assert!(p.rules_for(&RelationName::new("sendbill")).is_empty());
+    }
+
+    #[test]
+    fn display_roundtrips_syntax_shape() {
+        let r = deliver_rule();
+        let text = r.to_string();
+        assert!(text.starts_with("deliver(X) :- "));
+        assert!(text.contains("NOT past-pay(X, Y)"));
+        assert!(text.ends_with('.'));
+
+        let fact = Rule::new(Atom::new("ok", Vec::<Term>::new()), vec![]);
+        assert_eq!(fact.to_string(), "ok().");
+    }
+
+    #[test]
+    fn program_collects_from_iterator() {
+        let p: Program = vec![deliver_rule()].into_iter().collect();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(Program::empty().is_empty());
+    }
+}

@@ -1,0 +1,576 @@
+//! Evaluation of datalog programs against relational instances.
+//!
+//! Two entry points are provided:
+//!
+//! * [`evaluate_nonrecursive`] — the evaluation a Spocus transducer performs
+//!   at every step: the program must be non-recursive, and derived relations
+//!   are computed in dependency (topological) order in a single pass;
+//! * [`evaluate_stratified`] — the general engine for stratified datalog¬,
+//!   iterating each stratum to a fixpoint with either naive or semi-naive
+//!   evaluation ([`FixpointStrategy`]).  This is the substrate ablation the
+//!   benchmarks exercise (`datalog_eval`).
+
+use crate::graph::DependencyGraph;
+use crate::safety::check_program_safety;
+use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
+use rtx_logic::Term;
+use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Fixpoint iteration strategy for recursive strata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixpointStrategy {
+    /// Re-derive everything from scratch each round.
+    Naive,
+    /// Semi-naive: each round only joins against the delta of the previous
+    /// round for one occurrence of a recursive relation.
+    #[default]
+    SemiNaive,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Fixpoint strategy for recursive strata.
+    pub strategy: FixpointStrategy,
+}
+
+/// Statistics from an evaluation, for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of rule applications (a rule evaluated against one database
+    /// state counts once).
+    pub rule_applications: u64,
+    /// Number of tuples derived (including duplicates re-derived by naive
+    /// iteration).
+    pub tuples_derived: u64,
+    /// Number of fixpoint rounds across all strata.
+    pub rounds: u64,
+}
+
+/// Evaluates a non-recursive program against an extensional database.
+///
+/// The result instance contains exactly the program's derived (IDB)
+/// relations.  Body relations that are missing from `edb` are treated as
+/// empty, which mirrors the paper's convention that input relations not
+/// mentioned at a step are empty.
+pub fn evaluate_nonrecursive(
+    program: &Program,
+    edb: &Instance,
+) -> Result<Instance, DatalogError> {
+    check_program_safety(program)?;
+    let arities = program.relation_arities()?;
+    let graph = DependencyGraph::of(program);
+    if let Some(cycle) = graph.first_cycle() {
+        let idb = program.idb_relations();
+        // Only cycles among derived relations matter (an EDB relation can
+        // trivially "depend on itself" only if it also appears in a head).
+        if cycle.iter().any(|r| idb.contains(r)) {
+            return Err(DatalogError::Recursive {
+                cycle: cycle.iter().map(|r| r.as_str().to_string()).collect(),
+            });
+        }
+    }
+
+    let idb = program.idb_relations();
+    let out_schema = Schema::from_pairs(
+        idb.iter()
+            .map(|r| (r.clone(), *arities.get(r).unwrap_or(&0))),
+    )?;
+    let mut derived = Instance::empty(&out_schema);
+
+    // Process derived relations in stratification order so that rules whose
+    // bodies mention other derived relations (layered programs) see their
+    // dependencies already computed.
+    let strata = graph.stratify()?;
+    for stratum in strata {
+        for relation in stratum {
+            if !idb.contains(&relation) {
+                continue;
+            }
+            for rule in program.rules_for(&relation) {
+                for tuple in apply_rule(rule, &[edb, &derived])? {
+                    derived.insert(relation.clone(), tuple)?;
+                }
+            }
+        }
+    }
+    Ok(derived)
+}
+
+/// Evaluates a (possibly recursive) stratified program against an extensional
+/// database, returning the derived relations and evaluation statistics.
+pub fn evaluate_stratified(
+    program: &Program,
+    edb: &Instance,
+    options: EvalOptions,
+) -> Result<(Instance, EvalStats), DatalogError> {
+    check_program_safety(program)?;
+    let arities = program.relation_arities()?;
+    let graph = DependencyGraph::of(program);
+    let strata = graph.stratify()?;
+    let idb = program.idb_relations();
+
+    let out_schema = Schema::from_pairs(
+        idb.iter()
+            .map(|r| (r.clone(), *arities.get(r).unwrap_or(&0))),
+    )?;
+    let mut derived = Instance::empty(&out_schema);
+    let mut stats = EvalStats::default();
+
+    for stratum in strata {
+        let stratum_rules: Vec<&Rule> = program
+            .rules()
+            .iter()
+            .filter(|r| stratum.contains(&r.head.relation))
+            .collect();
+        if stratum_rules.is_empty() {
+            continue;
+        }
+        // Delta per derived relation of this stratum (for semi-naive).
+        let mut delta: BTreeMap<RelationName, Relation> = stratum
+            .iter()
+            .filter(|r| idb.contains(*r))
+            .map(|r| (r.clone(), Relation::empty(*arities.get(r).unwrap_or(&0))))
+            .collect();
+
+        // Initial round: full evaluation of every rule of the stratum.
+        loop {
+            stats.rounds += 1;
+            let mut new_facts: Vec<(RelationName, Tuple)> = Vec::new();
+            for rule in &stratum_rules {
+                stats.rule_applications += 1;
+                let candidates = match options.strategy {
+                    FixpointStrategy::Naive => apply_rule(rule, &[edb, &derived])?,
+                    FixpointStrategy::SemiNaive => {
+                        apply_rule_seminaive(rule, edb, &derived, &delta, &stratum)?
+                    }
+                };
+                for tuple in candidates {
+                    stats.tuples_derived += 1;
+                    if !derived.holds(rule.head.relation.clone(), &tuple) {
+                        new_facts.push((rule.head.relation.clone(), tuple));
+                    }
+                }
+            }
+            // Refresh deltas.
+            for (_, rel) in delta.iter_mut() {
+                *rel = Relation::empty(rel.arity());
+            }
+            let mut changed = false;
+            for (name, tuple) in new_facts {
+                if derived.insert(name.clone(), tuple.clone())? {
+                    changed = true;
+                    if let Some(d) = delta.get_mut(&name) {
+                        d.insert(tuple)?;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok((derived, stats))
+}
+
+/// Applies a rule against a database presented as a list of instances
+/// (later instances take precedence only in the sense that relations are
+/// looked up in each in turn; a relation found nowhere is empty).
+fn apply_rule(rule: &Rule, databases: &[&Instance]) -> Result<Vec<Tuple>, DatalogError> {
+    let mut results = Vec::new();
+    let mut bindings = BTreeMap::new();
+    join_positive(
+        rule,
+        &positive_atoms(rule),
+        0,
+        databases,
+        &mut bindings,
+        &mut results,
+        None,
+    )?;
+    Ok(results)
+}
+
+/// Semi-naive application: for rules whose body mentions recursive relations
+/// (relations of the current stratum), evaluate once per occurrence of a
+/// recursive relation with that occurrence restricted to the delta.  Rules
+/// with no recursive body relation are evaluated fully (they only need one
+/// round to saturate).
+fn apply_rule_seminaive(
+    rule: &Rule,
+    edb: &Instance,
+    derived: &Instance,
+    delta: &BTreeMap<RelationName, Relation>,
+    stratum: &[RelationName],
+) -> Result<Vec<Tuple>, DatalogError> {
+    let positives = positive_atoms(rule);
+    let recursive_positions: Vec<usize> = positives
+        .iter()
+        .enumerate()
+        .filter(|(_, atom)| stratum.contains(&atom.relation))
+        .map(|(i, _)| i)
+        .collect();
+
+    // First round (empty deltas and empty derived) or non-recursive rule:
+    // evaluate fully.
+    let deltas_empty = delta.values().all(Relation::is_empty);
+    if recursive_positions.is_empty() || deltas_empty {
+        return apply_rule(rule, &[edb, derived]);
+    }
+
+    let mut results = Vec::new();
+    for &pos in &recursive_positions {
+        let mut bindings = BTreeMap::new();
+        join_positive(
+            rule,
+            &positives,
+            0,
+            &[edb, derived],
+            &mut bindings,
+            &mut results,
+            Some((pos, delta)),
+        )?;
+    }
+    Ok(results)
+}
+
+fn positive_atoms(rule: &Rule) -> Vec<Atom> {
+    rule.body
+        .iter()
+        .filter_map(|l| match l {
+            BodyLiteral::Positive(a) => Some(a.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Recursive nested-loop join over the positive atoms; when all positive
+/// atoms are matched, negative literals and inequalities are checked and the
+/// head is instantiated.
+///
+/// `delta_restriction` optionally restricts the atom at the given index to a
+/// delta relation (semi-naive evaluation).
+fn join_positive(
+    rule: &Rule,
+    positives: &[Atom],
+    index: usize,
+    databases: &[&Instance],
+    bindings: &mut BTreeMap<String, Value>,
+    results: &mut Vec<Tuple>,
+    delta_restriction: Option<(usize, &BTreeMap<RelationName, Relation>)>,
+) -> Result<(), DatalogError> {
+    if index == positives.len() {
+        if check_filters(rule, databases, bindings) {
+            results.push(instantiate(&rule.head, bindings));
+        }
+        return Ok(());
+    }
+    let atom = &positives[index];
+    let use_delta = matches!(delta_restriction, Some((pos, _)) if pos == index);
+    let tuples: Vec<Tuple> = if use_delta {
+        let (_, delta) = delta_restriction.expect("checked");
+        delta
+            .get(&atom.relation)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    } else {
+        lookup(databases, &atom.relation)
+    };
+    'tuples: for tuple in tuples {
+        if tuple.arity() != atom.args.len() {
+            continue;
+        }
+        let mut added: Vec<String> = Vec::new();
+        for (term, value) in atom.args.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        undo(bindings, &added);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(name) => match bindings.get(name) {
+                    Some(bound) if bound != value => {
+                        undo(bindings, &added);
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        bindings.insert(name.clone(), value.clone());
+                        added.push(name.clone());
+                    }
+                },
+            }
+        }
+        join_positive(
+            rule,
+            positives,
+            index + 1,
+            databases,
+            bindings,
+            results,
+            delta_restriction,
+        )?;
+        undo(bindings, &added);
+    }
+    Ok(())
+}
+
+fn undo(bindings: &mut BTreeMap<String, Value>, added: &[String]) {
+    for name in added {
+        bindings.remove(name);
+    }
+}
+
+/// Checks negated atoms and inequalities under a complete binding.
+fn check_filters(
+    rule: &Rule,
+    databases: &[&Instance],
+    bindings: &BTreeMap<String, Value>,
+) -> bool {
+    for lit in &rule.body {
+        match lit {
+            BodyLiteral::Positive(_) => {}
+            BodyLiteral::Negative(atom) => {
+                let tuple = instantiate(atom, bindings);
+                let present = databases
+                    .iter()
+                    .any(|db| db.holds(atom.relation.clone(), &tuple));
+                if present {
+                    return false;
+                }
+            }
+            BodyLiteral::NotEqual(a, b) => {
+                let av = resolve(a, bindings);
+                let bv = resolve(b, bindings);
+                if av == bv {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn resolve(term: &Term, bindings: &BTreeMap<String, Value>) -> Value {
+    match term {
+        Term::Const(c) => c.clone(),
+        Term::Var(name) => bindings
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Value::str(format!("<unbound:{name}>"))),
+    }
+}
+
+fn instantiate(atom: &Atom, bindings: &BTreeMap<String, Value>) -> Tuple {
+    Tuple::new(atom.args.iter().map(|t| resolve(t, bindings)).collect())
+}
+
+fn lookup(databases: &[&Instance], relation: &RelationName) -> Vec<Tuple> {
+    for db in databases {
+        if let Some(rel) = db.relation(relation.clone()) {
+            return rel.iter().cloned().collect();
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn edb(pairs: &[(&str, usize)], facts: &[(&str, &[&str])]) -> Instance {
+        let schema = Schema::from_pairs(pairs.iter().map(|&(n, a)| (n, a))).unwrap();
+        let mut inst = Instance::empty(&schema);
+        for (rel, vals) in facts {
+            inst.insert(*rel, Tuple::from_iter(vals.iter().copied()))
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn single_rule_join_with_negation_and_inequality() {
+        let program = parse_program(
+            "suspicious(X,Y) :- pay(X,Y), pay(X,Z), Y <> Z, NOT refund(X).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("pay", 2), ("refund", 1)],
+            &[
+                ("pay", &["time", "855"]),
+                ("pay", &["time", "900"]),
+                ("pay", &["newsweek", "845"]),
+                ("refund", &["newsweek"]),
+            ],
+        );
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        let sus = out.relation("suspicious").unwrap();
+        assert_eq!(sus.len(), 2); // (time,855) and (time,900)
+        assert!(out.holds("suspicious", &Tuple::from_iter(["time", "855"])));
+        assert!(!out.holds("suspicious", &Tuple::from_iter(["newsweek", "845"])));
+    }
+
+    #[test]
+    fn missing_body_relations_are_treated_as_empty() {
+        let program = parse_program("p(X) :- q(X), NOT r(X).").unwrap();
+        let db = edb(&[("q", 1)], &[("q", &["a"])]);
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.holds("p", &Tuple::from_iter(["a"])));
+    }
+
+    #[test]
+    fn constants_in_rules_filter_matches() {
+        let program = parse_program("vip(X) :- order(X, gold).").unwrap();
+        let db = edb(
+            &[("order", 2)],
+            &[("order", &["alice", "gold"]), ("order", &["bob", "silver"])],
+        );
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.holds("vip", &Tuple::from_iter(["alice"])));
+        assert!(!out.holds("vip", &Tuple::from_iter(["bob"])));
+    }
+
+    #[test]
+    fn propositional_rules_work() {
+        let program = parse_program("ok :- a(X), NOT b(X).\nerror :- b(X), NOT a(X).").unwrap();
+        let db = edb(&[("a", 1), ("b", 1)], &[("a", &["1"])]);
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.relation("ok").unwrap().holds());
+        assert!(!out.relation("error").unwrap().holds());
+    }
+
+    #[test]
+    fn layered_nonrecursive_programs_evaluate_in_order() {
+        let program = parse_program(
+            "billed(X) :- order(X), price(X,Y).\n\
+             overdue(X) :- billed(X), NOT pay(X).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("order", 1), ("price", 2), ("pay", 1)],
+            &[
+                ("order", &["time"]),
+                ("price", &["time", "855"]),
+                ("order", &["lemonde"]),
+            ],
+        );
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.holds("billed", &Tuple::from_iter(["time"])));
+        assert!(out.holds("overdue", &Tuple::from_iter(["time"])));
+        assert!(!out.holds("overdue", &Tuple::from_iter(["lemonde"])));
+    }
+
+    #[test]
+    fn recursive_program_rejected_by_nonrecursive_entry_point() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- edge(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        let db = edb(&[("edge", 2)], &[("edge", &["a", "b"])]);
+        assert!(matches!(
+            evaluate_nonrecursive(&program, &db),
+            Err(DatalogError::Recursive { .. })
+        ));
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint_naive_and_seminaive_agree() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- edge(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        // A chain a -> b -> c -> d plus a cycle back to a.
+        let db = edb(
+            &[("edge", 2)],
+            &[
+                ("edge", &["a", "b"]),
+                ("edge", &["b", "c"]),
+                ("edge", &["c", "d"]),
+                ("edge", &["d", "a"]),
+            ],
+        );
+        let (naive, naive_stats) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: FixpointStrategy::Naive,
+            },
+        )
+        .unwrap();
+        let (semi, semi_stats) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: FixpointStrategy::SemiNaive,
+            },
+        )
+        .unwrap();
+        assert_eq!(naive.relation("tc"), semi.relation("tc"));
+        assert_eq!(naive.relation("tc").unwrap().len(), 16); // complete graph on 4 nodes
+        // Semi-naive should not derive more tuples than naive re-derivation.
+        assert!(semi_stats.tuples_derived <= naive_stats.tuples_derived);
+        assert!(naive_stats.rounds >= 3);
+    }
+
+    #[test]
+    fn stratified_negation_after_recursion() {
+        let program = parse_program(
+            "reach(X) :- source(X).\n\
+             reach(Y) :- reach(X), edge(X,Y).\n\
+             unreachable(X) :- node(X), NOT reach(X).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("source", 1), ("edge", 2), ("node", 1)],
+            &[
+                ("source", &["a"]),
+                ("edge", &["a", "b"]),
+                ("node", &["a"]),
+                ("node", &["b"]),
+                ("node", &["c"]),
+            ],
+        );
+        let (out, _) = evaluate_stratified(&program, &db, EvalOptions::default()).unwrap();
+        assert!(out.holds("reach", &Tuple::from_iter(["b"])));
+        assert!(out.holds("unreachable", &Tuple::from_iter(["c"])));
+        assert!(!out.holds("unreachable", &Tuple::from_iter(["a"])));
+    }
+
+    #[test]
+    fn unsafe_program_is_rejected_by_both_engines() {
+        let program = parse_program("p(X,Y) :- q(X).").unwrap();
+        let db = edb(&[("q", 1)], &[("q", &["a"])]);
+        assert!(matches!(
+            evaluate_nonrecursive(&program, &db),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+        assert!(matches!(
+            evaluate_stratified(&program, &db, EvalOptions::default()),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_produces_empty_instance() {
+        let program = Program::empty();
+        let db = edb(&[("q", 1)], &[]);
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_derivations_are_set_semantics() {
+        let program = parse_program("p(X) :- q(X, Y).").unwrap();
+        let db = edb(
+            &[("q", 2)],
+            &[("q", &["a", "1"]), ("q", &["a", "2"]), ("q", &["b", "1"])],
+        );
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert_eq!(out.relation("p").unwrap().len(), 2);
+    }
+}

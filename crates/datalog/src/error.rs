@@ -1,0 +1,128 @@
+//! Errors produced by the datalog engine.
+
+use std::fmt;
+
+/// Errors from parsing, validating, or evaluating datalog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A syntax error in the concrete rule syntax.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// The offending text fragment, if available.
+        fragment: String,
+    },
+    /// A rule violates the safety condition: a variable does not occur in any
+    /// positive body literal.
+    UnsafeRule {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The unsafe variable.
+        variable: String,
+    },
+    /// The same relation is used with two different arities.
+    InconsistentArity {
+        /// The relation name.
+        relation: String,
+        /// First observed arity.
+        first: usize,
+        /// Conflicting observed arity.
+        second: usize,
+    },
+    /// A program was required to be non-recursive but has a cycle among its
+    /// derived (IDB) relations.
+    Recursive {
+        /// Relations on the offending cycle.
+        cycle: Vec<String>,
+    },
+    /// A program is not stratifiable: a cycle passes through negation.
+    NotStratifiable {
+        /// Relations on the offending cycle.
+        cycle: Vec<String>,
+    },
+    /// A program was required to be semipositive but negates a derived (IDB)
+    /// relation.
+    NegatedIdb {
+        /// The negated derived relation.
+        relation: String,
+    },
+    /// An error bubbled up from the relational layer.
+    Relational(rtx_relational::RelationalError),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse { message, fragment } => {
+                write!(f, "parse error: {message} (at `{fragment}`)")
+            }
+            DatalogError::UnsafeRule { rule, variable } => write!(
+                f,
+                "unsafe rule `{rule}`: variable `{variable}` does not occur in a positive body literal"
+            ),
+            DatalogError::InconsistentArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` used with inconsistent arities {first} and {second}"
+            ),
+            DatalogError::Recursive { cycle } => {
+                write!(f, "program is recursive through cycle {cycle:?}")
+            }
+            DatalogError::NotStratifiable { cycle } => {
+                write!(f, "program is not stratifiable; negative cycle {cycle:?}")
+            }
+            DatalogError::NegatedIdb { relation } => write!(
+                f,
+                "program is not semipositive: derived relation `{relation}` appears negated"
+            ),
+            DatalogError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<rtx_relational::RelationalError> for DatalogError {
+    fn from(e: rtx_relational::RelationalError) -> Self {
+        DatalogError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = DatalogError::UnsafeRule {
+            rule: "p(X) :- NOT q(X)".into(),
+            variable: "X".into(),
+        };
+        assert!(e.to_string().contains("unsafe"));
+        let e = DatalogError::Recursive {
+            cycle: vec!["p".into(), "q".into()],
+        };
+        assert!(e.to_string().contains('p'));
+        let e = DatalogError::Parse {
+            message: "expected :-".into(),
+            fragment: "p(X)".into(),
+        };
+        assert!(e.to_string().contains(":-"));
+        let e = DatalogError::NegatedIdb {
+            relation: "deliver".into(),
+        };
+        assert!(e.to_string().contains("deliver"));
+    }
+
+    #[test]
+    fn from_relational_error() {
+        let e: DatalogError = rtx_relational::RelationalError::UnknownRelation {
+            name: "r".into(),
+        }
+        .into();
+        assert!(matches!(e, DatalogError::Relational(_)));
+    }
+}

@@ -1,0 +1,391 @@
+//! Predicate dependency graph, strongly connected components, recursion and
+//! stratification analysis.
+
+use crate::{BodyLiteral, DatalogError, Program};
+use rtx_relational::RelationName;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An edge of the predicate dependency graph: the head relation depends on
+/// the body relation, either positively or through negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The body relation appears in a positive literal.
+    Positive,
+    /// The body relation appears under `NOT`.
+    Negative,
+}
+
+/// The predicate dependency graph of a program.
+///
+/// Nodes are the relations mentioned by the program; there is an edge from a
+/// head relation `p` to a body relation `q` for every rule defining `p` whose
+/// body mentions `q`.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyGraph {
+    /// Adjacency: head relation → (body relation → strongest edge kind seen).
+    edges: BTreeMap<RelationName, BTreeMap<RelationName, EdgeKind>>,
+    nodes: BTreeSet<RelationName>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of a program.
+    pub fn of(program: &Program) -> Self {
+        let mut graph = DependencyGraph::default();
+        for rule in program.rules() {
+            graph.nodes.insert(rule.head.relation.clone());
+            for lit in &rule.body {
+                let (rel, kind) = match lit {
+                    BodyLiteral::Positive(a) => (a.relation.clone(), EdgeKind::Positive),
+                    BodyLiteral::Negative(a) => (a.relation.clone(), EdgeKind::Negative),
+                    BodyLiteral::NotEqual(..) => continue,
+                };
+                graph.nodes.insert(rel.clone());
+                let entry = graph
+                    .edges
+                    .entry(rule.head.relation.clone())
+                    .or_default()
+                    .entry(rel)
+                    .or_insert(kind);
+                // Negative dominates: once a negative edge exists it stays.
+                if matches!(kind, EdgeKind::Negative) {
+                    *entry = EdgeKind::Negative;
+                }
+            }
+        }
+        graph
+    }
+
+    /// All nodes (relations) of the graph.
+    pub fn nodes(&self) -> &BTreeSet<RelationName> {
+        &self.nodes
+    }
+
+    /// The direct dependencies of a relation.
+    pub fn dependencies_of(&self, relation: &RelationName) -> Vec<(&RelationName, EdgeKind)> {
+        self.edges
+            .get(relation)
+            .map(|m| m.iter().map(|(r, &k)| (r, k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// True if `from` transitively depends on `to` (following edges of any
+    /// kind).  Used by the "customization is syntactically safe if no path
+    /// from new inputs reaches a logged relation" check discussed after
+    /// Theorem 3.5.
+    pub fn depends_on(&self, from: &RelationName, to: &RelationName) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from.clone()];
+        while let Some(current) = stack.pop() {
+            if !seen.insert(current.clone()) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&current) {
+                for dep in next.keys() {
+                    if dep == to {
+                        return true;
+                    }
+                    stack.push(dep.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// Strongly connected components in reverse topological order (every
+    /// component comes after the components it depends on), computed with
+    /// Tarjan's algorithm.
+    ///
+    /// The recursion depth is bounded by the number of relations mentioned by
+    /// the program, which is small for every program the paper considers.
+    pub fn sccs(&self) -> Vec<Vec<RelationName>> {
+        struct State<'g> {
+            graph: &'g DependencyGraph,
+            index: BTreeMap<RelationName, usize>,
+            lowlink: BTreeMap<RelationName, usize>,
+            on_stack: BTreeSet<RelationName>,
+            stack: Vec<RelationName>,
+            next_index: usize,
+            components: Vec<Vec<RelationName>>,
+        }
+
+        fn visit(st: &mut State<'_>, v: &RelationName) {
+            st.index.insert(v.clone(), st.next_index);
+            st.lowlink.insert(v.clone(), st.next_index);
+            st.next_index += 1;
+            st.stack.push(v.clone());
+            st.on_stack.insert(v.clone());
+
+            let succs: Vec<RelationName> = st
+                .graph
+                .edges
+                .get(v)
+                .map(|m| m.keys().cloned().collect())
+                .unwrap_or_default();
+            for w in &succs {
+                if !st.index.contains_key(w) {
+                    visit(st, w);
+                    let w_low = st.lowlink[w];
+                    if w_low < st.lowlink[v] {
+                        st.lowlink.insert(v.clone(), w_low);
+                    }
+                } else if st.on_stack.contains(w) {
+                    let w_index = st.index[w];
+                    if w_index < st.lowlink[v] {
+                        st.lowlink.insert(v.clone(), w_index);
+                    }
+                }
+            }
+
+            if st.lowlink[v] == st.index[v] {
+                let mut component = Vec::new();
+                while let Some(w) = st.stack.pop() {
+                    st.on_stack.remove(&w);
+                    let done = &w == v;
+                    component.push(w);
+                    if done {
+                        break;
+                    }
+                }
+                component.sort();
+                st.components.push(component);
+            }
+        }
+
+        let mut st = State {
+            graph: self,
+            index: BTreeMap::new(),
+            lowlink: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        };
+        for start in &self.nodes {
+            if !st.index.contains_key(start) {
+                visit(&mut st, start);
+            }
+        }
+        st.components
+    }
+
+    /// True if some relation depends on itself (directly or through a cycle).
+    pub fn is_recursive(&self) -> bool {
+        self.first_cycle().is_some()
+    }
+
+    /// Returns a cycle among the relations, if one exists.
+    pub fn first_cycle(&self) -> Option<Vec<RelationName>> {
+        for component in self.sccs() {
+            if component.len() > 1 {
+                return Some(component);
+            }
+            let only = &component[0];
+            // self-loop?
+            if self
+                .edges
+                .get(only)
+                .map_or(false, |m| m.contains_key(only))
+            {
+                return Some(component);
+            }
+        }
+        None
+    }
+
+    /// Stratifies the program's relations: returns strata (lists of
+    /// relations) such that every relation's positive dependencies are in the
+    /// same or an earlier stratum and every negative dependency is in a
+    /// strictly earlier stratum.
+    ///
+    /// Errors with [`DatalogError::NotStratifiable`] if a cycle passes through
+    /// a negative edge.
+    pub fn stratify(&self) -> Result<Vec<Vec<RelationName>>, DatalogError> {
+        // Assign stratum numbers by iterating to fixpoint; n nodes bounds the
+        // number of iterations for a stratifiable program.
+        let mut stratum: BTreeMap<RelationName, usize> =
+            self.nodes.iter().map(|n| (n.clone(), 0)).collect();
+        let n = self.nodes.len().max(1);
+        for round in 0..=n {
+            let mut changed = false;
+            for (head, deps) in &self.edges {
+                for (dep, kind) in deps {
+                    let required = match kind {
+                        EdgeKind::Positive => stratum[dep],
+                        EdgeKind::Negative => stratum[dep] + 1,
+                    };
+                    if stratum[head] < required {
+                        stratum.insert(head.clone(), required);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == n {
+                // a stratum exceeded the node count: negative cycle
+                let cycle = self
+                    .first_cycle()
+                    .unwrap_or_else(|| self.nodes.iter().cloned().collect());
+                return Err(DatalogError::NotStratifiable {
+                    cycle: cycle.iter().map(|r| r.as_str().to_string()).collect(),
+                });
+            }
+        }
+        let max_stratum = stratum.values().copied().max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max_stratum + 1];
+        for (rel, s) in stratum {
+            out[s].push(rel);
+        }
+        Ok(out.into_iter().filter(|s| !s.is_empty()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Rule};
+    use rtx_logic::Term;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(*v)))
+    }
+
+    fn rule(head: Atom, body: Vec<BodyLiteral>) -> Rule {
+        Rule::new(head, body)
+    }
+
+    #[test]
+    fn nonrecursive_flat_program() {
+        let p = Program::new(vec![
+            rule(
+                atom("deliver", &["X"]),
+                vec![BodyLiteral::Positive(atom("order", &["X"]))],
+            ),
+            rule(
+                atom("sendbill", &["X"]),
+                vec![BodyLiteral::Negative(atom("past-pay", &["X"]))],
+            ),
+        ]);
+        let g = DependencyGraph::of(&p);
+        assert!(!g.is_recursive());
+        assert!(g.first_cycle().is_none());
+        assert!(g.depends_on(&"deliver".into(), &"order".into()));
+        assert!(!g.depends_on(&"order".into(), &"deliver".into()));
+        let strata = g.stratify().unwrap();
+        assert!(!strata.is_empty());
+    }
+
+    #[test]
+    fn transitive_closure_is_recursive_but_stratifiable() {
+        let p = Program::new(vec![
+            rule(
+                atom("tc", &["X", "Y"]),
+                vec![BodyLiteral::Positive(atom("edge", &["X", "Y"]))],
+            ),
+            rule(
+                atom("tc", &["X", "Z"]),
+                vec![
+                    BodyLiteral::Positive(atom("edge", &["X", "Y"])),
+                    BodyLiteral::Positive(atom("tc", &["Y", "Z"])),
+                ],
+            ),
+        ]);
+        let g = DependencyGraph::of(&p);
+        assert!(g.is_recursive());
+        let cycle = g.first_cycle().unwrap();
+        assert_eq!(cycle, vec![RelationName::new("tc")]);
+        let strata = g.stratify().unwrap();
+        // edge in the first stratum, tc in the same or later one
+        let pos_of = |r: &str| {
+            strata
+                .iter()
+                .position(|s| s.contains(&RelationName::new(r)))
+                .unwrap()
+        };
+        assert!(pos_of("edge") <= pos_of("tc"));
+    }
+
+    #[test]
+    fn negation_forces_strictly_later_stratum() {
+        let p = Program::new(vec![
+            rule(
+                atom("reach", &["X"]),
+                vec![BodyLiteral::Positive(atom("edge", &["X", "Y"]))],
+            ),
+            rule(
+                atom("isolated", &["X"]),
+                vec![
+                    BodyLiteral::Positive(atom("node", &["X"])),
+                    BodyLiteral::Negative(atom("reach", &["X"])),
+                ],
+            ),
+        ]);
+        let g = DependencyGraph::of(&p);
+        let strata = g.stratify().unwrap();
+        let pos_of = |r: &str| {
+            strata
+                .iter()
+                .position(|s| s.contains(&RelationName::new(r)))
+                .unwrap()
+        };
+        assert!(pos_of("reach") < pos_of("isolated"));
+    }
+
+    #[test]
+    fn negative_cycle_is_not_stratifiable() {
+        let p = Program::new(vec![
+            rule(
+                atom("win", &["X"]),
+                vec![
+                    BodyLiteral::Positive(atom("move", &["X", "Y"])),
+                    BodyLiteral::Negative(atom("win", &["Y"])),
+                ],
+            ),
+        ]);
+        let g = DependencyGraph::of(&p);
+        assert!(matches!(
+            g.stratify(),
+            Err(DatalogError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion_detected_as_one_component() {
+        let p = Program::new(vec![
+            rule(
+                atom("even", &["X"]),
+                vec![BodyLiteral::Positive(atom("odd", &["X"]))],
+            ),
+            rule(
+                atom("odd", &["X"]),
+                vec![BodyLiteral::Positive(atom("even", &["X"]))],
+            ),
+        ]);
+        let g = DependencyGraph::of(&p);
+        let cycle = g.first_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(g.is_recursive());
+    }
+
+    #[test]
+    fn dependencies_of_lists_edge_kinds() {
+        let p = Program::new(vec![rule(
+            atom("p", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("q", &["X"])),
+                BodyLiteral::Negative(atom("r", &["X"])),
+            ],
+        )]);
+        let g = DependencyGraph::of(&p);
+        let deps = g.dependencies_of(&"p".into());
+        assert_eq!(deps.len(), 2);
+        assert!(deps
+            .iter()
+            .any(|(r, k)| r.as_str() == "q" && matches!(k, EdgeKind::Positive)));
+        assert!(deps
+            .iter()
+            .any(|(r, k)| r.as_str() == "r" && matches!(k, EdgeKind::Negative)));
+        assert!(g.dependencies_of(&"q".into()).is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! Parser for the paper's concrete rule syntax.
+//!
+//! The grammar is the one used throughout the paper's examples:
+//!
+//! ```text
+//! sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y).
+//! past-order(X) +:- order(X).
+//! ok :- a(X), NOT b(X).
+//! violation-F :- past-R(x,y), past-R(x,y'), y <> y'.
+//! ```
+//!
+//! Conventions:
+//!
+//! * identifiers beginning with an uppercase letter (or `_`) are **variables**;
+//!   the paper mixes upper- and lower-case variables, so primed lowercase
+//!   identifiers (`y'`) are also treated as variables, as are single lowercase
+//!   letters — everything else is a constant;
+//! * bare integers are integer constants, quoted strings (`'gold'`) are
+//!   symbolic constants;
+//! * `NOT` (any case) negates an atom, `<>` is inequality;
+//! * `:-` introduces an ordinary rule body, `+:-` a *cumulative* rule body
+//!   (the paper's state rules); [`parse_rule_kinded`] reports which was used;
+//! * a relation without parentheses is a 0-ary (propositional) atom;
+//! * rules end with `.`; `%` and `//` start line comments.
+
+use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
+use rtx_logic::Term;
+use rtx_relational::Value;
+
+/// Whether a rule was written with `:-` (plain) or `+:-` (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// An ordinary rule (`:-`), e.g. a Spocus output rule.
+    Plain,
+    /// A cumulative rule (`+:-`), e.g. a Spocus state rule.
+    Cumulative,
+}
+
+/// Parses a whole program: a sequence of `.`-terminated rules.
+///
+/// Cumulative (`+:-`) rules are accepted and treated as plain rules; use
+/// [`parse_program_kinded`] to distinguish them.
+pub fn parse_program(text: &str) -> Result<Program, DatalogError> {
+    Ok(Program::new(
+        parse_program_kinded(text)?
+            .into_iter()
+            .map(|(rule, _)| rule)
+            .collect(),
+    ))
+}
+
+/// Parses a whole program, reporting for each rule whether it was written
+/// with `:-` or `+:-`.
+pub fn parse_program_kinded(text: &str) -> Result<Vec<(Rule, RuleKind)>, DatalogError> {
+    let cleaned = strip_comments(text);
+    let mut out = Vec::new();
+    for statement in cleaned.split('.') {
+        let statement = statement.trim();
+        if statement.is_empty() {
+            continue;
+        }
+        out.push(parse_rule_kinded(statement)?);
+    }
+    Ok(out)
+}
+
+/// Parses a single rule (the trailing `.` is optional).
+pub fn parse_rule(text: &str) -> Result<Rule, DatalogError> {
+    parse_rule_kinded(text).map(|(rule, _)| rule)
+}
+
+/// Parses a single rule and reports its [`RuleKind`].
+pub fn parse_rule_kinded(text: &str) -> Result<(Rule, RuleKind), DatalogError> {
+    let text = strip_comments(text);
+    let text = text.trim().trim_end_matches('.').trim();
+    if text.is_empty() {
+        return Err(DatalogError::Parse {
+            message: "empty rule".into(),
+            fragment: String::new(),
+        });
+    }
+    let (head_text, body_text, kind) = if let Some(pos) = text.find("+:-") {
+        (&text[..pos], Some(&text[pos + 3..]), RuleKind::Cumulative)
+    } else if let Some(pos) = text.find(":-") {
+        (&text[..pos], Some(&text[pos + 2..]), RuleKind::Plain)
+    } else {
+        (text, None, RuleKind::Plain)
+    };
+
+    let head = parse_atom(head_text.trim())?;
+    let body = match body_text {
+        None => Vec::new(),
+        Some(b) => parse_body(b)?,
+    };
+    Ok((Rule::new(head, body), kind))
+}
+
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            let without_percent = line.split('%').next().unwrap_or("");
+            without_percent.split("//").next().unwrap_or("").to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Splits a body on commas that are not inside parentheses.
+fn split_body(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current.trim().to_string());
+    }
+    parts
+}
+
+fn parse_body(text: &str) -> Result<Vec<BodyLiteral>, DatalogError> {
+    let mut out = Vec::new();
+    for part in split_body(text) {
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_literal(&part)?);
+    }
+    Ok(out)
+}
+
+fn parse_literal(text: &str) -> Result<BodyLiteral, DatalogError> {
+    let trimmed = text.trim();
+    // Inequality t1 <> t2 (also accepts ≠ and !=)
+    for sep in ["<>", "!=", "≠"] {
+        if let Some(pos) = trimmed.find(sep) {
+            // make sure it's not inside parentheses (atoms can't contain these
+            // operators anyway, so a simple check suffices)
+            let left = trimmed[..pos].trim();
+            let right = trimmed[pos + sep.len()..].trim();
+            if left.is_empty() || right.is_empty() {
+                return Err(DatalogError::Parse {
+                    message: "inequality needs two terms".into(),
+                    fragment: trimmed.to_string(),
+                });
+            }
+            return Ok(BodyLiteral::NotEqual(parse_term(left)?, parse_term(right)?));
+        }
+    }
+    // Negated atom
+    let lower = trimmed.to_ascii_lowercase();
+    if lower.starts_with("not ") || lower.starts_with("not(") {
+        let rest = trimmed[3..].trim();
+        return Ok(BodyLiteral::Negative(parse_atom(rest)?));
+    }
+    if let Some(rest) = trimmed.strip_prefix('¬') {
+        return Ok(BodyLiteral::Negative(parse_atom(rest.trim())?));
+    }
+    Ok(BodyLiteral::Positive(parse_atom(trimmed)?))
+}
+
+/// Parses `name(arg, …)` or a bare `name` (0-ary atom).
+pub fn parse_atom(text: &str) -> Result<Atom, DatalogError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(DatalogError::Parse {
+            message: "empty atom".into(),
+            fragment: text.to_string(),
+        });
+    }
+    match trimmed.find('(') {
+        None => {
+            let name = validate_relation_name(trimmed)?;
+            Ok(Atom::new(name, Vec::<Term>::new()))
+        }
+        Some(open) => {
+            if !trimmed.ends_with(')') {
+                return Err(DatalogError::Parse {
+                    message: "missing closing parenthesis".into(),
+                    fragment: trimmed.to_string(),
+                });
+            }
+            let name = validate_relation_name(trimmed[..open].trim())?;
+            let args_text = &trimmed[open + 1..trimmed.len() - 1];
+            let mut args = Vec::new();
+            if !args_text.trim().is_empty() {
+                for arg in args_text.split(',') {
+                    args.push(parse_term(arg.trim())?);
+                }
+            }
+            Ok(Atom::new(name, args))
+        }
+    }
+}
+
+fn validate_relation_name(name: &str) -> Result<String, DatalogError> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '-' || c == '_' || c == '@')
+    {
+        return Err(DatalogError::Parse {
+            message: "invalid relation name".into(),
+            fragment: name.to_string(),
+        });
+    }
+    Ok(name.to_string())
+}
+
+/// Parses a term: a quoted constant, an integer, a variable or a symbolic
+/// constant.
+pub fn parse_term(text: &str) -> Result<Term, DatalogError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Err(DatalogError::Parse {
+            message: "empty term".into(),
+            fragment: text.to_string(),
+        });
+    }
+    // Quoted constants
+    if (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+        || (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+    {
+        return Ok(Term::constant(Value::str(&t[1..t.len() - 1])));
+    }
+    // Integers
+    if t.parse::<i64>().is_ok() {
+        return Ok(Term::constant(Value::parse_literal(t)));
+    }
+    if !t
+        .chars()
+        .all(|c| c.is_alphanumeric() || c == '-' || c == '_' || c == '\'' || c == '@')
+    {
+        return Err(DatalogError::Parse {
+            message: "invalid term".into(),
+            fragment: t.to_string(),
+        });
+    }
+    if is_variable_token(t) {
+        Ok(Term::var(t))
+    } else {
+        Ok(Term::constant(Value::str(t)))
+    }
+}
+
+/// Variable conventions of the paper: identifiers starting with an uppercase
+/// letter or underscore (`X`, `Y`), single lowercase letters (`x`, `y`) and
+/// primed identifiers (`y'`) are variables; multi-character lowercase
+/// identifiers (`gold`, `time`) are constants.
+fn is_variable_token(t: &str) -> bool {
+    let first = t.chars().next().expect("non-empty");
+    if first.is_uppercase() || first == '_' {
+        return true;
+    }
+    if t.ends_with('\'') {
+        return true;
+    }
+    t.len() == 1 && first.is_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::RelationName;
+
+    #[test]
+    fn parses_the_short_transducer_output_rules() {
+        let program = parse_program(
+            "sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y).\n\
+             deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y).",
+        )
+        .unwrap();
+        assert_eq!(program.len(), 2);
+        let deliver = &program.rules()[1];
+        assert_eq!(deliver.head.relation, RelationName::new("deliver"));
+        assert_eq!(deliver.body.len(), 4);
+        assert!(matches!(deliver.body[3], BodyLiteral::Negative(_)));
+    }
+
+    #[test]
+    fn parses_cumulative_state_rules() {
+        let parsed = parse_program_kinded(
+            "past-order(X) +:- order(X).\npast-pay(X,Y) +:- pay(X,Y).",
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.iter().all(|(_, k)| *k == RuleKind::Cumulative));
+        assert_eq!(parsed[0].0.head.relation, RelationName::new("past-order"));
+    }
+
+    #[test]
+    fn parses_propositional_atoms() {
+        let rule = parse_rule("ok :- a1(X1), NOT b(X1)").unwrap();
+        assert_eq!(rule.head.arity(), 0);
+        assert_eq!(rule.body.len(), 2);
+        let fact = parse_rule("accept.").unwrap();
+        assert!(fact.body.is_empty());
+    }
+
+    #[test]
+    fn parses_inequalities_and_primed_variables() {
+        let rule =
+            parse_rule("violation-F :- past-R(x,y), past-R(x,y'), y <> y'.").unwrap();
+        assert_eq!(rule.body.len(), 3);
+        match &rule.body[2] {
+            BodyLiteral::NotEqual(a, b) => {
+                assert_eq!(a, &Term::var("y"));
+                assert_eq!(b, &Term::var("y'"));
+            }
+            other => panic!("expected inequality, got {other:?}"),
+        }
+        // x and y are single lowercase letters: variables
+        assert_eq!(
+            rule.variables(),
+            ["x", "y", "y'"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+    }
+
+    #[test]
+    fn distinguishes_variables_from_constants() {
+        let rule = parse_rule("vip(X) :- order(X, gold), price(X, 855), tier(X, 'Platinum')")
+            .unwrap();
+        let order_atom = match &rule.body[0] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(order_atom.args[1], Term::constant(Value::str("gold")));
+        let price_atom = match &rule.body[1] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(price_atom.args[1], Term::constant(Value::int(855)));
+        let tier_atom = match &rule.body[2] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(tier_atom.args[1], Term::constant(Value::str("Platinum")));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored()  {
+        let program = parse_program(
+            "% the short business model\n\
+             sendbill(X,Y) :- order(X), price(X,Y). // bill on order\n\
+             \n\
+             deliver(X) :- pay(X,Y).",
+        )
+        .unwrap();
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn alternative_negation_and_inequality_spellings() {
+        let rule = parse_rule("p(X) :- q(X), not r(X), X != 3").unwrap();
+        assert!(matches!(rule.body[1], BodyLiteral::Negative(_)));
+        assert!(matches!(rule.body[2], BodyLiteral::NotEqual(..)));
+        let rule = parse_rule("p(X) :- q(X), ¬r(X), X ≠ Y, s(Y)").unwrap();
+        assert!(matches!(rule.body[1], BodyLiteral::Negative(_)));
+        assert!(matches!(rule.body[2], BodyLiteral::NotEqual(..)));
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert!(parse_rule("").is_err());
+        assert!(parse_rule("p(X :- q(X)").is_err());
+        assert!(parse_rule("p(X) :- q(X,)").is_err());
+        assert!(parse_rule("p$(X) :- q(X)").is_err());
+        assert!(parse_rule("p(X) :- X <>").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let original = parse_rule(
+            "deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)",
+        )
+        .unwrap();
+        let reparsed = parse_rule(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn whole_program_roundtrip() {
+        let text = "a(X) :- b(X), NOT c(X).\nd(X,Y) :- b(X), b(Y), X <> Y.";
+        let program = parse_program(text).unwrap();
+        let reparsed = parse_program(&program.to_string()).unwrap();
+        assert_eq!(program, reparsed);
+    }
+}

@@ -1,0 +1,231 @@
+//! Safety and semipositivity checks.
+//!
+//! The paper's Spocus definition (§3.1, item 3) imposes two syntactic
+//! conditions on output rules:
+//!
+//! * **safety** — "each variable in the rule occurs positively in the body of
+//!   the rule"; this guarantees that rule evaluation only produces tuples
+//!   over the active domain, and
+//! * **semipositivity** — negation is applied only to relations that are not
+//!   defined by the program itself (in the Spocus case: input, state and
+//!   database relations).
+
+use crate::{BodyLiteral, DatalogError, Program, Rule};
+use rtx_relational::RelationName;
+use std::collections::BTreeSet;
+
+/// Checks the safety condition for a single rule: every variable occurring
+/// anywhere in the rule (head, negated atoms, inequalities) must occur in at
+/// least one positive body atom.
+pub fn check_rule_safety(rule: &Rule) -> Result<(), DatalogError> {
+    let bound = rule.positively_bound_variables();
+    for var in rule.variables() {
+        if !bound.contains(&var) {
+            return Err(DatalogError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: var,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks safety for every rule of a program.
+pub fn check_program_safety(program: &Program) -> Result<(), DatalogError> {
+    for rule in program.rules() {
+        check_rule_safety(rule)?;
+    }
+    Ok(())
+}
+
+/// Checks that the program is semipositive *with respect to a set of base
+/// relations*: every negated atom refers to a base relation (not to a
+/// relation derived by the program).
+///
+/// For a Spocus output program the base relations are `in ∪ state ∪ db`.
+pub fn check_semipositive(
+    program: &Program,
+    base_relations: &BTreeSet<RelationName>,
+) -> Result<(), DatalogError> {
+    for rule in program.rules() {
+        for lit in &rule.body {
+            if let BodyLiteral::Negative(atom) = lit {
+                if !base_relations.contains(&atom.relation) {
+                    return Err(DatalogError::NegatedIdb {
+                        relation: atom.relation.as_str().to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience form of [`check_semipositive`] that treats exactly the
+/// program's EDB relations (relations never appearing in a head) as base.
+pub fn check_semipositive_wrt_edb(program: &Program) -> Result<(), DatalogError> {
+    check_semipositive(program, &program.edb_relations())
+}
+
+/// Checks that no rule body mentions a relation defined by the program
+/// (i.e. the program is a single flat layer of definitions, which is the
+/// strict Spocus shape: output relations are defined from input, state and
+/// database relations only, never from other output relations).
+pub fn check_flat(program: &Program) -> Result<(), DatalogError> {
+    let idb = program.idb_relations();
+    for rule in program.rules() {
+        for body_rel in rule.body_relations() {
+            if idb.contains(&body_rel) {
+                return Err(DatalogError::Recursive {
+                    cycle: vec![
+                        rule.head.relation.as_str().to_string(),
+                        body_rel.as_str().to_string(),
+                    ],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use rtx_logic::Term;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(*v)))
+    }
+
+    #[test]
+    fn safe_rule_passes() {
+        let r = Rule::new(
+            atom("deliver", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("order", &["X"])),
+                BodyLiteral::Negative(atom("past-pay", &["X"])),
+            ],
+        );
+        assert!(check_rule_safety(&r).is_ok());
+    }
+
+    #[test]
+    fn head_variable_not_bound_is_unsafe() {
+        let r = Rule::new(
+            atom("deliver", &["X", "Y"]),
+            vec![BodyLiteral::Positive(atom("order", &["X"]))],
+        );
+        let err = check_rule_safety(&r).unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { variable, .. } if variable == "Y"));
+    }
+
+    #[test]
+    fn negated_variable_not_bound_is_unsafe() {
+        let r = Rule::new(
+            atom("p", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("q", &["X"])),
+                BodyLiteral::Negative(atom("r", &["Z"])),
+            ],
+        );
+        assert!(check_rule_safety(&r).is_err());
+    }
+
+    #[test]
+    fn inequality_variable_not_bound_is_unsafe() {
+        let r = Rule::new(
+            atom("p", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("q", &["X"])),
+                BodyLiteral::NotEqual(Term::var("X"), Term::var("W")),
+            ],
+        );
+        assert!(check_rule_safety(&r).is_err());
+    }
+
+    #[test]
+    fn ground_fact_rule_is_safe() {
+        let r = Rule::new(Atom::new("ok", Vec::<Term>::new()), vec![]);
+        assert!(check_rule_safety(&r).is_ok());
+    }
+
+    #[test]
+    fn program_safety_checks_every_rule() {
+        let good = Rule::new(
+            atom("p", &["X"]),
+            vec![BodyLiteral::Positive(atom("q", &["X"]))],
+        );
+        let bad = Rule::new(atom("p", &["X"]), vec![]);
+        assert!(check_program_safety(&Program::new(vec![good.clone()])).is_ok());
+        assert!(check_program_safety(&Program::new(vec![good, bad])).is_err());
+    }
+
+    #[test]
+    fn semipositive_check_against_base() {
+        let rule = Rule::new(
+            atom("p", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("q", &["X"])),
+                BodyLiteral::Negative(atom("r", &["X"])),
+            ],
+        );
+        let program = Program::new(vec![rule]);
+        let base = BTreeSet::from([RelationName::new("q"), RelationName::new("r")]);
+        assert!(check_semipositive(&program, &base).is_ok());
+        let too_small = BTreeSet::from([RelationName::new("q")]);
+        assert!(matches!(
+            check_semipositive(&program, &too_small),
+            Err(DatalogError::NegatedIdb { .. })
+        ));
+        assert!(check_semipositive_wrt_edb(&program).is_ok());
+    }
+
+    #[test]
+    fn negating_a_derived_relation_is_not_semipositive_wrt_edb() {
+        let p = Program::new(vec![
+            Rule::new(
+                atom("p", &["X"]),
+                vec![BodyLiteral::Positive(atom("q", &["X"]))],
+            ),
+            Rule::new(
+                atom("s", &["X"]),
+                vec![
+                    BodyLiteral::Positive(atom("q", &["X"])),
+                    BodyLiteral::Negative(atom("p", &["X"])),
+                ],
+            ),
+        ]);
+        assert!(matches!(
+            check_semipositive_wrt_edb(&p),
+            Err(DatalogError::NegatedIdb { relation }) if relation == "p"
+        ));
+    }
+
+    #[test]
+    fn flat_check_rejects_layered_programs() {
+        let layered = Program::new(vec![
+            Rule::new(
+                atom("p", &["X"]),
+                vec![BodyLiteral::Positive(atom("q", &["X"]))],
+            ),
+            Rule::new(
+                atom("s", &["X"]),
+                vec![BodyLiteral::Positive(atom("p", &["X"]))],
+            ),
+        ]);
+        assert!(check_flat(&layered).is_err());
+
+        let flat = Program::new(vec![
+            Rule::new(
+                atom("p", &["X"]),
+                vec![BodyLiteral::Positive(atom("q", &["X"]))],
+            ),
+            Rule::new(
+                atom("s", &["X"]),
+                vec![BodyLiteral::Positive(atom("q", &["X"]))],
+            ),
+        ]);
+        assert!(check_flat(&flat).is_ok());
+    }
+}

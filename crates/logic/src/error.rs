@@ -1,0 +1,102 @@
+//! Errors produced by the logic layer.
+
+use std::fmt;
+
+/// Errors from formula analysis, evaluation, and the Bernays–Schönfinkel
+/// decision procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A sentence was required but the formula has free variables.
+    NotASentence {
+        /// The free variables found.
+        free_variables: Vec<String>,
+    },
+    /// The sentence is not in the ∃*∀* (Bernays–Schönfinkel) class: an
+    /// existential quantifier occurs (positively) inside the scope of a
+    /// universal quantifier.
+    NotBernaysSchonfinkel,
+    /// A relation symbol was used with inconsistent arities.
+    InconsistentArity {
+        /// The relation symbol.
+        relation: String,
+        /// One of the observed arities.
+        first: usize,
+        /// A conflicting observed arity.
+        second: usize,
+    },
+    /// Evaluation referenced a variable with no binding.
+    UnboundVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// The grounding exceeded the configured size budget.
+    GroundingTooLarge {
+        /// Number of propositional nodes the grounding would have produced.
+        estimated_nodes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::NotASentence { free_variables } => {
+                write!(f, "formula is not a sentence; free variables: {free_variables:?}")
+            }
+            LogicError::NotBernaysSchonfinkel => write!(
+                f,
+                "sentence is not in the Bernays-Schonfinkel (∃*∀*) prefix class"
+            ),
+            LogicError::InconsistentArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` used with inconsistent arities {first} and {second}"
+            ),
+            LogicError::UnboundVariable { name } => {
+                write!(f, "unbound variable `{name}` during evaluation")
+            }
+            LogicError::GroundingTooLarge {
+                estimated_nodes,
+                limit,
+            } => write!(
+                f,
+                "grounding would produce {estimated_nodes} nodes, exceeding the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_data() {
+        let e = LogicError::NotASentence {
+            free_variables: vec!["x".into()],
+        };
+        assert!(e.to_string().contains('x'));
+        assert!(LogicError::NotBernaysSchonfinkel
+            .to_string()
+            .contains("Bernays"));
+        let e = LogicError::InconsistentArity {
+            relation: "pay".into(),
+            first: 2,
+            second: 3,
+        };
+        assert!(e.to_string().contains("pay"));
+        let e = LogicError::UnboundVariable { name: "y".into() };
+        assert!(e.to_string().contains('y'));
+        let e = LogicError::GroundingTooLarge {
+            estimated_nodes: 10,
+            limit: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

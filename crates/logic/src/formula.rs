@@ -1,0 +1,701 @@
+//! First-order formulas over a relational vocabulary with equality.
+
+use crate::{FiniteStructure, LogicError, Term};
+use rtx_relational::{RelationName, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order formula over relation symbols, constants and equality.
+///
+/// The connective set is closed under the operations the paper's reductions
+/// need: the output-rule bodies become conjunctions of (possibly negated)
+/// atoms and inequalities, the log-validation sentence is a conjunction of
+/// ∃\* and ∀\* sentences, and the temporal sentences of `T_past-input` /
+/// `T_sdi` are universally quantified implications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A relational atom `R(t1, …, tk)`.
+    Atom {
+        /// The relation symbol.
+        relation: RelationName,
+        /// The argument terms.
+        args: Vec<Term>,
+    },
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// n-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// A relational atom.
+    pub fn atom<N, I, T>(relation: N, args: I) -> Self
+    where
+        N: Into<RelationName>,
+        I: IntoIterator<Item = T>,
+        T: Into<Term>,
+    {
+        Formula::Atom {
+            relation: relation.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Equality `a = b`.
+    pub fn eq(a: impl Into<Term>, b: impl Into<Term>) -> Self {
+        Formula::Eq(a.into(), b.into())
+    }
+
+    /// Inequality `a ≠ b` (sugar for `¬(a = b)`).
+    pub fn neq(a: impl Into<Term>, b: impl Into<Term>) -> Self {
+        Formula::not(Formula::eq(a, b))
+    }
+
+    /// Negation with simple constant folding.
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with flattening and constant folding.
+    pub fn and(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.into_iter().next().expect("length checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction with flattening and constant folding.
+    pub fn or(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.into_iter().next().expect("length checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Existential quantification; an empty variable block is dropped.
+    pub fn exists<I, S>(vars: I, body: Formula) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Universal quantification; an empty variable block is dropped.
+    pub fn forall<I, S>(vars: I, body: Formula) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Formula::Exists(vars, body) | Formula::Forall(vars, body) => {
+                let newly_bound: Vec<String> = vars
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
+                body.collect_free(bound, out);
+                for v in newly_bound {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// True if the formula has no free variables.
+    pub fn is_sentence(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// All constants occurring in the formula.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.visit_terms(&mut |t| {
+            if let Term::Const(v) = t {
+                out.insert(v.clone());
+            }
+        });
+        out
+    }
+
+    fn visit_terms<F: FnMut(&Term)>(&self, f: &mut F) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { args, .. } => args.iter().for_each(|t| f(t)),
+            Formula::Eq(a, b) => {
+                f(a);
+                f(b);
+            }
+            Formula::Not(inner) => inner.visit_terms(f),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| g.visit_terms(f)),
+            Formula::Implies(a, b) => {
+                a.visit_terms(f);
+                b.visit_terms(f);
+            }
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.visit_terms(f),
+        }
+    }
+
+    /// The relation symbols of the formula with their arities.
+    ///
+    /// Errors if a symbol is used with two different arities.
+    pub fn relations(&self) -> Result<BTreeMap<RelationName, usize>, LogicError> {
+        let mut out = BTreeMap::new();
+        let mut err = None;
+        self.visit_atoms(&mut |relation: &RelationName, args: &[Term]| {
+            match out.get(relation) {
+                Some(&arity) if arity != args.len() => {
+                    if err.is_none() {
+                        err = Some(LogicError::InconsistentArity {
+                            relation: relation.as_str().to_string(),
+                            first: arity,
+                            second: args.len(),
+                        });
+                    }
+                }
+                _ => {
+                    out.insert(relation.clone(), args.len());
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    fn visit_atoms<F: FnMut(&RelationName, &[Term])>(&self, f: &mut F) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) => {}
+            Formula::Atom { relation, args } => f(relation, args),
+            Formula::Not(inner) => inner.visit_atoms(f),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| g.visit_atoms(f)),
+            Formula::Implies(a, b) => {
+                a.visit_atoms(f);
+                b.visit_atoms(f);
+            }
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.visit_atoms(f),
+        }
+    }
+
+    /// Substitutes free variables according to `subst` (capture is avoided by
+    /// never substituting below a quantifier that rebinds the variable).
+    pub fn substitute(&self, subst: &BTreeMap<String, Term>) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom { relation, args } => Formula::Atom {
+                relation: relation.clone(),
+                args: args.iter().map(|t| substitute_term(t, subst)).collect(),
+            },
+            Formula::Eq(a, b) => {
+                Formula::Eq(substitute_term(a, subst), substitute_term(b, subst))
+            }
+            Formula::Not(f) => Formula::Not(Box::new(f.substitute(subst))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(subst)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(subst)).collect()),
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.substitute(subst)),
+                Box::new(b.substitute(subst)),
+            ),
+            Formula::Exists(vars, body) => {
+                let inner = shadowed_subst(subst, vars);
+                Formula::Exists(vars.clone(), Box::new(body.substitute(&inner)))
+            }
+            Formula::Forall(vars, body) => {
+                let inner = shadowed_subst(subst, vars);
+                Formula::Forall(vars.clone(), Box::new(body.substitute(&inner)))
+            }
+        }
+    }
+
+    /// Negation normal form: negations pushed to atoms, implications expanded.
+    pub fn nnf(&self) -> Formula {
+        self.nnf_with_polarity(true)
+    }
+
+    fn nnf_with_polarity(&self, positive: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if positive {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::False => {
+                if positive {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::Atom { .. } | Formula::Eq(..) => {
+                if positive {
+                    self.clone()
+                } else {
+                    Formula::Not(Box::new(self.clone()))
+                }
+            }
+            Formula::Not(f) => f.nnf_with_polarity(!positive),
+            Formula::And(fs) => {
+                let parts: Vec<Formula> =
+                    fs.iter().map(|f| f.nnf_with_polarity(positive)).collect();
+                if positive {
+                    Formula::and(parts)
+                } else {
+                    Formula::or(parts)
+                }
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<Formula> =
+                    fs.iter().map(|f| f.nnf_with_polarity(positive)).collect();
+                if positive {
+                    Formula::or(parts)
+                } else {
+                    Formula::and(parts)
+                }
+            }
+            Formula::Implies(a, b) => {
+                // a → b  ≡  ¬a ∨ b
+                let expanded = Formula::Or(vec![
+                    Formula::Not(a.clone()),
+                    (**b).clone(),
+                ]);
+                expanded.nnf_with_polarity(positive)
+            }
+            Formula::Exists(vars, body) => {
+                let inner = body.nnf_with_polarity(positive);
+                if positive {
+                    Formula::exists(vars.clone(), inner)
+                } else {
+                    Formula::forall(vars.clone(), inner)
+                }
+            }
+            Formula::Forall(vars, body) => {
+                let inner = body.nnf_with_polarity(positive);
+                if positive {
+                    Formula::forall(vars.clone(), inner)
+                } else {
+                    Formula::exists(vars.clone(), inner)
+                }
+            }
+        }
+    }
+
+    /// True if the NNF of the formula is in the ∃*∀* (Bernays–Schönfinkel)
+    /// class: no existential quantifier occurs within the scope of a
+    /// universal quantifier.
+    pub fn is_bernays_schonfinkel(&self) -> bool {
+        fn check(f: &Formula, under_forall: bool) -> bool {
+            match f {
+                Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => true,
+                Formula::Not(inner) => check(inner, under_forall),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| check(g, under_forall)),
+                Formula::Implies(a, b) => check(a, under_forall) && check(b, under_forall),
+                Formula::Exists(_, body) => !under_forall && check(body, under_forall),
+                Formula::Forall(_, body) => check(body, true),
+            }
+        }
+        check(&self.nnf(), false)
+    }
+
+    /// Counts existential-quantifier variables in the NNF (the `k` of the
+    /// small-model bound `max(1, k)` from [Ram30] as used in §3.2).
+    pub fn existential_width(&self) -> usize {
+        fn count(f: &Formula) -> usize {
+            match f {
+                Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
+                Formula::Not(inner) => count(inner),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().map(count).sum(),
+                Formula::Implies(a, b) => count(a) + count(b),
+                Formula::Exists(vars, body) => vars.len() + count(body),
+                Formula::Forall(_, body) => count(body),
+            }
+        }
+        count(&self.nnf())
+    }
+
+    /// Evaluates the formula over a finite structure under a variable
+    /// environment.  All quantifiers range over the structure's domain.
+    pub fn eval(
+        &self,
+        structure: &FiniteStructure,
+        env: &BTreeMap<String, Value>,
+    ) -> Result<bool, LogicError> {
+        match self {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom { relation, args } => {
+                let values = args
+                    .iter()
+                    .map(|t| resolve(t, env))
+                    .collect::<Result<Vec<Value>, LogicError>>()?;
+                Ok(structure.holds(relation, &values))
+            }
+            Formula::Eq(a, b) => Ok(resolve(a, env)? == resolve(b, env)?),
+            Formula::Not(f) => Ok(!f.eval(structure, env)?),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.eval(structure, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.eval(structure, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => Ok(!a.eval(structure, env)? || b.eval(structure, env)?),
+            Formula::Exists(vars, body) => {
+                eval_quantified(structure, env, vars, body, true)
+            }
+            Formula::Forall(vars, body) => {
+                eval_quantified(structure, env, vars, body, false)
+            }
+        }
+    }
+}
+
+fn eval_quantified(
+    structure: &FiniteStructure,
+    env: &BTreeMap<String, Value>,
+    vars: &[String],
+    body: &Formula,
+    existential: bool,
+) -> Result<bool, LogicError> {
+    if vars.is_empty() {
+        return body.eval(structure, env);
+    }
+    let (first, rest) = vars.split_first().expect("non-empty checked");
+    for value in structure.domain() {
+        let mut inner = env.clone();
+        inner.insert(first.clone(), value.clone());
+        let result = eval_quantified(structure, &inner, rest, body, existential)?;
+        if existential && result {
+            return Ok(true);
+        }
+        if !existential && !result {
+            return Ok(false);
+        }
+    }
+    Ok(!existential)
+}
+
+fn resolve(term: &Term, env: &BTreeMap<String, Value>) -> Result<Value, LogicError> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LogicError::UnboundVariable { name: name.clone() }),
+    }
+}
+
+fn substitute_term(term: &Term, subst: &BTreeMap<String, Term>) -> Term {
+    match term {
+        Term::Const(_) => term.clone(),
+        Term::Var(v) => subst.get(v).cloned().unwrap_or_else(|| term.clone()),
+    }
+}
+
+fn shadowed_subst(subst: &BTreeMap<String, Term>, vars: &[String]) -> BTreeMap<String, Term> {
+    subst
+        .iter()
+        .filter(|(k, _)| !vars.contains(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Atom { relation, args } => {
+                write!(f, "{relation}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::Exists(vars, body) => write!(f, "∃{} ({body})", vars.join(",")),
+            Formula::Forall(vars, body) => write!(f, "∀{} ({body})", vars.join(",")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str, vars: &[&str]) -> Formula {
+        Formula::atom(name, vars.iter().map(|v| Term::var(*v)))
+    }
+
+    #[test]
+    fn free_variables_respect_binding() {
+        let f = Formula::exists(
+            ["x"],
+            Formula::and(vec![r("R", &["x", "y"]), Formula::neq(Term::var("x"), Term::var("z"))]),
+        );
+        let free = f.free_variables();
+        assert_eq!(
+            free.into_iter().collect::<Vec<_>>(),
+            vec!["y".to_string(), "z".to_string()]
+        );
+        assert!(!f.is_sentence());
+        assert!(Formula::forall(["y", "z"], f).is_sentence());
+    }
+
+    #[test]
+    fn constants_collected() {
+        let f = Formula::atom(
+            "price",
+            [Term::var("x"), Term::constant(Value::int(855))],
+        );
+        assert!(f.constants().contains(&Value::int(855)));
+    }
+
+    #[test]
+    fn relations_detect_inconsistent_arity() {
+        let ok = Formula::and(vec![r("R", &["x"]), r("S", &["x", "y"])]);
+        let rels = ok.relations().unwrap();
+        assert_eq!(rels.get(&RelationName::new("R")), Some(&1));
+        assert_eq!(rels.get(&RelationName::new("S")), Some(&2));
+
+        let bad = Formula::and(vec![r("R", &["x"]), r("R", &["x", "y"])]);
+        assert!(matches!(
+            bad.relations(),
+            Err(LogicError::InconsistentArity { .. })
+        ));
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        let f = Formula::exists(["x"], r("R", &["x", "y"]));
+        let mut subst = BTreeMap::new();
+        subst.insert("y".to_string(), Term::constant(Value::str("a")));
+        subst.insert("x".to_string(), Term::constant(Value::str("b")));
+        let g = f.substitute(&subst);
+        // y is substituted, the bound x is untouched
+        assert_eq!(
+            g,
+            Formula::Exists(
+                vec!["x".into()],
+                Box::new(Formula::Atom {
+                    relation: "R".into(),
+                    args: vec![Term::var("x"), Term::constant(Value::str("a"))],
+                })
+            )
+        );
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::not(Formula::and(vec![r("R", &["x"]), Formula::not(r("S", &["x"]))]));
+        let nnf = f.nnf();
+        assert_eq!(
+            nnf,
+            Formula::or(vec![Formula::not(r("R", &["x"])), r("S", &["x"])])
+        );
+    }
+
+    #[test]
+    fn nnf_flips_quantifiers() {
+        let f = Formula::not(Formula::forall(["x"], r("R", &["x"])));
+        assert_eq!(f.nnf(), Formula::exists(["x"], Formula::not(r("R", &["x"]))));
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let f = Formula::implies(r("R", &["x"]), r("S", &["x"]));
+        assert_eq!(
+            f.nnf(),
+            Formula::or(vec![Formula::not(r("R", &["x"])), r("S", &["x"])])
+        );
+    }
+
+    #[test]
+    fn bernays_schonfinkel_class_check() {
+        // ∃x ∀y φ is BS
+        let ok = Formula::exists(["x"], Formula::forall(["y"], r("R", &["x", "y"])));
+        assert!(ok.is_bernays_schonfinkel());
+        // ∀y ∃x φ is not
+        let bad = Formula::forall(["y"], Formula::exists(["x"], r("R", &["x", "y"])));
+        assert!(!bad.is_bernays_schonfinkel());
+        // ¬∀x∃y is ∃x∀¬ … still BS after NNF? ¬(∀x ∃y R) = ∃x ∀y ¬R: yes
+        let negated = Formula::not(bad.clone());
+        assert!(negated.is_bernays_schonfinkel());
+        // conjunction of BS sentences is BS
+        let conj = Formula::and(vec![ok.clone(), Formula::forall(["z"], r("S", &["z"]))]);
+        assert!(conj.is_bernays_schonfinkel());
+    }
+
+    #[test]
+    fn existential_width_counts_nnf_existentials() {
+        let f = Formula::and(vec![
+            Formula::exists(["x", "y"], r("R", &["x", "y"])),
+            Formula::not(Formula::forall(["z"], r("S", &["z"]))),
+        ]);
+        // NNF: ∃x,y R(x,y) ∧ ∃z ¬S(z) → width 3
+        assert_eq!(f.existential_width(), 3);
+    }
+
+    #[test]
+    fn eval_over_finite_structure() {
+        let mut s = FiniteStructure::new(vec![Value::str("a"), Value::str("b")]);
+        s.add_fact("R", vec![Value::str("a")]);
+        let f = Formula::exists(["x"], r("R", &["x"]));
+        assert!(f.eval(&s, &BTreeMap::new()).unwrap());
+        let g = Formula::forall(["x"], r("R", &["x"]));
+        assert!(!g.eval(&s, &BTreeMap::new()).unwrap());
+        let h = Formula::forall(
+            ["x"],
+            Formula::implies(r("R", &["x"]), Formula::eq(Term::var("x"), Term::constant(Value::str("a")))),
+        );
+        assert!(h.eval(&s, &BTreeMap::new()).unwrap());
+    }
+
+    #[test]
+    fn eval_reports_unbound_variables() {
+        let s = FiniteStructure::new(vec![Value::str("a")]);
+        let f = r("R", &["x"]);
+        assert!(matches!(
+            f.eval(&s, &BTreeMap::new()),
+            Err(LogicError::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::exists(["x"], Formula::implies(r("R", &["x"]), Formula::eq(Term::var("x"), Term::var("x"))));
+        let text = f.to_string();
+        assert!(text.contains("∃x") && text.contains("R(x)") && text.contains("→"));
+    }
+}

@@ -1,0 +1,98 @@
+//! # rtx-logic
+//!
+//! First-order logic substrate for the verification procedures of
+//! *Relational Transducers for Electronic Commerce*.
+//!
+//! Every decision procedure in the paper (log validation — Theorem 3.1, goal
+//! reachability — Theorem 3.2, temporal properties — Theorem 3.3,
+//! customization containment — Theorem 3.5, error-free-run verification —
+//! Theorems 4.4/4.6) is proved decidable by reduction to finite
+//! satisfiability of sentences in the **Bernays–Schönfinkel prefix class**
+//! ∃\*∀\*FO with relational vocabulary, constants and equality.  This crate
+//! provides:
+//!
+//! * [`Term`] and [`Formula`] — first-order syntax over the relational
+//!   vocabulary of `rtx-relational`, with equality, inequality and constants;
+//! * [`FiniteStructure`] — finite relational structures and formula
+//!   evaluation over them (used both by the brute-force reference
+//!   implementations in tests and for witness models);
+//! * negation normal form, free-variable analysis, and the ∃\*∀\* class check;
+//! * [`bernays`] — the small-model grounding of ∃\*∀\* sentences
+//!   ([Ram30]/[Lew80] as cited in the paper) into propositional formulas,
+//!   solved with `rtx-sat`, with witness-model extraction for the free
+//!   (uninterpreted) relation symbols.
+//!
+//! The unique-name assumption of the relational setting is adopted
+//! throughout: distinct constants denote distinct domain elements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bernays;
+mod error;
+mod formula;
+mod structure;
+mod term;
+
+pub use bernays::{solve_bs, BsOutcome, BsProblem, GroundingStats};
+pub use error::LogicError;
+pub use formula::Formula;
+pub use structure::FiniteStructure;
+pub use term::Term;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::Value;
+
+    #[test]
+    fn end_to_end_satisfiability() {
+        // ∃x ( R(x) ∧ ¬S(x) ) with R, S free is satisfiable.
+        let f = Formula::exists(
+            ["x"],
+            Formula::and(vec![
+                Formula::atom("R", [Term::var("x")]),
+                Formula::not(Formula::atom("S", [Term::var("x")])),
+            ]),
+        );
+        let problem = BsProblem::new(f);
+        match solve_bs(&problem).unwrap() {
+            BsOutcome::Satisfiable(model) => {
+                assert!(!model.relation_tuples("R").is_empty());
+            }
+            BsOutcome::Unsatisfiable => panic!("expected satisfiable"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_unsatisfiability() {
+        // ∃x R(x) ∧ ∀y ¬R(y) is unsatisfiable.
+        let f = Formula::and(vec![
+            Formula::exists(["x"], Formula::atom("R", [Term::var("x")])),
+            Formula::forall(["y"], Formula::not(Formula::atom("R", [Term::var("y")]))),
+        ]);
+        let problem = BsProblem::new(f);
+        assert!(matches!(
+            solve_bs(&problem).unwrap(),
+            BsOutcome::Unsatisfiable
+        ));
+    }
+
+    #[test]
+    fn fixed_relations_are_closed_world() {
+        // price(time, 855) is fixed; ∃x price(x, 845) must be unsatisfiable.
+        let mut problem = BsProblem::new(Formula::exists(
+            ["x"],
+            Formula::atom("price", [Term::var("x"), Term::constant(Value::int(845))]),
+        ));
+        problem.fix_relation(
+            "price",
+            2,
+            [vec![Value::str("time"), Value::int(855)]],
+        );
+        assert!(matches!(
+            solve_bs(&problem).unwrap(),
+            BsOutcome::Unsatisfiable
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Finite relational structures (models).
+
+use rtx_relational::{Instance, RelationName, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite first-order structure over the relational vocabulary: a finite
+/// domain of [`Value`]s together with an interpretation of relation symbols
+/// as sets of tuples (closed-world: missing tuples are false).
+///
+/// Structures serve three roles:
+///
+/// * as witness models returned by the Bernays–Schönfinkel decision
+///   procedure (Theorem 3.1's witness input sequences are read off such a
+///   model);
+/// * as the brute-force reference semantics for [`crate::Formula::eval`];
+/// * as the bridge between relational [`Instance`]s and logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteStructure {
+    domain: Vec<Value>,
+    relations: BTreeMap<RelationName, BTreeSet<Vec<Value>>>,
+}
+
+impl FiniteStructure {
+    /// Creates a structure with the given domain and an empty interpretation.
+    pub fn new(domain: Vec<Value>) -> Self {
+        let mut dedup = Vec::new();
+        for v in domain {
+            if !dedup.contains(&v) {
+                dedup.push(v);
+            }
+        }
+        FiniteStructure {
+            domain: dedup,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a structure whose relations are taken from a relational
+    /// [`Instance`] and whose domain is the given set of values (usually the
+    /// active domain of the instance plus any constants of interest).
+    pub fn from_instance(domain: Vec<Value>, instance: &Instance) -> Self {
+        let mut s = FiniteStructure::new(domain);
+        for (name, rel) in instance.iter() {
+            for tuple in rel.iter() {
+                s.add_fact(name.clone(), tuple.values().to_vec());
+            }
+        }
+        s
+    }
+
+    /// The domain, in insertion order.
+    pub fn domain(&self) -> &[Value] {
+        &self.domain
+    }
+
+    /// Adds a value to the domain if not already present.
+    pub fn add_domain_value(&mut self, value: Value) {
+        if !self.domain.contains(&value) {
+            self.domain.push(value);
+        }
+    }
+
+    /// Adds a fact `R(values)`.  Values outside the domain are added to it.
+    pub fn add_fact(&mut self, relation: impl Into<RelationName>, values: Vec<Value>) {
+        for v in &values {
+            self.add_domain_value(v.clone());
+        }
+        self.relations
+            .entry(relation.into())
+            .or_default()
+            .insert(values);
+    }
+
+    /// True if the fact `R(values)` holds.
+    pub fn holds(&self, relation: &RelationName, values: &[Value]) -> bool {
+        self.relations
+            .get(relation)
+            .map_or(false, |set| set.contains(values))
+    }
+
+    /// The tuples of a relation (empty if the relation is unknown).
+    pub fn relation_tuples(&self, relation: impl Into<RelationName>) -> BTreeSet<Vec<Value>> {
+        self.relations
+            .get(&relation.into())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The relation names with at least one tuple.
+    pub fn nonempty_relations(&self) -> Vec<RelationName> {
+        self.relations
+            .iter()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Total number of facts.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+}
+
+impl fmt::Display for FiniteStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain = {{")?;
+        for (i, v) in self.domain.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        writeln!(f, "}}")?;
+        for (name, set) in &self.relations {
+            if set.is_empty() {
+                continue;
+            }
+            write!(f, "{name} = {{")?;
+            for (i, tuple) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "(")?;
+                for (j, v) in tuple.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{Schema, Tuple};
+
+    #[test]
+    fn facts_and_membership() {
+        let mut s = FiniteStructure::new(vec![Value::str("a")]);
+        assert!(!s.holds(&"R".into(), &[Value::str("a")]));
+        s.add_fact("R", vec![Value::str("a"), Value::str("b")]);
+        assert!(s.holds(&"R".into(), &[Value::str("a"), Value::str("b")]));
+        // b was added to the domain automatically
+        assert_eq!(s.domain().len(), 2);
+        assert_eq!(s.total_facts(), 1);
+        assert_eq!(s.nonempty_relations(), vec![RelationName::new("R")]);
+    }
+
+    #[test]
+    fn domain_deduplication() {
+        let s = FiniteStructure::new(vec![Value::str("a"), Value::str("a"), Value::int(1)]);
+        assert_eq!(s.domain().len(), 2);
+        let mut s = s;
+        s.add_domain_value(Value::str("a"));
+        assert_eq!(s.domain().len(), 2);
+    }
+
+    #[test]
+    fn from_instance_copies_facts() {
+        let schema = Schema::from_pairs([("price", 2)]).unwrap();
+        let mut inst = Instance::empty(&schema);
+        inst.insert(
+            "price",
+            Tuple::new(vec![Value::str("time"), Value::int(855)]),
+        )
+        .unwrap();
+        let s = FiniteStructure::from_instance(vec![Value::str("extra")], &inst);
+        assert!(s.holds(&"price".into(), &[Value::str("time"), Value::int(855)]));
+        assert!(s.domain().contains(&Value::str("extra")));
+        assert!(s.domain().contains(&Value::int(855)));
+    }
+
+    #[test]
+    fn relation_tuples_of_unknown_relation_is_empty() {
+        let s = FiniteStructure::new(vec![]);
+        assert!(s.relation_tuples("missing").is_empty());
+    }
+
+    #[test]
+    fn display_lists_domain_and_relations() {
+        let mut s = FiniteStructure::new(vec![Value::str("a")]);
+        s.add_fact("R", vec![Value::str("a")]);
+        let text = s.to_string();
+        assert!(text.contains("domain"));
+        assert!(text.contains("R = {(a)}"));
+    }
+}

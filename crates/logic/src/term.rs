@@ -1,0 +1,93 @@
+//! First-order terms: variables and constants.
+
+use rtx_relational::Value;
+use std::fmt;
+
+/// A first-order term.  The paper's rule bodies and ∃*∀* reductions only use
+/// variables and constants (no function symbols), which is exactly what the
+/// Bernays–Schönfinkel class permits.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant of the domain.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// A constant term.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// True if this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable name, if a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let x = Term::var("x");
+        assert!(x.is_var());
+        assert_eq!(x.as_var(), Some("x"));
+        assert_eq!(x.as_const(), None);
+
+        let c = Term::constant(Value::int(855));
+        assert!(!c.is_var());
+        assert_eq!(c.as_const(), Some(&Value::int(855)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn display_quotes_constants() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant(Value::str("time")).to_string(), "'time'");
+    }
+
+    #[test]
+    fn from_value() {
+        let t: Term = Value::int(3).into();
+        assert_eq!(t, Term::Const(Value::Int(3)));
+    }
+}

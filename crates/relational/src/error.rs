@@ -1,0 +1,97 @@
+//! Error type for relational-model operations.
+
+use std::fmt;
+
+/// Errors produced by schema / instance manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was used that does not exist in the schema.
+    UnknownRelation {
+        /// The offending relation name.
+        name: String,
+    },
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// The relation that was targeted.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// Two relation schemas with the same name but different arities were
+    /// combined, or a schema declared the same name twice.
+    ConflictingRelation {
+        /// The conflicting relation name.
+        name: String,
+    },
+    /// An instance over one schema was used where an instance over another
+    /// schema was required.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation { name } => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema declares {expected}, tuple has {actual}"
+            ),
+            RelationalError::ConflictingRelation { name } => {
+                write!(f, "conflicting declarations for relation `{name}`")
+            }
+            RelationalError::SchemaMismatch { detail } => {
+                write!(f, "schema mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::UnknownRelation {
+            name: "orders".into(),
+        };
+        assert!(e.to_string().contains("orders"));
+
+        let e = RelationalError::ArityMismatch {
+            relation: "pay".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pay") && msg.contains('2') && msg.contains('3'));
+
+        let e = RelationalError::ConflictingRelation { name: "r".into() };
+        assert!(e.to_string().contains('r'));
+
+        let e = RelationalError::SchemaMismatch {
+            detail: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RelationalError::UnknownRelation {
+            name: "x".into(),
+        });
+        assert!(e.to_string().contains('x'));
+    }
+}

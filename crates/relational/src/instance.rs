@@ -1,0 +1,470 @@
+//! Relations (sets of tuples) and instances of a schema.
+
+use crate::{RelationName, RelationalError, Schema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relation instance: a finite set of tuples, all of the same arity.
+///
+/// The arity is fixed at construction time; inserting a tuple of a different
+/// arity is an error.  A 0-ary relation behaves as a proposition: it is either
+/// empty (false) or contains the unit tuple (true).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a relation from tuples; all tuples must share `arity`.
+    pub fn from_tuples(
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelationalError> {
+        let mut rel = Relation::empty(arity);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple, checking its arity.  Returns whether the tuple was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, RelationalError> {
+        if tuple.arity() != self.arity {
+            return Err(RelationalError::ArityMismatch {
+                relation: String::from("<anonymous>"),
+                expected: self.arity,
+                actual: tuple.arity(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Set union with another relation of the same arity.
+    pub fn union(&self, other: &Relation) -> Result<Relation, RelationalError> {
+        if self.arity != other.arity {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "cannot union relations of arity {} and {}",
+                    self.arity, other.arity
+                ),
+            });
+        }
+        let mut out = self.clone();
+        out.tuples.extend(other.tuples.iter().cloned());
+        Ok(out)
+    }
+
+    /// In-place union (cumulative-state semantics `past-R(X) +:- R(X)`).
+    pub fn absorb(&mut self, other: &Relation) -> Result<(), RelationalError> {
+        if self.arity != other.arity {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "cannot absorb relation of arity {} into arity {}",
+                    other.arity, self.arity
+                ),
+            });
+        }
+        self.tuples.extend(other.tuples.iter().cloned());
+        Ok(())
+    }
+
+    /// True if every tuple of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// For 0-ary (propositional) relations: true iff the unit tuple is present.
+    pub fn holds(&self) -> bool {
+        !self.tuples.is_empty()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A finite instance of a [`Schema`]: one [`Relation`] per declared name.
+///
+/// Every relation of the schema is materialised (possibly empty), so lookups
+/// never fail for declared names and iteration order is the schema order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instance {
+    relations: BTreeMap<RelationName, Relation>,
+}
+
+impl Instance {
+    /// The empty instance over a schema: every relation present but empty.
+    pub fn empty(schema: &Schema) -> Self {
+        let relations = schema
+            .iter()
+            .map(|(name, arity)| (name.clone(), Relation::empty(arity)))
+            .collect();
+        Instance { relations }
+    }
+
+    /// Builds an instance over `schema` from `(relation, tuples)` groups.
+    pub fn from_facts<N, I, T>(schema: &Schema, facts: I) -> Result<Self, RelationalError>
+    where
+        N: Into<RelationName>,
+        I: IntoIterator<Item = (N, T)>,
+        T: IntoIterator<Item = Tuple>,
+    {
+        let mut inst = Instance::empty(schema);
+        for (name, tuples) in facts {
+            let name = name.into();
+            for t in tuples {
+                inst.insert(name.clone(), t)?;
+            }
+        }
+        Ok(inst)
+    }
+
+    /// The set of relation names materialised in this instance.
+    pub fn schema(&self) -> Schema {
+        Schema::from_pairs(
+            self.relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.arity())),
+        )
+        .expect("an instance never holds conflicting relations")
+    }
+
+    /// Inserts a tuple into a relation.  Returns whether the tuple was new.
+    pub fn insert(
+        &mut self,
+        name: impl Into<RelationName>,
+        tuple: Tuple,
+    ) -> Result<bool, RelationalError> {
+        let name = name.into();
+        let rel = self
+            .relations
+            .get_mut(&name)
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                name: name.as_str().to_string(),
+            })?;
+        rel.insert(tuple).map_err(|e| match e {
+            RelationalError::ArityMismatch {
+                expected, actual, ..
+            } => RelationalError::ArityMismatch {
+                relation: name.as_str().to_string(),
+                expected,
+                actual,
+            },
+            other => other,
+        })
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: impl Into<RelationName>) -> Option<&Relation> {
+        self.relations.get(&name.into())
+    }
+
+    /// Looks up a relation by name, returning an error for unknown names.
+    pub fn relation_checked(
+        &self,
+        name: impl Into<RelationName>,
+    ) -> Result<&Relation, RelationalError> {
+        let name = name.into();
+        self.relations
+            .get(&name)
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                name: name.as_str().to_string(),
+            })
+    }
+
+    /// True if the named relation contains the tuple.
+    pub fn holds(&self, name: impl Into<RelationName>, tuple: &Tuple) -> bool {
+        self.relation(name).map_or(false, |r| r.contains(tuple))
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelationName, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True if every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(Relation::is_empty)
+    }
+
+    /// Restriction of the instance to the relations named by `names`
+    /// (the paper's `(I ∪ O) | log` operation that defines the log of a step).
+    pub fn restrict_to<I, N>(&self, names: I) -> Instance
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<RelationName>,
+    {
+        let wanted: BTreeSet<RelationName> = names.into_iter().map(Into::into).collect();
+        let relations = self
+            .relations
+            .iter()
+            .filter(|(n, _)| wanted.contains(*n))
+            .map(|(n, r)| (n.clone(), r.clone()))
+            .collect();
+        Instance { relations }
+    }
+
+    /// Union of two instances.  Relations present in both are unioned; a
+    /// relation present in only one is copied.  Shared names must agree on
+    /// arity.
+    ///
+    /// This implements the `I_i ∪ O_i` operation used when forming logs.
+    pub fn union(&self, other: &Instance) -> Result<Instance, RelationalError> {
+        let mut relations = self.relations.clone();
+        for (name, rel) in other.relations.iter() {
+            match relations.get_mut(name) {
+                Some(existing) => existing.absorb(rel)?,
+                None => {
+                    relations.insert(name.clone(), rel.clone());
+                }
+            }
+        }
+        Ok(Instance { relations })
+    }
+
+    /// In-place cumulative union used by the Spocus state transition
+    /// (`past-R := past-R ∪ R`): every relation of `other` whose name exists in
+    /// `self` is absorbed; unknown names are errors.
+    pub fn absorb(&mut self, other: &Instance) -> Result<(), RelationalError> {
+        for (name, rel) in other.relations.iter() {
+            let existing =
+                self.relations
+                    .get_mut(name)
+                    .ok_or_else(|| RelationalError::UnknownRelation {
+                        name: name.as_str().to_string(),
+                    })?;
+            existing.absorb(rel)?;
+        }
+        Ok(())
+    }
+
+    /// True if every tuple of every relation of `self` also appears in `other`.
+    /// Relations absent from `other` count as empty.
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.relations.iter().all(|(name, rel)| {
+            rel.is_empty()
+                || other
+                    .relation(name.clone())
+                    .map_or(false, |o| rel.is_subset_of(o))
+        })
+    }
+
+    /// Renames relations according to `f` (used to replicate input relations
+    /// as `R_1 … R_n` in the ∃*∀*FO reductions of §3.2).
+    pub fn rename<F>(&self, mut f: F) -> Instance
+    where
+        F: FnMut(&RelationName) -> RelationName,
+    {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| (f(n), r.clone()))
+            .collect();
+        Instance { relations }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (name, rel) in self.relations.iter() {
+            if rel.is_empty() {
+                continue;
+            }
+            if wrote {
+                write!(f, "; ")?;
+            }
+            write!(f, "{name}{rel}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "∅")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("order", 1), ("pay", 2), ("pending-bills", 0)]).unwrap()
+    }
+
+    fn t1(a: &str) -> Tuple {
+        Tuple::from_iter([a])
+    }
+
+    fn t2(a: &str, b: i64) -> Tuple {
+        Tuple::new(vec![Value::str(a), Value::int(b)])
+    }
+
+    #[test]
+    fn empty_instance_has_all_relations() {
+        let inst = Instance::empty(&schema());
+        assert!(inst.relation("order").is_some());
+        assert!(inst.relation("pay").is_some());
+        assert!(inst.relation("pending-bills").is_some());
+        assert!(inst.relation("deliver").is_none());
+        assert!(inst.is_empty());
+        assert_eq!(inst.total_tuples(), 0);
+    }
+
+    #[test]
+    fn insert_checks_arity_and_name() {
+        let mut inst = Instance::empty(&schema());
+        assert!(inst.insert("order", t1("time")).unwrap());
+        assert!(!inst.insert("order", t1("time")).unwrap());
+        let err = inst.insert("order", t2("time", 855)).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+        let err = inst.insert("deliver", t1("time")).unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn propositional_relation_holds() {
+        let mut inst = Instance::empty(&schema());
+        assert!(!inst.relation("pending-bills").unwrap().holds());
+        inst.insert("pending-bills", Tuple::unit()).unwrap();
+        assert!(inst.relation("pending-bills").unwrap().holds());
+    }
+
+    #[test]
+    fn restriction_projects_log_relations() {
+        let mut inst = Instance::empty(&schema());
+        inst.insert("order", t1("time")).unwrap();
+        inst.insert("pay", t2("time", 855)).unwrap();
+        let log = inst.restrict_to(["pay"]);
+        assert!(log.relation("pay").is_some());
+        assert!(log.relation("order").is_none());
+        assert_eq!(log.total_tuples(), 1);
+    }
+
+    #[test]
+    fn union_and_absorb() {
+        let mut a = Instance::empty(&schema());
+        a.insert("order", t1("time")).unwrap();
+        let mut b = Instance::empty(&schema());
+        b.insert("order", t1("newsweek")).unwrap();
+        b.insert("pay", t2("time", 855)).unwrap();
+
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.relation("order").unwrap().len(), 2);
+        assert_eq!(u.relation("pay").unwrap().len(), 1);
+
+        a.absorb(&b).unwrap();
+        assert_eq!(a.relation("order").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn union_of_disjoint_schemas_copies() {
+        let s1 = Schema::from_pairs([("a", 1)]).unwrap();
+        let s2 = Schema::from_pairs([("b", 1)]).unwrap();
+        let mut i1 = Instance::empty(&s1);
+        i1.insert("a", t1("x")).unwrap();
+        let mut i2 = Instance::empty(&s2);
+        i2.insert("b", t1("y")).unwrap();
+        let u = i1.union(&i2).unwrap();
+        assert_eq!(u.total_tuples(), 2);
+    }
+
+    #[test]
+    fn subinstance_check() {
+        let mut small = Instance::empty(&schema());
+        small.insert("order", t1("time")).unwrap();
+        let mut big = Instance::empty(&schema());
+        big.insert("order", t1("time")).unwrap();
+        big.insert("order", t1("newsweek")).unwrap();
+        assert!(small.is_subinstance_of(&big));
+        assert!(!big.is_subinstance_of(&small));
+    }
+
+    #[test]
+    fn rename_replicates_relations() {
+        let mut inst = Instance::empty(&schema());
+        inst.insert("order", t1("time")).unwrap();
+        let renamed = inst.rename(|n| RelationName::new(format!("{}@1", n.as_str())));
+        assert!(renamed.relation("order@1").is_some());
+        assert!(renamed.relation("order").is_none());
+    }
+
+    #[test]
+    fn relation_union_rejects_arity_mismatch() {
+        let a = Relation::empty(1);
+        let b = Relation::empty(2);
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn relation_from_tuples() {
+        let r = Relation::from_tuples(1, vec![t1("a"), t1("b"), t1("a")]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t1("a")));
+        assert!(Relation::from_tuples(1, vec![t2("a", 1)]).is_err());
+    }
+
+    #[test]
+    fn instance_schema_roundtrip() {
+        let s = schema();
+        let inst = Instance::empty(&s);
+        assert_eq!(inst.schema(), s);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut inst = Instance::empty(&schema());
+        assert_eq!(inst.to_string(), "∅");
+        inst.insert("order", t1("time")).unwrap();
+        assert!(inst.to_string().contains("order{(time)}"));
+    }
+}

@@ -1,0 +1,111 @@
+//! # rtx-relational
+//!
+//! Relational model substrate for the `rtx` workspace — the vocabulary shared by
+//! every other crate in the reproduction of *Relational Transducers for
+//! Electronic Commerce* (Abiteboul, Vianu, Fordham, Yesha).
+//!
+//! The paper (§2.2) assumes "familiarity with the relational model": relation
+//! schemas, finite instances, and finite *sequences* of instances (the inputs,
+//! outputs, states and logs of a transducer run are all sequences of relation
+//! instances).  This crate provides exactly that machinery:
+//!
+//! * [`Value`] — constants of the (unordered, infinite) underlying domain,
+//!   plus integers for prices and quantities;
+//! * [`Tuple`] — fixed-arity vectors of values;
+//! * [`RelationName`], [`RelationSchema`], [`Schema`] — named relations of a
+//!   fixed arity and sets thereof;
+//! * [`Relation`] — a finite set of tuples of one arity;
+//! * [`Instance`] — a finite instance of a [`Schema`] (one [`Relation`] per
+//!   relation name);
+//! * [`InstanceSequence`] — a finite sequence of instances over one schema,
+//!   with the projection ("restriction to the log relations") the paper uses
+//!   to define logs;
+//! * [`active_domain`] helpers — the set of constants occurring in instances,
+//!   needed by the small-model constructions of the verification crate.
+//!
+//! Everything is ordered ([`std::collections::BTreeMap`]/[`BTreeSet`]) so that
+//! iteration, `Debug` output and test expectations are deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod instance;
+mod schema;
+mod sequence;
+mod tuple;
+mod value;
+
+pub use error::RelationalError;
+pub use instance::{Instance, Relation};
+pub use schema::{RelationName, RelationSchema, Schema};
+pub use sequence::InstanceSequence;
+pub use tuple::Tuple;
+pub use value::Value;
+
+use std::collections::BTreeSet;
+
+/// Computes the active domain of an instance: every [`Value`] occurring in any
+/// tuple of any relation.
+///
+/// The active domain drives the small-model constructions used by the
+/// decision procedures (Theorems 3.1–3.3 of the paper reduce to finite
+/// satisfiability where only constants from the problem instance plus a
+/// bounded number of fresh witnesses matter).
+pub fn active_domain(instance: &Instance) -> BTreeSet<Value> {
+    let mut dom = BTreeSet::new();
+    for (_, rel) in instance.iter() {
+        for tuple in rel.iter() {
+            dom.extend(tuple.values().iter().cloned());
+        }
+    }
+    dom
+}
+
+/// Computes the active domain of a sequence of instances (union of the active
+/// domains of its elements).
+pub fn active_domain_of_sequence(seq: &InstanceSequence) -> BTreeSet<Value> {
+    let mut dom = BTreeSet::new();
+    for inst in seq.iter() {
+        dom.append(&mut active_domain(inst));
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let schema = Schema::new(vec![
+            RelationSchema::new("order", 1),
+            RelationSchema::new("pay", 2),
+        ])
+        .unwrap();
+        let mut inst = Instance::empty(&schema);
+        inst.insert("order", Tuple::new(vec![Value::str("time")]))
+            .unwrap();
+        inst.insert(
+            "pay",
+            Tuple::new(vec![Value::str("time"), Value::int(855)]),
+        )
+        .unwrap();
+        let dom = active_domain(&inst);
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&Value::str("time")));
+        assert!(dom.contains(&Value::int(855)));
+    }
+
+    #[test]
+    fn active_domain_of_sequence_unions() {
+        let schema = Schema::new(vec![RelationSchema::new("r", 1)]).unwrap();
+        let mut a = Instance::empty(&schema);
+        a.insert("r", Tuple::new(vec![Value::str("x")])).unwrap();
+        let mut b = Instance::empty(&schema);
+        b.insert("r", Tuple::new(vec![Value::str("y")])).unwrap();
+        let seq = InstanceSequence::new(schema, vec![a, b]).unwrap();
+        let dom = active_domain_of_sequence(&seq);
+        assert_eq!(dom.len(), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Finite sequences of instances over a fixed schema.
+
+use crate::{Instance, RelationName, RelationalError, Schema};
+use std::fmt;
+
+/// A finite sequence `I_1, …, I_n` of instances over one schema.
+///
+/// Input sequences, state sequences, output sequences and logs of a transducer
+/// run are all values of this type (paper §2.2).  The sequence remembers its
+/// schema so restriction (log projection) and validation stay well-typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceSequence {
+    schema: Schema,
+    instances: Vec<Instance>,
+}
+
+impl InstanceSequence {
+    /// Creates a sequence over `schema`.
+    ///
+    /// Every element must materialise exactly the relations of `schema` (with
+    /// matching arities); otherwise a [`RelationalError::SchemaMismatch`] is
+    /// returned.
+    pub fn new(schema: Schema, instances: Vec<Instance>) -> Result<Self, RelationalError> {
+        for (i, inst) in instances.iter().enumerate() {
+            let inst_schema = inst.schema();
+            if inst_schema != schema {
+                return Err(RelationalError::SchemaMismatch {
+                    detail: format!(
+                        "element {i} has schema {inst_schema} but the sequence schema is {schema}"
+                    ),
+                });
+            }
+        }
+        Ok(InstanceSequence { schema, instances })
+    }
+
+    /// The empty sequence over a schema.
+    pub fn empty(schema: Schema) -> Self {
+        InstanceSequence {
+            schema,
+            instances: Vec::new(),
+        }
+    }
+
+    /// The sequence schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if the sequence has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The `i`-th instance (0-based).
+    pub fn get(&self, i: usize) -> Option<&Instance> {
+        self.instances.get(i)
+    }
+
+    /// The last instance, if any.
+    pub fn last(&self) -> Option<&Instance> {
+        self.instances.last()
+    }
+
+    /// Iterates over the instances in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.iter()
+    }
+
+    /// Appends an instance, checking its schema.
+    pub fn push(&mut self, instance: Instance) -> Result<(), RelationalError> {
+        let inst_schema = instance.schema();
+        if inst_schema != self.schema {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "pushed instance has schema {inst_schema} but the sequence schema is {}",
+                    self.schema
+                ),
+            });
+        }
+        self.instances.push(instance);
+        Ok(())
+    }
+
+    /// Restriction of every step to the named relations — the paper's
+    /// "restriction of a run to the log relations".
+    pub fn restrict_to<I, N>(&self, names: I) -> InstanceSequence
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<RelationName>,
+    {
+        let names: Vec<RelationName> = names.into_iter().map(Into::into).collect();
+        let schema = self.schema.restrict_to(names.clone());
+        let instances = self
+            .instances
+            .iter()
+            .map(|i| i.restrict_to(names.clone()))
+            .collect();
+        InstanceSequence { schema, instances }
+    }
+
+    /// The prefix of length `n` (or the whole sequence if `n ≥ len`).
+    pub fn prefix(&self, n: usize) -> InstanceSequence {
+        InstanceSequence {
+            schema: self.schema.clone(),
+            instances: self.instances.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Pointwise union of all steps into a single instance (used by the
+    /// "length two suffices" argument of Theorem 3.2, where all but the last
+    /// input can be collapsed into a single batch).
+    pub fn collapse(&self) -> Result<Instance, RelationalError> {
+        let mut acc = Instance::empty(&self.schema);
+        for inst in &self.instances {
+            acc.absorb(inst)?;
+        }
+        Ok(acc)
+    }
+
+    /// Consumes the sequence and returns its instances.
+    pub fn into_instances(self) -> Vec<Instance> {
+        self.instances
+    }
+}
+
+impl fmt::Display for InstanceSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.instances.iter().enumerate() {
+            writeln!(f, "step {}: {}", i + 1, inst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("order", 1), ("pay", 2)]).unwrap()
+    }
+
+    fn step(orders: &[&str], pays: &[(&str, i64)]) -> Instance {
+        let mut inst = Instance::empty(&schema());
+        for o in orders {
+            inst.insert("order", Tuple::from_iter([*o])).unwrap();
+        }
+        for (p, amt) in pays {
+            inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amt)]))
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn construction_validates_schema() {
+        let other = Schema::from_pairs([("order", 1)]).unwrap();
+        let bad = Instance::empty(&other);
+        let err = InstanceSequence::new(schema(), vec![bad]).unwrap_err();
+        assert!(matches!(err, RelationalError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut seq = InstanceSequence::empty(schema());
+        assert!(seq.is_empty());
+        seq.push(step(&["time"], &[])).unwrap();
+        seq.push(step(&[], &[("time", 855)])).unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.get(0).unwrap().total_tuples(), 1);
+        assert!(seq.last().unwrap().holds(
+            "pay",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+    }
+
+    #[test]
+    fn push_rejects_wrong_schema() {
+        let mut seq = InstanceSequence::empty(schema());
+        let other = Schema::from_pairs([("x", 1)]).unwrap();
+        assert!(seq.push(Instance::empty(&other)).is_err());
+    }
+
+    #[test]
+    fn restriction_applies_pointwise() {
+        let seq = InstanceSequence::new(
+            schema(),
+            vec![step(&["time"], &[("time", 855)]), step(&["newsweek"], &[])],
+        )
+        .unwrap();
+        let log = seq.restrict_to(["pay"]);
+        assert_eq!(log.schema().len(), 1);
+        assert_eq!(log.get(0).unwrap().total_tuples(), 1);
+        assert_eq!(log.get(1).unwrap().total_tuples(), 0);
+    }
+
+    #[test]
+    fn collapse_unions_all_steps() {
+        let seq = InstanceSequence::new(
+            schema(),
+            vec![step(&["time"], &[]), step(&["newsweek"], &[("time", 855)])],
+        )
+        .unwrap();
+        let all = seq.collapse().unwrap();
+        assert_eq!(all.relation("order").unwrap().len(), 2);
+        assert_eq!(all.relation("pay").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let seq = InstanceSequence::new(schema(), vec![step(&["a"], &[]), step(&["b"], &[])])
+            .unwrap();
+        assert_eq!(seq.prefix(1).len(), 1);
+        assert_eq!(seq.prefix(10).len(), 2);
+        assert_eq!(seq.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let seq = InstanceSequence::new(schema(), vec![step(&["a"], &[])]).unwrap();
+        let text = seq.to_string();
+        assert!(text.contains("step 1"));
+        assert!(text.contains("order"));
+    }
+}

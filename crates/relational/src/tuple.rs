@@ -1,0 +1,150 @@
+//! Fixed-arity tuples of values.
+
+use crate::Value;
+use std::fmt;
+
+/// A tuple of domain [`Value`]s.
+///
+/// Tuples are immutable once constructed; their arity is the length of the
+/// underlying vector and must match the arity of the relation they are
+/// inserted into (enforced by [`crate::Instance::insert`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty (0-ary) tuple, the single possible tuple of a propositional
+    /// relation.
+    pub fn unit() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Builds a tuple from anything convertible into values.
+    pub fn from_iter<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All components, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projects the tuple onto the given positions (0-based).
+    ///
+    /// Returns `None` if any position is out of range.  Projection is the
+    /// operation that the paper's Proposition 3.1 adds to state rules to show
+    /// undecidability, and is also used by the FD/IncD gadgets in the
+    /// verification crate.
+    pub fn project(&self, positions: &[usize]) -> Option<Tuple> {
+        let mut out = Vec::with_capacity(positions.len());
+        for &p in positions {
+            out.push(self.values.get(p)?.clone());
+        }
+        Some(Tuple::new(out))
+    }
+
+    /// Concatenates two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Tuple { values }
+    }
+
+    /// Consumes the tuple and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[&str]) -> Tuple {
+        Tuple::from_iter(vals.iter().copied())
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let tup = t(&["a", "b", "c"]);
+        assert_eq!(tup.arity(), 3);
+        assert_eq!(tup.get(1), Some(&Value::str("b")));
+        assert_eq!(tup.get(3), None);
+    }
+
+    #[test]
+    fn unit_tuple_is_nullary() {
+        assert_eq!(Tuple::unit().arity(), 0);
+        assert_eq!(Tuple::unit().to_string(), "()");
+    }
+
+    #[test]
+    fn projection_selects_positions() {
+        let tup = t(&["a", "b", "c"]);
+        assert_eq!(tup.project(&[2, 0]), Some(t(&["c", "a"])));
+        assert_eq!(tup.project(&[1, 1]), Some(t(&["b", "b"])));
+        assert_eq!(tup.project(&[]), Some(Tuple::unit()));
+        assert_eq!(tup.project(&[5]), None);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = t(&["a"]);
+        let b = t(&["b", "c"]);
+        assert_eq!(a.concat(&b), t(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn display_format() {
+        let tup = Tuple::from_iter(vec![Value::str("time"), Value::int(855)]);
+        assert_eq!(tup.to_string(), "(time, 855)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut ts = vec![t(&["b"]), t(&["a", "z"]), t(&["a"])];
+        ts.sort();
+        assert_eq!(ts, vec![t(&["a"]), t(&["a", "z"]), t(&["b"])]);
+    }
+}

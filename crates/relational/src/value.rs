@@ -1,0 +1,132 @@
+//! Constants of the underlying domain.
+
+use std::fmt;
+
+/// A constant of the underlying domain.
+///
+/// The paper works over an abstract infinite domain of uninterpreted constants
+/// (product names, customers, …) together with the values used for prices.
+/// We model both with a single ordered value type:
+///
+/// * [`Value::Str`] — uninterpreted symbolic constants (`"time"`, `"newsweek"`);
+/// * [`Value::Int`] — integers (prices such as `855`).
+///
+/// The only predicates available on values in the paper's rule language are
+/// equality and inequality (`x ≠ y`), so no arithmetic is exposed here.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer constant (prices, quantities, indexes).
+    Int(i64),
+    /// A symbolic constant.
+    Str(String),
+}
+
+impl Value {
+    /// Creates a symbolic constant.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Creates an integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the symbolic content if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer content if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Parses a constant literal as written in the transducer DSL: a bare
+    /// integer becomes [`Value::Int`], anything else a [`Value::Str`].
+    pub fn parse_literal(text: &str) -> Self {
+        match text.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Str(text.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::int(855).to_string(), "855");
+        assert_eq!(Value::str("time").to_string(), "time");
+    }
+
+    #[test]
+    fn parse_literal_distinguishes_ints() {
+        assert_eq!(Value::parse_literal("42"), Value::Int(42));
+        assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_literal("pc8000"), Value::str("pc8000"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vs = vec![Value::str("b"), Value::int(3), Value::str("a"), Value::int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(3), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::int(5).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 9i64.into();
+        assert_eq!(v, Value::Int(9));
+        let v: Value = "abc".into();
+        assert_eq!(v, Value::str("abc"));
+        let v: Value = String::from("abc").into();
+        assert_eq!(v, Value::str("abc"));
+    }
+}

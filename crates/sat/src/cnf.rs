@@ -1,0 +1,279 @@
+//! Variables, literals, clauses, and CNF formulas.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense non-negative index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit {
+    var: Var,
+    positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.var
+    }
+
+    /// True for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under a truth value for its variable.
+    pub fn eval(self, value: bool) -> bool {
+        value == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clause {
+    literals: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals; duplicate literals are removed.
+    pub fn new(mut literals: Vec<Lit>) -> Self {
+        literals.sort();
+        literals.dedup();
+        Clause { literals }
+    }
+
+    /// The literals of the clause.
+    pub fn literals(&self) -> &[Lit] {
+        &self.literals
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True for the empty clause (always false).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// True if the clause contains both a literal and its negation.
+    pub fn is_tautology(&self) -> bool {
+        // literals are sorted by (var, polarity); complementary pairs are adjacent
+        self.literals
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0].is_positive() != w[1].is_positive())
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over variables `0..num_vars`.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF (trivially satisfiable) with `num_vars` variables.
+    pub fn new(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables (variables are `0..num_vars`).
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause.  Tautological clauses are silently dropped; the variable
+    /// count grows to cover every referenced variable.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in clause.literals() {
+            if lit.var().0 >= self.num_vars {
+                self.num_vars = lit.var().0 + 1;
+            }
+        }
+        if !clause.is_tautology() {
+            self.clauses.push(clause);
+        }
+    }
+
+    /// Adds a clause given as raw literals.
+    pub fn add(&mut self, literals: Vec<Lit>) {
+        self.add_clause(Clause::new(literals));
+    }
+
+    /// Evaluates the CNF under a complete assignment (indexed by variable).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.literals()
+                .iter()
+                .any(|l| assignment.get(l.var().index()).map_or(false, |&v| l.eval(v)))
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        if self.clauses.is_empty() {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_negation_and_eval() {
+        let l = Lit::pos(Var(3));
+        assert!(l.eval(true));
+        assert!(!l.eval(false));
+        let n = l.negated();
+        assert!(n.eval(false));
+        assert_eq!(n.negated(), l);
+    }
+
+    #[test]
+    fn clause_dedup_and_tautology() {
+        let c = Clause::new(vec![Lit::pos(Var(0)), Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_tautology());
+        let t = Clause::new(vec![Lit::pos(Var(0)), Lit::neg(Var(0))]);
+        assert!(t.is_tautology());
+        assert!(Clause::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn cnf_grows_variable_count() {
+        let mut cnf = Cnf::new(0);
+        cnf.add(vec![Lit::pos(Var(5))]);
+        assert_eq!(cnf.num_vars(), 6);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn cnf_drops_tautologies() {
+        let mut cnf = Cnf::new(2);
+        cnf.add(vec![Lit::pos(Var(0)), Lit::neg(Var(0))]);
+        assert_eq!(cnf.num_clauses(), 0);
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new(2);
+        cnf.add(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        cnf.add(vec![Lit::neg(Var(0))]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn fresh_var_is_unique() {
+        let mut cnf = Cnf::new(3);
+        let v = cnf.fresh_var();
+        assert_eq!(v, Var(3));
+        assert_eq!(cnf.num_vars(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut cnf = Cnf::new(2);
+        assert_eq!(cnf.to_string(), "⊤");
+        cnf.add(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        assert_eq!(cnf.to_string(), "(v0 ∨ ¬v1)");
+        assert_eq!(Clause::new(vec![]).to_string(), "⊥");
+    }
+}

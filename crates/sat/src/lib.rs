@@ -1,0 +1,87 @@
+//! # rtx-sat
+//!
+//! A small, dependency-free SAT solver used as the decision engine for the
+//! Bernays–Schönfinkel (∃*∀*FO) satisfiability checks that all of the paper's
+//! decision procedures reduce to (Theorems 3.1–3.3, 3.5, 4.4, 4.6).
+//!
+//! The pipeline is:
+//!
+//! 1. `rtx-logic` grounds an ∃*∀* sentence over its small model domain,
+//!    producing a [`PropFormula`] whose atoms are ground relational facts;
+//! 2. the formula is converted to CNF — either directly for small formulas or
+//!    via the Tseitin transformation ([`tseitin`]) for large ones;
+//! 3. the [`Solver`] (iterative DPLL with unit propagation, pure-literal
+//!    elimination and conflict-directed backjumping) decides satisfiability
+//!    and, when satisfiable, returns a [`Model`] from which the verification
+//!    crate reconstructs witness input sequences.
+//!
+//! The solver is deliberately self-contained (`std` only) and deterministic:
+//! given the same clause set it always explores the same tree, which keeps the
+//! higher-level decision procedures reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod formula;
+mod solver;
+mod tseitin;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use formula::PropFormula;
+pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use tseitin::{direct_cnf, tseitin_cnf};
+
+/// Convenience helper: decides satisfiability of a propositional formula.
+///
+/// Uses the Tseitin encoding (linear size) and the default solver
+/// configuration.  Returns the satisfying assignment restricted to the
+/// variables that occur in `formula` when satisfiable.
+pub fn solve_formula(formula: &PropFormula) -> SatResult {
+    let (cnf, _aux_start) = tseitin_cnf(formula);
+    let mut solver = Solver::new(cnf);
+    solver.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_formula_end_to_end() {
+        // (x ∨ y) ∧ (¬x ∨ y) ∧ ¬y is unsatisfiable.
+        let x = PropFormula::var(0);
+        let y = PropFormula::var(1);
+        let f = PropFormula::and(vec![
+            PropFormula::or(vec![x.clone(), y.clone()]),
+            PropFormula::or(vec![PropFormula::not(x.clone()), y.clone()]),
+            PropFormula::not(y.clone()),
+        ]);
+        assert!(matches!(solve_formula(&f), SatResult::Unsat));
+
+        // (x ∨ y) ∧ ¬x is satisfiable with y = true.
+        let g = PropFormula::and(vec![
+            PropFormula::or(vec![x.clone(), y.clone()]),
+            PropFormula::not(x),
+        ]);
+        match solve_formula(&g) {
+            SatResult::Sat(model) => {
+                assert_eq!(model.value(Var(0)), Some(false));
+                assert_eq!(model.value(Var(1)), Some(true));
+            }
+            SatResult::Unsat => panic!("expected satisfiable"),
+        }
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(matches!(
+            solve_formula(&PropFormula::True),
+            SatResult::Sat(_)
+        ));
+        assert!(matches!(
+            solve_formula(&PropFormula::False),
+            SatResult::Unsat
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! Conversion of propositional formulas to CNF.
+//!
+//! Two strategies are provided:
+//!
+//! * [`direct_cnf`] — distributes disjunctions over conjunctions.  Exact (no
+//!   auxiliary variables) but worst-case exponential; used only for very small
+//!   formulas and as the reference implementation in tests.
+//! * [`tseitin_cnf`] — the Tseitin transformation.  Linear in the formula
+//!   size, introduces one auxiliary variable per internal connective, and
+//!   preserves satisfiability (and models restricted to the original
+//!   variables).
+
+use crate::{Cnf, Lit, PropFormula};
+
+/// Converts a formula to an equisatisfiable CNF using the Tseitin
+/// transformation.
+///
+/// Returns the CNF together with the index of the first auxiliary (Tseitin)
+/// variable; variables below that index are exactly the variables of the
+/// input formula, so a satisfying assignment of the CNF restricted to
+/// `0..aux_start` is a satisfying assignment of `formula`.
+pub fn tseitin_cnf(formula: &PropFormula) -> (Cnf, u32) {
+    let aux_start = formula.num_vars();
+    let mut cnf = Cnf::new(aux_start);
+    match formula {
+        PropFormula::True => {}
+        PropFormula::False => cnf.add(vec![]),
+        other => {
+            let root = encode(other, &mut cnf);
+            cnf.add(vec![root]);
+        }
+    }
+    (cnf, aux_start)
+}
+
+/// Encodes `formula`, returning a literal equivalent to it under the added
+/// defining clauses.
+fn encode(formula: &PropFormula, cnf: &mut Cnf) -> Lit {
+    match formula {
+        PropFormula::Atom(v) => Lit::pos(*v),
+        PropFormula::Not(inner) => encode(inner, cnf).negated(),
+        PropFormula::True => {
+            let v = cnf.fresh_var();
+            cnf.add(vec![Lit::pos(v)]);
+            Lit::pos(v)
+        }
+        PropFormula::False => {
+            let v = cnf.fresh_var();
+            cnf.add(vec![Lit::neg(v)]);
+            Lit::pos(v)
+        }
+        PropFormula::And(parts) => {
+            let lits: Vec<Lit> = parts.iter().map(|p| encode(p, cnf)).collect();
+            let out = Lit::pos(cnf.fresh_var());
+            // out → each lit
+            for &l in &lits {
+                cnf.add(vec![out.negated(), l]);
+            }
+            // all lits → out
+            let mut clause: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+            clause.push(out);
+            cnf.add(clause);
+            out
+        }
+        PropFormula::Or(parts) => {
+            let lits: Vec<Lit> = parts.iter().map(|p| encode(p, cnf)).collect();
+            let out = Lit::pos(cnf.fresh_var());
+            // each lit → out
+            for &l in &lits {
+                cnf.add(vec![l.negated(), out]);
+            }
+            // out → some lit
+            let mut clause = lits;
+            clause.push(out.negated());
+            cnf.add(clause);
+            out
+        }
+    }
+}
+
+/// Converts a formula to an *equivalent* CNF by pushing negations to atoms and
+/// distributing ∨ over ∧.  Exponential in the worst case; intended for tests
+/// and very small formulas only.
+pub fn direct_cnf(formula: &PropFormula) -> Cnf {
+    let mut cnf = Cnf::new(formula.num_vars());
+    let clauses = clausify(formula, true);
+    match clauses {
+        None => {}
+        Some(cs) => {
+            for c in cs {
+                cnf.add(c);
+            }
+        }
+    }
+    cnf
+}
+
+/// Returns `None` for "no clauses needed" (the formula is valid under the
+/// polarity) or the clause set otherwise.
+fn clausify(formula: &PropFormula, polarity: bool) -> Option<Vec<Vec<Lit>>> {
+    match (formula, polarity) {
+        (PropFormula::True, true) | (PropFormula::False, false) => None,
+        (PropFormula::True, false) | (PropFormula::False, true) => Some(vec![vec![]]),
+        (PropFormula::Atom(v), pol) => Some(vec![vec![if pol {
+            Lit::pos(*v)
+        } else {
+            Lit::neg(*v)
+        }]]),
+        (PropFormula::Not(inner), pol) => clausify(inner, !pol),
+        (PropFormula::And(parts), true) | (PropFormula::Or(parts), false) => {
+            // Conjunctive case (And under positive polarity, Or under negative
+            // polarity): the clause sets of the children are simply unioned.
+            // Polarity is unchanged for the children in both cases.
+            let mut out = Vec::new();
+            for p in parts {
+                if let Some(cs) = clausify(p, polarity) {
+                    out.extend(cs);
+                }
+            }
+            if out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        (PropFormula::Or(parts), true) | (PropFormula::And(parts), false) => {
+            // Disjunctive case: cross product of the parts' clause sets.
+            // Polarity is unchanged for the children in both cases.
+            let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+            for p in parts {
+                match clausify(p, polarity) {
+                    None => return None, // one disjunct is valid → whole disjunction valid
+                    Some(cs) => {
+                        let mut next = Vec::new();
+                        for prefix in &acc {
+                            for c in &cs {
+                                let mut merged = prefix.clone();
+                                merged.extend(c.iter().copied());
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                    }
+                }
+            }
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver, Var};
+
+    /// Brute-force satisfiability over the formula's own variables.
+    fn brute_force_sat(f: &PropFormula) -> bool {
+        let n = f.num_vars();
+        assert!(n <= 16, "brute force limited to small formulas");
+        (0..(1u32 << n)).any(|bits| f.eval(&|v: Var| bits & (1 << v.0) != 0))
+    }
+
+    fn sample_formulas() -> Vec<PropFormula> {
+        let x = PropFormula::var(0);
+        let y = PropFormula::var(1);
+        let z = PropFormula::var(2);
+        vec![
+            PropFormula::True,
+            PropFormula::False,
+            x.clone(),
+            PropFormula::not(x.clone()),
+            PropFormula::and(vec![x.clone(), PropFormula::not(x.clone())]),
+            PropFormula::or(vec![x.clone(), PropFormula::not(x.clone())]),
+            PropFormula::iff(x.clone(), y.clone()),
+            PropFormula::and(vec![
+                PropFormula::iff(x.clone(), y.clone()),
+                PropFormula::iff(y.clone(), z.clone()),
+                PropFormula::not(PropFormula::iff(x.clone(), z.clone())),
+            ]),
+            PropFormula::implies(
+                PropFormula::and(vec![x.clone(), y.clone()]),
+                PropFormula::or(vec![z.clone(), PropFormula::not(x.clone())]),
+            ),
+            PropFormula::not(PropFormula::or(vec![
+                PropFormula::and(vec![x.clone(), y.clone()]),
+                PropFormula::and(vec![PropFormula::not(x.clone()), z.clone()]),
+                PropFormula::and(vec![y.clone(), PropFormula::not(z.clone())]),
+                PropFormula::and(vec![PropFormula::not(y.clone()), PropFormula::not(z.clone()), x.clone()]),
+                PropFormula::and(vec![PropFormula::not(x.clone()), PropFormula::not(y.clone()), PropFormula::not(z.clone())]),
+            ])),
+        ]
+    }
+
+    #[test]
+    fn tseitin_preserves_satisfiability() {
+        for f in sample_formulas() {
+            let (cnf, _) = tseitin_cnf(&f);
+            let mut solver = Solver::new(cnf);
+            let solver_sat = matches!(solver.solve(), SatResult::Sat(_));
+            assert_eq!(solver_sat, brute_force_sat(&f), "formula {f}");
+        }
+    }
+
+    #[test]
+    fn tseitin_models_restrict_to_original_vars() {
+        let f = PropFormula::and(vec![
+            PropFormula::or(vec![PropFormula::var(0), PropFormula::var(1)]),
+            PropFormula::not(PropFormula::var(0)),
+        ]);
+        let (cnf, aux_start) = tseitin_cnf(&f);
+        assert_eq!(aux_start, 2);
+        let mut solver = Solver::new(cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let assignment = |v: Var| model.value(v).unwrap_or(false);
+                assert!(f.eval(&assignment));
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn direct_cnf_is_equivalent_on_small_formulas() {
+        for f in sample_formulas() {
+            let cnf = direct_cnf(&f);
+            let n = f.num_vars().max(cnf.num_vars());
+            for bits in 0..(1u32 << n) {
+                let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+                let f_val = f.eval(&|v: Var| assignment.get(v.index()).copied().unwrap_or(false));
+                assert_eq!(cnf.eval(&assignment), f_val, "formula {f} bits {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_of_constants() {
+        let (cnf, _) = tseitin_cnf(&PropFormula::True);
+        assert_eq!(cnf.num_clauses(), 0);
+        let (cnf, _) = tseitin_cnf(&PropFormula::False);
+        let mut solver = Solver::new(cnf);
+        assert!(matches!(solver.solve(), SatResult::Unsat));
+    }
+}

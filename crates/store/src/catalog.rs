@@ -1,0 +1,293 @@
+//! The table catalog and the store facade.
+
+use crate::{Journal, Operation, StoreError, Table};
+use rtx_relational::{Instance, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A catalog of tables, addressable by name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table.  Fails if the name is taken.
+    pub fn register(&mut self, table: Table) -> Result<(), StoreError> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StoreError::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// The table names, in order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over the tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+}
+
+/// The store facade: a catalog plus the operation journal.
+///
+/// This is the component a deployed transducer would point its `db` relations
+/// at; [`Store::to_instance`] materialises the catalog as the relational
+/// [`Instance`] the transducer runtime reads at every step.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    catalog: Catalog,
+    journal: Journal,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Creates a table.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        attributes: Option<Vec<String>>,
+    ) -> Result<(), StoreError> {
+        let name = name.into();
+        self.catalog
+            .register(Table::new(name.clone(), arity, attributes.clone()))?;
+        self.journal.append(Operation::CreateTable {
+            name,
+            arity,
+            attributes,
+        });
+        Ok(())
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert(&mut self, table: &str, row: Tuple) -> Result<bool, StoreError> {
+        let new = self.catalog.table_mut(table)?.insert(row.clone())?;
+        if new {
+            self.journal.append(Operation::Insert {
+                table: table.to_string(),
+                row,
+            });
+        }
+        Ok(new)
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The operation journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Builds a secondary index on `table.column`.
+    pub fn build_index(&mut self, table: &str, column: usize) -> Result<(), StoreError> {
+        self.catalog.table_mut(table)?.build_index(column)
+    }
+
+    /// Selection by equality on one column.
+    pub fn select_eq(
+        &self,
+        table: &str,
+        column: usize,
+        value: &Value,
+    ) -> Result<Vec<Tuple>, StoreError> {
+        self.catalog.table(table)?.select_eq(column, value)
+    }
+
+    /// Full scan of a table.
+    pub fn scan(&self, table: &str) -> Result<Vec<Tuple>, StoreError> {
+        Ok(self.catalog.table(table)?.scan().cloned().collect())
+    }
+
+    /// Equijoin of two tables.
+    pub fn join_eq(
+        &self,
+        left: &str,
+        left_column: usize,
+        right: &str,
+        right_column: usize,
+    ) -> Result<Vec<Tuple>, StoreError> {
+        self.catalog
+            .table(left)?
+            .join_eq(left_column, self.catalog.table(right)?, right_column)
+    }
+
+    /// Materialises the whole store as a relational [`Instance`] over the
+    /// catalog's schema — the form the transducer runtime consumes as its
+    /// database `D`.
+    pub fn to_instance(&self) -> Result<Instance, StoreError> {
+        let schema = Schema::from_pairs(
+            self.catalog
+                .iter()
+                .map(|t| (t.name().to_string(), t.arity())),
+        )?;
+        let mut instance = Instance::empty(&schema);
+        for table in self.catalog.iter() {
+            for row in table.scan() {
+                instance.insert(table.name().to_string(), row.clone())?;
+            }
+        }
+        Ok(instance)
+    }
+
+    /// Loads an [`Instance`] into a fresh store (one table per relation).
+    pub fn from_instance(instance: &Instance) -> Result<Self, StoreError> {
+        let mut store = Store::new();
+        for (name, relation) in instance.iter() {
+            store.create_table(name.as_str(), relation.arity(), None)?;
+            for tuple in relation.iter() {
+                store.insert(name.as_str(), tuple.clone())?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Rebuilds a store from a journal.
+    pub fn replay(journal: &Journal) -> Result<Self, StoreError> {
+        let mut store = Store::new();
+        for op in journal.operations() {
+            match op {
+                Operation::CreateTable {
+                    name,
+                    arity,
+                    attributes,
+                } => store.create_table(name.clone(), *arity, attributes.clone())?,
+                Operation::Insert { table, row } => {
+                    store.insert(table, row.clone())?;
+                }
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        s.create_table("price", 2, None).unwrap();
+        s.create_table("available", 1, None).unwrap();
+        for (p, amt) in [("time", 855), ("newsweek", 845), ("lemonde", 8350)] {
+            s.insert("price", Tuple::from_iter(vec![Value::str(p), Value::int(amt)]))
+                .unwrap();
+        }
+        s.insert("available", Tuple::from_iter(vec![Value::str("time")]))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut s = sample_store();
+        assert!(matches!(
+            s.create_table("price", 2, None),
+            Err(StoreError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let s = sample_store();
+        assert!(matches!(s.scan("nope"), Err(StoreError::UnknownTable(_))));
+        assert!(matches!(
+            s.select_eq("nope", 0, &Value::int(1)),
+            Err(StoreError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn join_via_store() {
+        let s = sample_store();
+        let joined = s.join_eq("available", 0, "price", 0).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].get(2), Some(&Value::int(855)));
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let s = sample_store();
+        let instance = s.to_instance().unwrap();
+        assert_eq!(instance.relation("price").unwrap().len(), 3);
+        let s2 = Store::from_instance(&instance).unwrap();
+        assert_eq!(s2.to_instance().unwrap(), instance);
+    }
+
+    #[test]
+    fn journal_replay_reproduces_store() {
+        let s = sample_store();
+        assert_eq!(s.journal().len(), 2 + 4);
+        let replayed = Store::replay(s.journal()).unwrap();
+        assert_eq!(replayed.to_instance().unwrap(), s.to_instance().unwrap());
+    }
+
+    #[test]
+    fn duplicate_inserts_not_journaled() {
+        let mut s = sample_store();
+        let before = s.journal().len();
+        assert!(!s
+            .insert("available", Tuple::from_iter(vec![Value::str("time")]))
+            .unwrap());
+        assert_eq!(s.journal().len(), before);
+    }
+
+    #[test]
+    fn catalog_introspection() {
+        let s = sample_store();
+        assert_eq!(s.catalog().len(), 2);
+        assert!(!s.catalog().is_empty());
+        assert_eq!(
+            s.catalog().table_names(),
+            vec!["available".to_string(), "price".to_string()]
+        );
+        assert_eq!(s.catalog().table("price").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn indexes_through_store() {
+        let mut s = sample_store();
+        s.build_index("price", 0).unwrap();
+        assert!(s.catalog().table("price").unwrap().has_index(0));
+        let rows = s.select_eq("price", 0, &Value::str("newsweek")).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

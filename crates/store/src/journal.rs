@@ -1,0 +1,96 @@
+//! Append-only operation journal with replay.
+
+use rtx_relational::Tuple;
+
+/// A journaled operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// A table was created.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Table arity.
+        arity: usize,
+        /// Optional attribute names.
+        attributes: Option<Vec<String>>,
+    },
+    /// A row was inserted.
+    Insert {
+        /// Table name.
+        table: String,
+        /// The inserted row.
+        row: Tuple,
+    },
+}
+
+/// An append-only journal of operations.
+///
+/// The journal is the minimal durability mechanism the store offers: every
+/// mutating operation on a [`crate::Store`] is appended here and a fresh
+/// store with identical contents can be rebuilt with
+/// [`crate::Store::replay`].  (Persistence to disk is intentionally out of
+/// scope — the paper's substrate only needs a queryable catalog — but the
+/// journal gives the store the same recover-by-replay structure a durable
+/// implementation would have.)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    operations: Vec<Operation>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends an operation.
+    pub fn append(&mut self, op: Operation) {
+        self.operations.push(op);
+    }
+
+    /// The operations, in append order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Number of journaled operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// True if nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Truncates the journal (e.g. after a snapshot).
+    pub fn clear(&mut self) {
+        self.operations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::Value;
+
+    #[test]
+    fn journal_records_in_order() {
+        let mut j = Journal::new();
+        assert!(j.is_empty());
+        j.append(Operation::CreateTable {
+            name: "price".into(),
+            arity: 2,
+            attributes: None,
+        });
+        j.append(Operation::Insert {
+            table: "price".into(),
+            row: Tuple::from_iter(vec![Value::str("time"), Value::int(855)]),
+        });
+        assert_eq!(j.len(), 2);
+        assert!(matches!(j.operations()[0], Operation::CreateTable { .. }));
+        assert!(matches!(j.operations()[1], Operation::Insert { .. }));
+        j.clear();
+        assert!(j.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! # rtx-store
+//!
+//! An in-memory relational store — the substrate standing in for the external
+//! database the paper assumes behind the `db` relations of a transducer
+//! schema ("the db relations represent a database used by the system,
+//! possibly very large and external", §2.2; the prototype of [FAY97] used
+//! Postgres).
+//!
+//! The store provides what the transducer runtime and the datalog engine
+//! need from such a database at laptop scale:
+//!
+//! * a [`Catalog`] of named tables with fixed arity and optional attribute
+//!   names;
+//! * hash-indexed [`Table`]s with O(1) duplicate detection and per-column
+//!   secondary indexes for selection;
+//! * selection / projection / equijoin primitives used by the workload
+//!   generators and benchmarks;
+//! * conversion to and from the `rtx-relational` [`Instance`] type, which is
+//!   what the transducer runtime consumes at each step;
+//! * a write-ahead [`journal`] (append-only operation log) with replay, which
+//!   is the minimal durability story an electronic-commerce deployment needs
+//!   for its catalog updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod journal;
+mod table;
+
+pub use catalog::{Catalog, Store};
+pub use journal::{Journal, Operation};
+pub use table::Table;
+
+/// Errors produced by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table name was used that does not exist.
+    UnknownTable(String),
+    /// A table was created twice.
+    DuplicateTable(String),
+    /// A row of the wrong arity was inserted.
+    ArityMismatch {
+        /// The table involved.
+        table: String,
+        /// Declared arity.
+        expected: usize,
+        /// Offending row arity.
+        actual: usize,
+    },
+    /// A column index was out of range.
+    ColumnOutOfRange {
+        /// The table involved.
+        table: String,
+        /// The offending column index.
+        column: usize,
+    },
+    /// An error from the relational layer.
+    Relational(rtx_relational::RelationalError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StoreError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            StoreError::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for table `{table}`: expected {expected}, got {actual}"
+            ),
+            StoreError::ColumnOutOfRange { table, column } => {
+                write!(f, "column {column} out of range for table `{table}`")
+            }
+            StoreError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<rtx_relational::RelationalError> for StoreError {
+    fn from(e: rtx_relational::RelationalError) -> Self {
+        StoreError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{Tuple, Value};
+
+    #[test]
+    fn store_end_to_end() {
+        let mut store = Store::new();
+        store
+            .create_table("price", 2, Some(vec!["product".into(), "amount".into()]))
+            .unwrap();
+        store
+            .insert("price", Tuple::from_iter(vec![Value::str("time"), Value::int(855)]))
+            .unwrap();
+        store
+            .insert(
+                "price",
+                Tuple::from_iter(vec![Value::str("newsweek"), Value::int(845)]),
+            )
+            .unwrap();
+        let rows = store
+            .select_eq("price", 0, &Value::str("time"))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(1), Some(&Value::int(855)));
+
+        let instance = store.to_instance().unwrap();
+        assert_eq!(instance.relation("price").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StoreError::UnknownTable("x".into()).to_string().contains('x'));
+        assert!(StoreError::DuplicateTable("x".into()).to_string().contains("exists"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Hash-indexed tables.
+
+use crate::StoreError;
+use rtx_relational::{Tuple, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A single table: rows of a fixed arity with a primary hash index (for O(1)
+/// duplicate detection) and lazily maintained per-column secondary indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    name: String,
+    arity: usize,
+    attributes: Option<Vec<String>>,
+    rows: Vec<Tuple>,
+    primary: HashSet<Tuple>,
+    /// column → (value → row indexes)
+    secondary: BTreeMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, arity: usize, attributes: Option<Vec<String>>) -> Self {
+        Table {
+            name: name.into(),
+            arity,
+            attributes,
+            rows: Vec::new(),
+            primary: HashSet::new(),
+            secondary: BTreeMap::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Optional attribute names.
+    pub fn attributes(&self) -> Option<&[String]> {
+        self.attributes.as_deref()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row; duplicate rows are ignored (set semantics).  Returns
+    /// whether the row was new.
+    pub fn insert(&mut self, row: Tuple) -> Result<bool, StoreError> {
+        if row.arity() != self.arity {
+            return Err(StoreError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.arity,
+                actual: row.arity(),
+            });
+        }
+        if self.primary.contains(&row) {
+            return Ok(false);
+        }
+        let row_index = self.rows.len();
+        for (column, index) in self.secondary.iter_mut() {
+            let value = row.get(*column).expect("arity checked").clone();
+            index.entry(value).or_default().push(row_index);
+        }
+        self.primary.insert(row.clone());
+        self.rows.push(row);
+        Ok(true)
+    }
+
+    /// True if the row is present.
+    pub fn contains(&self, row: &Tuple) -> bool {
+        self.primary.contains(row)
+    }
+
+    /// Iterates over all rows (full scan).
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Builds (if necessary) the secondary index on a column.
+    pub fn build_index(&mut self, column: usize) -> Result<(), StoreError> {
+        if column >= self.arity {
+            return Err(StoreError::ColumnOutOfRange {
+                table: self.name.clone(),
+                column,
+            });
+        }
+        if self.secondary.contains_key(&column) {
+            return Ok(());
+        }
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            index
+                .entry(row.get(column).expect("arity checked").clone())
+                .or_default()
+                .push(i);
+        }
+        self.secondary.insert(column, index);
+        Ok(())
+    }
+
+    /// True if a secondary index exists on the column.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.secondary.contains_key(&column)
+    }
+
+    /// Selects the rows whose `column` equals `value`, using the secondary
+    /// index when available, otherwise a full scan.
+    pub fn select_eq(&self, column: usize, value: &Value) -> Result<Vec<Tuple>, StoreError> {
+        if column >= self.arity {
+            return Err(StoreError::ColumnOutOfRange {
+                table: self.name.clone(),
+                column,
+            });
+        }
+        if let Some(index) = self.secondary.get(&column) {
+            return Ok(index
+                .get(value)
+                .map(|ids| ids.iter().map(|&i| self.rows[i].clone()).collect())
+                .unwrap_or_default());
+        }
+        Ok(self
+            .rows
+            .iter()
+            .filter(|row| row.get(column) == Some(value))
+            .cloned()
+            .collect())
+    }
+
+    /// Projects every row onto the given columns.
+    pub fn project(&self, columns: &[usize]) -> Result<Vec<Tuple>, StoreError> {
+        for &c in columns {
+            if c >= self.arity {
+                return Err(StoreError::ColumnOutOfRange {
+                    table: self.name.clone(),
+                    column: c,
+                });
+            }
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|row| row.project(columns).expect("columns checked"))
+            .collect())
+    }
+
+    /// Hash equijoin with another table on `self.column == other.column`.
+    /// Returns concatenated rows.
+    pub fn join_eq(
+        &self,
+        own_column: usize,
+        other: &Table,
+        other_column: usize,
+    ) -> Result<Vec<Tuple>, StoreError> {
+        if own_column >= self.arity {
+            return Err(StoreError::ColumnOutOfRange {
+                table: self.name.clone(),
+                column: own_column,
+            });
+        }
+        if other_column >= other.arity {
+            return Err(StoreError::ColumnOutOfRange {
+                table: other.name.clone(),
+                column: other_column,
+            });
+        }
+        // Build a hash map on the smaller side.
+        let mut by_value: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+        for row in &other.rows {
+            by_value
+                .entry(row.get(other_column).expect("arity checked"))
+                .or_default()
+                .push(row);
+        }
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let key = row.get(own_column).expect("arity checked");
+            if let Some(matches) = by_value.get(key) {
+                for m in matches {
+                    out.push(row.concat(m));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn price_table() -> Table {
+        let mut t = Table::new("price", 2, Some(vec!["product".into(), "amount".into()]));
+        t.insert(Tuple::from_iter(vec![Value::str("time"), Value::int(855)]))
+            .unwrap();
+        t.insert(Tuple::from_iter(vec![
+            Value::str("newsweek"),
+            Value::int(845),
+        ]))
+        .unwrap();
+        t.insert(Tuple::from_iter(vec![
+            Value::str("lemonde"),
+            Value::int(8350),
+        ]))
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_is_set_semantics_and_checks_arity() {
+        let mut t = price_table();
+        assert_eq!(t.len(), 3);
+        assert!(!t
+            .insert(Tuple::from_iter(vec![Value::str("time"), Value::int(855)]))
+            .unwrap());
+        assert_eq!(t.len(), 3);
+        assert!(matches!(
+            t.insert(Tuple::from_iter(vec![Value::str("x")])),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+        assert!(t.contains(&Tuple::from_iter(vec![Value::str("time"), Value::int(855)])));
+        assert!(!t.is_empty());
+        assert_eq!(t.name(), "price");
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.attributes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn select_with_and_without_index_agree() {
+        let mut t = price_table();
+        let unindexed = t.select_eq(0, &Value::str("time")).unwrap();
+        t.build_index(0).unwrap();
+        assert!(t.has_index(0));
+        let indexed = t.select_eq(0, &Value::str("time")).unwrap();
+        assert_eq!(unindexed, indexed);
+        assert_eq!(indexed.len(), 1);
+        // index is maintained by later inserts
+        t.insert(Tuple::from_iter(vec![Value::str("time"), Value::int(900)]))
+            .unwrap();
+        assert_eq!(t.select_eq(0, &Value::str("time")).unwrap().len(), 2);
+        // missing value
+        assert!(t.select_eq(0, &Value::str("economist")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn column_bounds_are_checked() {
+        let mut t = price_table();
+        assert!(matches!(
+            t.select_eq(5, &Value::int(1)),
+            Err(StoreError::ColumnOutOfRange { .. })
+        ));
+        assert!(t.build_index(7).is_err());
+        assert!(t.project(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn projection() {
+        let t = price_table();
+        let products = t.project(&[0]).unwrap();
+        assert_eq!(products.len(), 3);
+        assert!(products.contains(&Tuple::from_iter(vec![Value::str("lemonde")])));
+    }
+
+    #[test]
+    fn hash_join() {
+        let prices = price_table();
+        let mut orders = Table::new("order", 1, None);
+        orders
+            .insert(Tuple::from_iter(vec![Value::str("time")]))
+            .unwrap();
+        orders
+            .insert(Tuple::from_iter(vec![Value::str("economist")]))
+            .unwrap();
+        let joined = orders.join_eq(0, &prices, 0).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].arity(), 3);
+        assert_eq!(joined[0].get(2), Some(&Value::int(855)));
+        assert!(orders.join_eq(3, &prices, 0).is_err());
+        assert!(orders.join_eq(0, &prices, 9).is_err());
+    }
+}

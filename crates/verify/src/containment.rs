@@ -1,0 +1,331 @@
+//! Customization containment (Theorem 3.5 and Corollary 3.6).
+//!
+//! `T1 ⊒ T2` ("T1 contains T2") means every valid log of `T2` is also a valid
+//! log of `T1`.  This is the soundness criterion for *customization*: a
+//! customer may extend the supplier's model `T1` (new inputs, new warning
+//! outputs, extra constraints) into `T2` as long as the logs `T2` can produce
+//! are still logs `T1` could have produced.  Containment is undecidable in
+//! general (Theorem 3.4) but decidable when `in1 ⊆ in2`, the two transducers
+//! share their log schema, and the log is full for `T1` (`in1 ⊆ log`) —
+//! exactly the customization scenario.
+
+use crate::reduction::{fix_database, output_atom_formula, witness_inputs};
+use crate::VerifyError;
+use rtx_core::SpocusTransducer;
+use rtx_datalog::graph::DependencyGraph;
+use rtx_logic::{solve_bs, BsOutcome, BsProblem, Formula, Term};
+use rtx_relational::{Instance, InstanceSequence, RelationName};
+use std::collections::BTreeSet;
+
+/// The verdict of a containment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentVerdict {
+    /// Every valid log of the customized transducer is a valid log of the
+    /// original.
+    Contained,
+    /// Some input sequence of the customized transducer produces a log the
+    /// original cannot produce on the same (restricted) inputs.
+    NotContained {
+        /// A two-step input sequence (over the customized transducer's input
+        /// schema) on which the two logs differ.
+        counterexample_inputs: InstanceSequence,
+    },
+}
+
+impl ContainmentVerdict {
+    /// True if containment holds.
+    pub fn is_contained(&self) -> bool {
+        matches!(self, ContainmentVerdict::Contained)
+    }
+}
+
+/// Decides whether the customization `customized` preserves the logs of
+/// `original` (Theorem 3.5): every valid log of `customized` is a valid log
+/// of `original`.
+///
+/// The procedure decides *pointwise log agreement*: for every input sequence
+/// over the customization's inputs, the customization's log equals the
+/// original's log on the same inputs (restricted to the original's input
+/// schema).  Pointwise agreement always implies log containment; Theorem 3.5
+/// shows it is also complete for containment when the log is full for the
+/// original (`in1 ⊆ log`).  By the two-step collapse, only runs of length two
+/// need to be examined.
+///
+/// Preconditions (checked):
+/// * `original.in ⊆ customized.in` (the customization may only add inputs);
+/// * the two transducers declare the same set of log relations, with the same
+///   arities;
+/// * the shared database schema is the same.
+pub fn customization_preserves_logs(
+    original: &SpocusTransducer,
+    customized: &SpocusTransducer,
+    db: &Instance,
+) -> Result<ContainmentVerdict, VerifyError> {
+    let s1 = original.schema();
+    let s2 = customized.schema();
+    if !s1.input().is_subschema_of(s2.input()) {
+        return Err(VerifyError::Precondition {
+            detail: "the original's input schema must be contained in the customization's".into(),
+        });
+    }
+    if s1.log() != s2.log() {
+        return Err(VerifyError::Precondition {
+            detail: "the two transducers must declare the same log relations".into(),
+        });
+    }
+    if s1.db() != s2.db() {
+        return Err(VerifyError::Precondition {
+            detail: "the two transducers must share their database schema".into(),
+        });
+    }
+
+    // Counterexample search over two-step runs of the customized transducer:
+    // some logged relation differs, at some step, between the two logs.
+    // Logged relations that are inputs of both transducers trivially agree
+    // (both log the same input); a logged relation that is an input of the
+    // customization but an output of the original (or vice versa) is compared
+    // input-copy against defining formula.
+    let mut differences: Vec<Formula> = Vec::new();
+    for relation in s1.log() {
+        let arity = s1
+            .log_schema()
+            .arity_of(relation.clone())
+            .or_else(|| s2.log_schema().arity_of(relation.clone()))
+            .ok_or_else(|| VerifyError::Precondition {
+                detail: format!("log relation `{relation}` missing from both schemas"),
+            })?;
+        let vars: Vec<String> = (0..arity).map(|i| format!("x{i}")).collect();
+        let terms: Vec<Term> = vars.iter().map(Term::var).collect();
+        for step in 1..=2usize {
+            let in_original = log_membership(original, relation, &terms, step)?;
+            let in_customized = log_membership(customized, relation, &terms, step)?;
+            if in_original == in_customized {
+                continue;
+            }
+            // XOR: one holds and the other does not.
+            let xor = Formula::or(vec![
+                Formula::and(vec![in_customized.clone(), Formula::not(in_original.clone())]),
+                Formula::and(vec![in_original, Formula::not(in_customized)]),
+            ]);
+            differences.push(Formula::exists(vars.clone(), xor));
+        }
+    }
+    let sentence = Formula::or(differences);
+
+    let mut problem = BsProblem::new(sentence);
+    fix_database(&mut problem, db);
+
+    match solve_bs(&problem)? {
+        BsOutcome::Satisfiable(model) => Ok(ContainmentVerdict::NotContained {
+            counterexample_inputs: witness_inputs(customized, &model, 2)?,
+        }),
+        BsOutcome::Unsatisfiable => Ok(ContainmentVerdict::Contained),
+    }
+}
+
+/// "The tuple `args` appears in `relation`'s slice of the log of `transducer`
+/// at step `step`", over the replicated two-step input signature.
+fn log_membership(
+    transducer: &SpocusTransducer,
+    relation: &RelationName,
+    args: &[Term],
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let schema = transducer.schema();
+    let mut parts = Vec::new();
+    if schema.input().contains(relation.clone()) {
+        parts.push(Formula::atom(
+            crate::reduction::step_relation(relation, step),
+            args.to_vec(),
+        ));
+    }
+    if schema.output().contains(relation.clone()) {
+        parts.push(output_atom_formula(transducer, relation, args, step)?);
+    }
+    if parts.is_empty() {
+        // The relation is logged but this transducer never produces it: its
+        // slice of the log is always empty.
+        return Ok(Formula::False);
+    }
+    Ok(Formula::or(parts))
+}
+
+/// The syntactic sufficient condition for sound customization discussed after
+/// Theorem 3.5: the customization keeps every original rule, adds only new
+/// rules for non-logged outputs, and no logged relation depends (in the
+/// customization's dependency graph) on a newly added input relation.
+pub fn syntactically_safe_customization(
+    original: &SpocusTransducer,
+    customized: &SpocusTransducer,
+) -> bool {
+    let s1 = original.schema();
+    let s2 = customized.schema();
+    if !s1.input().is_subschema_of(s2.input()) || s1.log() != s2.log() {
+        return false;
+    }
+    // every original rule is still present
+    let original_rules: BTreeSet<String> = original
+        .output_program()
+        .rules()
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    let customized_rules: BTreeSet<String> = customized
+        .output_program()
+        .rules()
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    if !original_rules.is_subset(&customized_rules) {
+        return false;
+    }
+    // no new rule defines a logged output relation
+    for rule in customized.output_program().rules() {
+        let is_new = !original_rules.contains(&rule.to_string());
+        if is_new && s1.log().contains(&rule.head.relation) {
+            return false;
+        }
+    }
+    // no logged relation depends on a newly added input
+    let graph = DependencyGraph::of(customized.output_program());
+    let new_inputs: Vec<RelationName> = s2
+        .input()
+        .names()
+        .filter(|n| !s1.input().contains((*n).clone()))
+        .cloned()
+        .collect();
+    for logged in s1.log() {
+        for new_input in &new_inputs {
+            if graph.depends_on(logged, new_input)
+                || graph.depends_on(logged, &new_input.past())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::{models, SpocusBuilder};
+
+    #[test]
+    fn friendly_is_a_sound_customization_of_short() {
+        // §2.1: short and friendly have exactly the same valid logs, so each
+        // contains the other; in particular short ⊒ friendly, which is the
+        // direction customization needs.
+        let short = models::short();
+        let friendly = models::friendly();
+        let db = models::figure1_database();
+        assert!(customization_preserves_logs(&short, &friendly, &db)
+            .unwrap()
+            .is_contained());
+        assert!(syntactically_safe_customization(&short, &friendly));
+    }
+
+    #[test]
+    fn a_customization_that_tampers_with_deliveries_is_rejected() {
+        // The customization delivers any ordered product immediately, without
+        // payment — its logs contain deliveries short would never produce.
+        let short = models::short();
+        let rogue = SpocusBuilder::new("rogue")
+            .input("order", 1)
+            .input("pay", 2)
+            .input("pending-bills", 0)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .log(["sendbill", "pay", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- order(X), price(X,Y)")
+            .build()
+            .unwrap();
+        let db = models::figure1_database();
+        match customization_preserves_logs(&short, &rogue, &db).unwrap() {
+            ContainmentVerdict::NotContained {
+                counterexample_inputs,
+            } => {
+                assert_eq!(counterexample_inputs.len(), 2);
+            }
+            ContainmentVerdict::Contained => panic!("the rogue customization must be rejected"),
+        }
+        assert!(!syntactically_safe_customization(&short, &rogue));
+    }
+
+    #[test]
+    fn restricting_purchases_is_an_acceptable_customization() {
+        // §2.1: a customer may restrict the model (e.g. refuse to bill
+        // products that are not available).  The restricted logs are a subset
+        // of short's logs, so containment holds.
+        let short = models::short();
+        let restricted = SpocusBuilder::new("restricted")
+            .input("order", 1)
+            .input("pay", 2)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .log(["sendbill", "pay", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), available(X), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+            .build()
+            .unwrap();
+        let db = models::figure1_database();
+        // Not contained in the other direction conceptually, but here we ask:
+        // is every log of `restricted` a log of `short`?  The sendbill slice
+        // differs on the same inputs (short bills unavailable products,
+        // restricted does not), so two-step log equality fails.
+        let verdict = customization_preserves_logs(&short, &restricted, &db).unwrap();
+        // A log of `restricted` on inputs ordering an unavailable product
+        // lacks the bill short would emit — but that very log *is* producible
+        // by short on a different input sequence (one that never orders the
+        // product).  The theorem's procedure compares logs on the *same*
+        // inputs, which is sound (it may only over-approximate rejection):
+        // here it rejects.
+        assert!(!verdict.is_contained());
+        assert!(!syntactically_safe_customization(&short, &restricted));
+    }
+
+    #[test]
+    fn preconditions_are_checked() {
+        let short = models::short();
+        let friendly = models::friendly();
+        let db = models::figure1_database();
+        // swapped arguments: friendly's inputs are not contained in short's
+        assert!(matches!(
+            customization_preserves_logs(&friendly, &short, &db),
+            Err(VerifyError::Precondition { .. })
+        ));
+
+        // different log relations
+        let other_log = SpocusBuilder::new("other-log")
+            .input("order", 1)
+            .input("pay", 2)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .log(["sendbill", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            customization_preserves_logs(&short, &other_log, &db),
+            Err(VerifyError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_transducers_contain_each_other() {
+        let short = models::short();
+        let db = models::figure1_database();
+        assert!(customization_preserves_logs(&short, &short, &db)
+            .unwrap()
+            .is_contained());
+        assert!(syntactically_safe_customization(&short, &short));
+    }
+}

@@ -1,0 +1,341 @@
+//! Functional and inclusion dependencies, and the reduction gadgets of
+//! Proposition 3.1 and Theorem 3.4.
+//!
+//! The paper's undecidability results reduce the implication problem for
+//! functional dependencies (FDs) and inclusion dependencies (IncDs) — which
+//! is undecidable [CV85, Mit83] — to log validity for Spocus transducers
+//! *extended with projections in state rules* (Proposition 3.1) and to
+//! containment of genuine Spocus transducers (Theorem 3.4).  These are
+//! negative results, so there is nothing to decide here; instead this module
+//! provides executable *witnesses* of the reductions:
+//!
+//! * FD/IncD satisfaction checks on concrete relations;
+//! * the Proposition 3.1 gadget: an extended (non-Spocus) transducer whose
+//!   log `(∅, {violG})` is reachable exactly when the given instance
+//!   satisfies `F` but violates `G`.
+
+use crate::VerifyError;
+use rtx_core::{CoreError, RelationalTransducer, TransducerSchema};
+use rtx_relational::{Instance, InstanceSequence, Relation, RelationName, Schema, Tuple};
+
+/// A functional dependency `X → j` over the columns of a relation (0-based
+/// column indexes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Determinant columns.
+    pub lhs: Vec<usize>,
+    /// Determined column.
+    pub rhs: usize,
+}
+
+impl FunctionalDependency {
+    /// True if the relation satisfies the dependency.
+    pub fn satisfied_by(&self, relation: &Relation) -> bool {
+        for u in relation.iter() {
+            for v in relation.iter() {
+                let agree_lhs = self
+                    .lhs
+                    .iter()
+                    .all(|&i| u.get(i).is_some() && u.get(i) == v.get(i));
+                if agree_lhs && u.get(self.rhs) != v.get(self.rhs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// An inclusion dependency `R[i1…im] ⊆ R[j1…jm]` over a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionDependency {
+    /// Source columns.
+    pub lhs: Vec<usize>,
+    /// Target columns.
+    pub rhs: Vec<usize>,
+}
+
+impl InclusionDependency {
+    /// True if the relation satisfies the dependency.
+    pub fn satisfied_by(&self, relation: &Relation) -> bool {
+        let targets: Vec<Tuple> = relation
+            .iter()
+            .filter_map(|t| t.project(&self.rhs))
+            .collect();
+        relation.iter().all(|t| match t.project(&self.lhs) {
+            Some(p) => targets.contains(&p),
+            None => false,
+        })
+    }
+}
+
+/// A set of FDs and IncDs over one relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependencySet {
+    /// The functional dependencies.
+    pub fds: Vec<FunctionalDependency>,
+    /// The inclusion dependencies.
+    pub inds: Vec<InclusionDependency>,
+}
+
+impl DependencySet {
+    /// True if the relation satisfies every dependency of the set.
+    pub fn satisfied_by(&self, relation: &Relation) -> bool {
+        self.fds.iter().all(|fd| fd.satisfied_by(relation))
+            && self.inds.iter().all(|ind| ind.satisfied_by(relation))
+    }
+}
+
+/// The Proposition 3.1 gadget: a relational transducer with *projection*
+/// state rules (hence not Spocus) whose outputs `violF` / `violG` report, one
+/// step after the input of an instance of `R`, whether that instance violates
+/// the dependency sets `F` and `G`.
+///
+/// The log consists of `violF` and `violG` only, so the log `(∅, {violG})` is
+/// valid exactly when some instance satisfies `F` and violates `G` — i.e.
+/// exactly when `F ⊭ G`.  Since FD+IncD implication is undecidable, so is log
+/// validity for this extended transducer class.
+#[derive(Debug, Clone)]
+pub struct DependencyGadget {
+    schema: TransducerSchema,
+    arity: usize,
+    f: DependencySet,
+    g: DependencySet,
+}
+
+impl DependencyGadget {
+    /// Builds the gadget for a relation of the given arity and dependency
+    /// sets `F` and `G`.
+    pub fn new(arity: usize, f: DependencySet, g: DependencySet) -> Result<Self, VerifyError> {
+        let input = Schema::from_pairs([("R", arity)]).map_err(CoreError::from)?;
+        // state: past-R plus one projection relation per distinct IncD target
+        let mut state_pairs: Vec<(String, usize)> = vec![("past-R".into(), arity)];
+        for ind in f.inds.iter().chain(g.inds.iter()) {
+            let name = projection_name(&ind.rhs);
+            if !state_pairs.iter().any(|(n, _)| n == &name) {
+                state_pairs.push((name, ind.rhs.len()));
+            }
+        }
+        let state = Schema::from_pairs(state_pairs).map_err(CoreError::from)?;
+        let output = Schema::from_pairs([("violF", 0), ("violG", 0)]).map_err(CoreError::from)?;
+        let schema = TransducerSchema::new(
+            input,
+            state,
+            output,
+            Schema::empty(),
+            [RelationName::new("violF"), RelationName::new("violG")],
+        )?;
+        Ok(DependencyGadget {
+            schema,
+            arity,
+            f,
+            g,
+        })
+    }
+
+    /// Runs the gadget on the two-step input sequence `(I, ∅)` for a concrete
+    /// instance `I` of `R` and returns the resulting log.
+    pub fn audit(&self, instance: &Relation) -> Result<InstanceSequence, VerifyError> {
+        let mut step1 = Instance::empty(self.schema.input());
+        for t in instance.iter() {
+            step1.insert("R", t.clone()).map_err(CoreError::from)?;
+        }
+        let step2 = Instance::empty(self.schema.input());
+        let inputs =
+            InstanceSequence::new(self.schema.input().clone(), vec![step1, step2])
+                .map_err(CoreError::from)?;
+        let run = self.run(&Instance::empty(&Schema::empty()), &inputs)?;
+        Ok(run.log().clone())
+    }
+
+    /// True if the log produced by [`DependencyGadget::audit`] on `instance`
+    /// is the Proposition 3.1 witness `(∅, {violG})`: the instance satisfies
+    /// `F` and violates `G`.
+    pub fn witnesses_non_implication(&self, instance: &Relation) -> Result<bool, VerifyError> {
+        let log = self.audit(instance)?;
+        if log.len() != 2 {
+            return Ok(false);
+        }
+        let first = log.get(0).expect("length checked");
+        let second = log.get(1).expect("length checked");
+        Ok(first.is_empty()
+            && second.relation("violG").map_or(false, Relation::holds)
+            && !second.relation("violF").map_or(false, Relation::holds))
+    }
+}
+
+fn projection_name(columns: &[usize]) -> String {
+    let suffix: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+    format!("past-Rproj{}", suffix.join("-"))
+}
+
+impl RelationalTransducer for DependencyGadget {
+    fn schema(&self) -> &TransducerSchema {
+        &self.schema
+    }
+
+    /// Cumulative state *with projections*: `past-R` cumulates `R` and each
+    /// `past-Rproj…` cumulates the corresponding projection of `R` — the
+    /// single non-Spocus ingredient of the reduction.
+    fn state_step(
+        &self,
+        input: &Instance,
+        previous_state: &Instance,
+        _db: &Instance,
+    ) -> Result<Instance, CoreError> {
+        let mut next = previous_state.clone();
+        if let Some(r) = input.relation("R") {
+            for tuple in r.iter() {
+                next.insert("past-R", tuple.clone())?;
+                for ind in self.f.inds.iter().chain(self.g.inds.iter()) {
+                    let name = projection_name(&ind.rhs);
+                    if let Some(projected) = tuple.project(&ind.rhs) {
+                        next.insert(name.as_str(), projected)?;
+                    }
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// Outputs `violF` / `violG` when the accumulated `past-R` violates the
+    /// respective dependency set (checked against the stored projections for
+    /// inclusion dependencies, as in the paper's construction).
+    fn output_step(
+        &self,
+        _input: &Instance,
+        previous_state: &Instance,
+        _db: &Instance,
+    ) -> Result<Instance, CoreError> {
+        let mut output = Instance::empty(self.schema.output());
+        let stored = previous_state
+            .relation("past-R")
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(self.arity));
+        for (set, flag) in [(&self.f, "violF"), (&self.g, "violG")] {
+            let mut violated = set.fds.iter().any(|fd| !fd.satisfied_by(&stored));
+            for ind in &set.inds {
+                // check against the stored projection relation, mirroring the
+                // rule violX :- past-R(x̄), ¬past-Rproj(x̄[lhs])
+                let projections = previous_state
+                    .relation(projection_name(&ind.rhs).as_str())
+                    .cloned()
+                    .unwrap_or_else(|| Relation::empty(ind.rhs.len()));
+                for tuple in stored.iter() {
+                    match tuple.project(&ind.lhs) {
+                        Some(p) if projections.contains(&p) => {}
+                        _ => {
+                            violated = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if violated {
+                output.insert(flag, Tuple::unit())?;
+            }
+        }
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::Value;
+
+    fn relation(rows: &[(&str, &str)]) -> Relation {
+        Relation::from_tuples(
+            2,
+            rows.iter()
+                .map(|(a, b)| Tuple::new(vec![Value::str(*a), Value::str(*b)])),
+        )
+        .unwrap()
+    }
+
+    fn paper_example() -> (DependencySet, DependencySet) {
+        // F = { 1 → 2 } (column 0 determines column 1),
+        // G = { R[1] ⊆ R[2] } (column 0 values included in column 1 values).
+        let f = DependencySet {
+            fds: vec![FunctionalDependency {
+                lhs: vec![0],
+                rhs: 1,
+            }],
+            inds: vec![],
+        };
+        let g = DependencySet {
+            fds: vec![],
+            inds: vec![InclusionDependency {
+                lhs: vec![0],
+                rhs: vec![1],
+            }],
+        };
+        (f, g)
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let fd = FunctionalDependency {
+            lhs: vec![0],
+            rhs: 1,
+        };
+        assert!(fd.satisfied_by(&relation(&[("a", "1"), ("b", "2")])));
+        assert!(!fd.satisfied_by(&relation(&[("a", "1"), ("a", "2")])));
+        assert!(fd.satisfied_by(&Relation::empty(2)));
+    }
+
+    #[test]
+    fn ind_satisfaction() {
+        let ind = InclusionDependency {
+            lhs: vec![0],
+            rhs: vec![1],
+        };
+        // every first-column value appears in the second column
+        assert!(ind.satisfied_by(&relation(&[("a", "a")])));
+        assert!(ind.satisfied_by(&relation(&[("a", "b"), ("b", "a")])));
+        assert!(!ind.satisfied_by(&relation(&[("a", "b")])));
+        assert!(ind.satisfied_by(&Relation::empty(2)));
+    }
+
+    #[test]
+    fn proposition_31_gadget_detects_non_implication() {
+        // In the paper's example F ⊭ G: the instance {(a, 1), (b, 2)}
+        // satisfies the FD but violates the inclusion dependency.
+        let (f, g) = paper_example();
+        let gadget = DependencyGadget::new(2, f, g).unwrap();
+        let witness = relation(&[("a", "1"), ("b", "2")]);
+        assert!(gadget.witnesses_non_implication(&witness).unwrap());
+        // the audit log is exactly (∅, {violG})
+        let log = gadget.audit(&witness).unwrap();
+        assert!(log.get(0).unwrap().is_empty());
+        assert!(log.get(1).unwrap().relation("violG").unwrap().holds());
+        assert!(!log.get(1).unwrap().relation("violF").unwrap().holds());
+    }
+
+    #[test]
+    fn instances_satisfying_both_sets_do_not_witness() {
+        let (f, g) = paper_example();
+        let gadget = DependencyGadget::new(2, f, g).unwrap();
+        // satisfies both F and G
+        assert!(!gadget
+            .witnesses_non_implication(&relation(&[("a", "a")]))
+            .unwrap());
+        // violates F as well as G: not the (∅, {violG}) witness either
+        assert!(!gadget
+            .witnesses_non_implication(&relation(&[("a", "1"), ("a", "2")]))
+            .unwrap());
+        // the empty instance satisfies everything
+        assert!(!gadget
+            .witnesses_non_implication(&Relation::empty(2))
+            .unwrap());
+    }
+
+    #[test]
+    fn dependency_sets_combine() {
+        let (f, g) = paper_example();
+        let mut combined = f.clone();
+        combined.inds.extend(g.inds.clone());
+        assert!(combined.satisfied_by(&relation(&[("a", "a")])));
+        assert!(!combined.satisfied_by(&relation(&[("a", "1"), ("b", "2")])));
+    }
+}

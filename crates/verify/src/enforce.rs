@@ -1,0 +1,472 @@
+//! Enforcement of `T_sdi` input policies via error rules (Theorem 4.1).
+//!
+//! A `T_sdi` sentence is a conjunction of constraints
+//! `∀x̄ (φ(state, db, in) → ψ(state, db, in))` where `φ` is a conjunction of
+//! literals with every variable occurring in a positive literal and `ψ` is a
+//! positive quantifier-free formula.  Theorem 4.1 shows that for every such
+//! sentence there is a Spocus transducer whose *error-free* runs are exactly
+//! the input sequences satisfying the sentence at every step; the
+//! construction is purely syntactic — put `ψ` in conjunctive normal form and
+//! emit one error rule per clause:
+//!
+//! ```text
+//! error :- φ-literals, NOT L1, …, NOT Lm.
+//! ```
+//!
+//! This module implements the constraint type, the compilation, and the
+//! direct (semantic) satisfaction check used to validate the equivalence.
+
+use crate::VerifyError;
+use rtx_core::{CoreError, Run, SpocusBuilder, SpocusTransducer};
+use rtx_datalog::{Atom, BodyLiteral, Rule};
+use rtx_logic::{Formula, Term};
+use rtx_relational::Instance;
+use std::collections::BTreeMap;
+
+/// One `T_sdi` constraint `∀x̄ (antecedent → consequent)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdiConstraint {
+    /// The antecedent: a conjunction of body literals over state, database
+    /// and input relations.  Every variable of the constraint must occur in a
+    /// positive antecedent literal.
+    pub antecedent: Vec<BodyLiteral>,
+    /// The consequent: a positive quantifier-free formula (atoms combined
+    /// with ∧/∨) over state, database and input relations whose variables are
+    /// among the antecedent's.
+    pub consequent: Formula,
+}
+
+impl SdiConstraint {
+    /// Creates a constraint, validating the `T_sdi` shape.
+    pub fn new(antecedent: Vec<BodyLiteral>, consequent: Formula) -> Result<Self, VerifyError> {
+        let constraint = SdiConstraint {
+            antecedent,
+            consequent,
+        };
+        constraint.validate()?;
+        Ok(constraint)
+    }
+
+    fn validate(&self) -> Result<(), VerifyError> {
+        // consequent must be positive and quantifier-free
+        check_positive(&self.consequent)?;
+        // all variables (antecedent and consequent) must occur positively in
+        // the antecedent
+        let mut positive_vars = std::collections::BTreeSet::new();
+        for lit in &self.antecedent {
+            if let BodyLiteral::Positive(atom) = lit {
+                positive_vars.extend(atom.variables());
+            }
+        }
+        let mut all_vars = std::collections::BTreeSet::new();
+        for lit in &self.antecedent {
+            all_vars.extend(lit.variables());
+        }
+        all_vars.extend(self.consequent.free_variables());
+        for var in all_vars {
+            if !positive_vars.contains(&var) {
+                return Err(VerifyError::UnsupportedProperty {
+                    detail: format!(
+                        "variable `{var}` does not occur in a positive antecedent literal"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The constraint as a first-order sentence
+    /// `∀x̄ (antecedent → consequent)`.
+    pub fn to_formula(&self) -> Formula {
+        let mut vars = std::collections::BTreeSet::new();
+        for lit in &self.antecedent {
+            vars.extend(lit.variables());
+        }
+        vars.extend(self.consequent.free_variables());
+        let antecedent = Formula::and(
+            self.antecedent
+                .iter()
+                .map(|lit| match lit {
+                    BodyLiteral::Positive(a) => Formula::atom(a.relation.clone(), a.args.clone()),
+                    BodyLiteral::Negative(a) => {
+                        Formula::not(Formula::atom(a.relation.clone(), a.args.clone()))
+                    }
+                    BodyLiteral::NotEqual(a, b) => Formula::neq(a.clone(), b.clone()),
+                })
+                .collect(),
+        );
+        Formula::forall(
+            vars.into_iter().collect::<Vec<_>>(),
+            Formula::implies(antecedent, self.consequent.clone()),
+        )
+    }
+
+    /// Compiles the constraint into error rules (Theorem 4.1): one rule per
+    /// clause of the consequent's conjunctive normal form.
+    pub fn compile_to_error_rules(&self) -> Result<Vec<Rule>, VerifyError> {
+        let clauses = positive_cnf(&self.consequent)?;
+        let mut rules = Vec::new();
+        if clauses.is_empty() {
+            // The consequent is valid (true): no error rule needed.
+            return Ok(rules);
+        }
+        for clause in clauses {
+            let mut body = self.antecedent.clone();
+            if clause.is_empty() {
+                // The consequent is unsatisfiable (false): the antecedent
+                // itself is an error.
+                rules.push(Rule::new(Atom::new("error", Vec::<Term>::new()), body));
+                continue;
+            }
+            for atom in clause {
+                body.push(BodyLiteral::Negative(atom));
+            }
+            rules.push(Rule::new(Atom::new("error", Vec::<Term>::new()), body));
+        }
+        Ok(rules)
+    }
+
+    /// Semantic check: does the constraint hold for the given (previous)
+    /// state, database and current input?  Quantifiers range over the active
+    /// domain of the three instances plus the constraint's constants (which
+    /// is sufficient because every variable occurs in a positive antecedent
+    /// atom over those instances).
+    pub fn satisfied_at(
+        &self,
+        state: &Instance,
+        db: &Instance,
+        input: &Instance,
+    ) -> Result<bool, VerifyError> {
+        let combined = state.union(db)?.union(input)?;
+        let mut domain: Vec<rtx_relational::Value> =
+            rtx_relational::active_domain(&combined).into_iter().collect();
+        let formula = self.to_formula();
+        for c in formula.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        let structure = rtx_logic::FiniteStructure::from_instance(domain, &combined);
+        formula
+            .eval(&structure, &BTreeMap::new())
+            .map_err(VerifyError::from)
+    }
+
+    /// Does the constraint hold at every step of a run (evaluated against the
+    /// state *before* the step, the database and the step's input)?
+    pub fn satisfied_on_run(&self, run: &Run, db: &Instance) -> Result<bool, VerifyError> {
+        let schema = run.schema();
+        let empty_state = Instance::empty(schema.state());
+        for (index, input) in run.inputs().iter().enumerate() {
+            let state_before = if index == 0 {
+                &empty_state
+            } else {
+                run.states().get(index - 1).expect("aligned sequences")
+            };
+            if !self.satisfied_at(state_before, db, input)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Extends a Spocus transducer with an `error` output relation (if missing)
+/// and the error rules compiled from the given constraints, so that its
+/// error-free runs are exactly the input sequences satisfying every
+/// constraint at every step.
+pub fn add_enforcement(
+    transducer: &SpocusTransducer,
+    constraints: &[SdiConstraint],
+) -> Result<SpocusTransducer, VerifyError> {
+    let schema = transducer.schema();
+    let mut builder = SpocusBuilder::new(format!("{}+policy", transducer.name()));
+    for (name, arity) in schema.input().iter() {
+        builder = builder.input(name.as_str(), arity);
+    }
+    for (name, arity) in schema.db().iter() {
+        builder = builder.database(name.as_str(), arity);
+    }
+    for (name, arity) in schema.output().iter() {
+        builder = builder.output(name.as_str(), arity);
+    }
+    if !schema.output().contains("error") {
+        builder = builder.output("error", 0);
+    }
+    builder = builder.log(schema.log().iter().map(|r| r.as_str().to_string()));
+    for rule in transducer.output_program().rules() {
+        builder = builder.output_rule_ast(rule.clone());
+    }
+    for constraint in constraints {
+        for rule in constraint.compile_to_error_rules()? {
+            builder = builder.output_rule_ast(rule);
+        }
+    }
+    builder.build().map_err(|e: CoreError| VerifyError::Core(e))
+}
+
+fn check_positive(formula: &Formula) -> Result<(), VerifyError> {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom { .. } => Ok(()),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for f in fs {
+                check_positive(f)?;
+            }
+            Ok(())
+        }
+        other => Err(VerifyError::UnsupportedProperty {
+            detail: format!(
+                "T_sdi consequents are positive quantifier-free formulas over atoms; `{other}` is not"
+            ),
+        }),
+    }
+}
+
+/// Converts a positive formula into CNF over atoms.  Returns a list of
+/// clauses (each a list of atoms); an empty list means "true", a clause that
+/// is empty means "false".
+fn positive_cnf(formula: &Formula) -> Result<Vec<Vec<Atom>>, VerifyError> {
+    match formula {
+        Formula::True => Ok(vec![]),
+        Formula::False => Ok(vec![vec![]]),
+        Formula::Atom { relation, args } => Ok(vec![vec![Atom {
+            relation: relation.clone(),
+            args: args.clone(),
+        }]]),
+        Formula::And(fs) => {
+            let mut out = Vec::new();
+            for f in fs {
+                out.extend(positive_cnf(f)?);
+            }
+            Ok(out)
+        }
+        Formula::Or(fs) => {
+            // cross product of the disjuncts' clause sets
+            let mut acc: Vec<Vec<Atom>> = vec![vec![]];
+            for f in fs {
+                let clauses = positive_cnf(f)?;
+                if clauses.is_empty() {
+                    // this disjunct is true, so the whole disjunction is true
+                    return Ok(vec![]);
+                }
+                let mut next = Vec::new();
+                for prefix in &acc {
+                    for clause in &clauses {
+                        let mut merged = prefix.clone();
+                        merged.extend(clause.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+        other => Err(VerifyError::UnsupportedProperty {
+            detail: format!("not a positive quantifier-free formula: {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::{models, ControlDiscipline, RelationalTransducer};
+    use rtx_relational::{InstanceSequence, Tuple, Value};
+
+    /// §4.1, example 2: "if the amount y is paid for item x then x must have
+    /// previously been ordered and y must be the correct price".
+    fn payment_policy() -> SdiConstraint {
+        SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new(
+                "pay",
+                [Term::var("x"), Term::var("y")],
+            ))],
+            Formula::and(vec![
+                Formula::atom("price", [Term::var("x"), Term::var("y")]),
+                Formula::atom("past-order", [Term::var("x")]),
+            ]),
+        )
+        .unwrap()
+    }
+
+    /// §4.1, example 1: after an unpaid order, the next input must pay it or
+    /// cancel it — expressed here with the disjunctive consequent.
+    fn pay_or_cancel_policy() -> SdiConstraint {
+        SdiConstraint::new(
+            vec![
+                BodyLiteral::Positive(Atom::new("past-order", [Term::var("x")])),
+                BodyLiteral::Positive(Atom::new("price", [Term::var("x"), Term::var("y")])),
+                BodyLiteral::Negative(Atom::new("past-pay", [Term::var("x"), Term::var("y")])),
+            ],
+            Formula::or(vec![
+                Formula::atom("pay", [Term::var("x"), Term::var("y")]),
+                Formula::atom("cancel", [Term::var("x")]),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compilation_produces_one_rule_per_cnf_clause() {
+        let rules = payment_policy().compile_to_error_rules().unwrap();
+        assert_eq!(rules.len(), 2);
+        for rule in &rules {
+            assert_eq!(rule.head.relation.as_str(), "error");
+            assert!(rule.body.len() >= 2);
+            assert!(rtx_datalog::safety::check_rule_safety(rule).is_ok());
+        }
+
+        let rules = pay_or_cancel_policy().compile_to_error_rules().unwrap();
+        assert_eq!(rules.len(), 1);
+        // the single clause has both pay and cancel negated
+        assert_eq!(
+            rules[0]
+                .body
+                .iter()
+                .filter(|l| l.is_negative_atom())
+                .count(),
+            3 // NOT past-pay from the antecedent + NOT pay + NOT cancel
+        );
+    }
+
+    #[test]
+    fn degenerate_consequents() {
+        let always = SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("x")]))],
+            Formula::True,
+        )
+        .unwrap();
+        assert!(always.compile_to_error_rules().unwrap().is_empty());
+
+        let never = SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("x")]))],
+            Formula::False,
+        )
+        .unwrap();
+        let rules = never.compile_to_error_rules().unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].body.len(), 1);
+    }
+
+    #[test]
+    fn malformed_constraints_are_rejected() {
+        // consequent with negation
+        assert!(SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("x")]))],
+            Formula::not(Formula::atom("order", [Term::var("x")])),
+        )
+        .is_err());
+        // consequent variable not bound by a positive antecedent literal
+        assert!(SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("x")]))],
+            Formula::atom("price", [Term::var("x"), Term::var("y")]),
+        )
+        .is_err());
+        // antecedent-only negative variable
+        assert!(SdiConstraint::new(
+            vec![BodyLiteral::Negative(Atom::new("pay", [Term::var("x")]))],
+            Formula::True,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enforcement_equivalence_on_concrete_runs() {
+        // Extend `short` with the payment policy and check: a run is
+        // error-free iff every step satisfies the constraint (Theorem 4.1).
+        let t = models::short();
+        let policy = payment_policy();
+        let enforced = add_enforcement(&t, &[policy.clone()]).unwrap();
+        let db = models::figure1_database();
+        let input_schema = models::short_input_schema();
+
+        let step = |orders: &[&str], pays: &[(&str, i64)]| {
+            let mut inst = Instance::empty(&input_schema);
+            for o in orders {
+                inst.insert("order", Tuple::from_iter([*o])).unwrap();
+            }
+            for (p, amt) in pays {
+                inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amt)]))
+                    .unwrap();
+            }
+            inst
+        };
+
+        let scenarios: Vec<Vec<Instance>> = vec![
+            // polite: order, then pay the listed price
+            vec![step(&["time"], &[]), step(&[], &[("time", 855)])],
+            // fraud: pay without ordering
+            vec![step(&[], &[("time", 855)])],
+            // wrong price
+            vec![step(&["time"], &[]), step(&[], &[("time", 1)])],
+            // pay in the same step as the order (past-order not yet set)
+            vec![step(&["time"], &[("time", 855)])],
+            // empty run
+            vec![],
+        ];
+
+        for steps in scenarios {
+            let inputs = InstanceSequence::new(input_schema.clone(), steps).unwrap();
+            let run = enforced.run(&db, &inputs).unwrap();
+            let error_free = ControlDiscipline::ErrorFree.accepts(&run);
+            // evaluate the policy on the run of the *original* transducer
+            // (same inputs, same states)
+            let original_run = t.run(&db, &inputs).unwrap();
+            let satisfied = policy.satisfied_on_run(&original_run, &db).unwrap();
+            assert_eq!(error_free, satisfied, "inputs: {inputs}");
+        }
+    }
+
+    #[test]
+    fn enforced_transducer_keeps_the_original_behaviour() {
+        let t = models::short();
+        let enforced = add_enforcement(&t, &[payment_policy()]).unwrap();
+        let db = models::figure1_database();
+        let run = t.run(&db, &models::figure1_inputs()).unwrap();
+        let enforced_run = enforced.run(&db, &models::figure1_inputs()).unwrap();
+        // logs agree (error is not logged)
+        assert_eq!(run.log(), enforced_run.log());
+        assert_eq!(enforced.name(), "short+policy");
+    }
+
+    #[test]
+    fn constraint_formula_roundtrip() {
+        let policy = payment_policy();
+        let formula = policy.to_formula();
+        assert!(formula.is_sentence());
+        // the formula mentions pay, price and past-order
+        let rels = formula.relations().unwrap();
+        assert!(rels.contains_key(&rtx_relational::RelationName::new("pay")));
+        assert!(rels.contains_key(&rtx_relational::RelationName::new("price")));
+        assert!(rels.contains_key(&rtx_relational::RelationName::new("past-order")));
+    }
+
+    #[test]
+    fn satisfied_at_examples() {
+        let policy = payment_policy();
+        let db = models::figure1_database();
+        let input_schema = models::short_input_schema();
+        let state_schema = models::short().schema().state().clone();
+
+        // paying the listed price for a previously ordered product: OK
+        let mut state = Instance::empty(&state_schema);
+        state
+            .insert("past-order", Tuple::from_iter(["time"]))
+            .unwrap();
+        let mut input = Instance::empty(&input_schema);
+        input
+            .insert("pay", Tuple::new(vec![Value::str("time"), Value::int(855)]))
+            .unwrap();
+        assert!(policy.satisfied_at(&state, &db, &input).unwrap());
+
+        // paying without a prior order: violation
+        let empty_state = Instance::empty(&state_schema);
+        assert!(!policy.satisfied_at(&empty_state, &db, &input).unwrap());
+
+        // no payment at all: vacuously satisfied
+        let empty_input = Instance::empty(&input_schema);
+        assert!(policy
+            .satisfied_at(&empty_state, &db, &empty_input)
+            .unwrap());
+    }
+}

@@ -1,0 +1,95 @@
+//! Errors produced by the verification procedures.
+
+use std::fmt;
+
+/// Errors from the verification crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A precondition of the theorem being applied is violated (e.g. the
+    /// customized transducer does not extend the original's input schema, or
+    /// an error rule contains a negative state literal where Theorem 4.4
+    /// forbids one).
+    Precondition {
+        /// Explanation of the violated precondition.
+        detail: String,
+    },
+    /// A property or goal has a shape the corresponding theorem does not
+    /// cover (e.g. a non-positive consequent in a `T_sdi` sentence).
+    UnsupportedProperty {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// An error from the transducer core.
+    Core(rtx_core::CoreError),
+    /// An error from the logic layer (grounding/satisfiability).
+    Logic(rtx_logic::LogicError),
+    /// An error from the relational layer.
+    Relational(rtx_relational::RelationalError),
+    /// An error from the datalog layer.
+    Datalog(rtx_datalog::DatalogError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Precondition { detail } => write!(f, "precondition violated: {detail}"),
+            VerifyError::UnsupportedProperty { detail } => {
+                write!(f, "unsupported property: {detail}")
+            }
+            VerifyError::Core(e) => write!(f, "core error: {e}"),
+            VerifyError::Logic(e) => write!(f, "logic error: {e}"),
+            VerifyError::Relational(e) => write!(f, "relational error: {e}"),
+            VerifyError::Datalog(e) => write!(f, "datalog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<rtx_core::CoreError> for VerifyError {
+    fn from(e: rtx_core::CoreError) -> Self {
+        VerifyError::Core(e)
+    }
+}
+
+impl From<rtx_logic::LogicError> for VerifyError {
+    fn from(e: rtx_logic::LogicError) -> Self {
+        VerifyError::Logic(e)
+    }
+}
+
+impl From<rtx_relational::RelationalError> for VerifyError {
+    fn from(e: rtx_relational::RelationalError) -> Self {
+        VerifyError::Relational(e)
+    }
+}
+
+impl From<rtx_datalog::DatalogError> for VerifyError {
+    fn from(e: rtx_datalog::DatalogError) -> Self {
+        VerifyError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(VerifyError::Precondition { detail: "x".into() }
+            .to_string()
+            .contains("precondition"));
+        assert!(VerifyError::UnsupportedProperty { detail: "y".into() }
+            .to_string()
+            .contains('y'));
+        let e: VerifyError = rtx_logic::LogicError::NotBernaysSchonfinkel.into();
+        assert!(matches!(e, VerifyError::Logic(_)));
+        let e: VerifyError =
+            rtx_relational::RelationalError::UnknownRelation { name: "r".into() }.into();
+        assert!(matches!(e, VerifyError::Relational(_)));
+        let e: VerifyError = rtx_core::CoreError::Parse { detail: "p".into() }.into();
+        assert!(matches!(e, VerifyError::Core(_)));
+        let e: VerifyError = rtx_datalog::DatalogError::NegatedIdb { relation: "d".into() }.into();
+        assert!(matches!(e, VerifyError::Datalog(_)));
+    }
+}

@@ -1,0 +1,419 @@
+//! Verification over error-free runs (Theorems 4.4 and 4.6).
+//!
+//! Once inputs are controlled through error rules (§4), the natural questions
+//! become relative to *error-free* runs: do they all satisfy a `T_sdi`
+//! policy (Theorem 4.4)?  Are the error-free runs of one transducer all
+//! error-free for another (Theorem 4.6)?  Both are undecidable in general
+//! (Theorems 4.3 and 4.5) but decidable when the error rules contain **no
+//! negative state literal** — negation over the cumulative state is what the
+//! Turing-machine encodings of §4.2 exploit.
+//!
+//! The decision procedures implement the small-run argument of the proofs:
+//! if a violation exists, one exists within a run of length `k + 1`, where
+//! `k` counts the positive state literals of the constraint (resp. of the
+//! error rule of the containing transducer) — each such literal needs at most
+//! one earlier step to have supplied its witness input.
+
+use crate::enforce::SdiConstraint;
+use crate::reduction::{fix_database, literal_formula, witness_inputs};
+use crate::VerifyError;
+use rtx_core::SpocusTransducer;
+use rtx_datalog::{BodyLiteral, Rule};
+use rtx_logic::{solve_bs, BsOutcome, BsProblem, Formula};
+use rtx_relational::{Instance, InstanceSequence, RelationName};
+
+/// Verdict of an error-free-run verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorFreeVerdict {
+    /// Every error-free run satisfies the property.
+    Holds,
+    /// Some error-free run violates the property.
+    Violated {
+        /// An input sequence whose run is error-free yet violates the
+        /// property at its last step.
+        counterexample_inputs: InstanceSequence,
+    },
+}
+
+impl ErrorFreeVerdict {
+    /// True if the property holds on every error-free run.
+    pub fn holds(&self) -> bool {
+        matches!(self, ErrorFreeVerdict::Holds)
+    }
+}
+
+/// The error rules of a transducer (rules whose head is the 0-ary `error`).
+pub fn error_rules(transducer: &SpocusTransducer) -> Vec<&Rule> {
+    transducer.rules_for(&RelationName::new("error"))
+}
+
+/// Checks the Theorem 4.4 / 4.6 precondition: no error rule of the transducer
+/// contains a negative state literal.
+pub fn check_no_negative_state_in_error_rules(
+    transducer: &SpocusTransducer,
+) -> Result<(), VerifyError> {
+    for rule in error_rules(transducer) {
+        for lit in &rule.body {
+            if let BodyLiteral::Negative(atom) = lit {
+                if transducer.schema().state().contains(atom.relation.clone()) {
+                    return Err(VerifyError::Precondition {
+                        detail: format!(
+                            "error rule `{rule}` negates the state relation `{}`; Theorems 4.4/4.6 require error rules without negative state literals",
+                            atom.relation
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decides whether every error-free run of `transducer` over `db` satisfies
+/// the `T_sdi` constraint at every step (Theorem 4.4).
+pub fn error_free_runs_satisfy(
+    transducer: &SpocusTransducer,
+    db: &Instance,
+    constraint: &SdiConstraint,
+) -> Result<ErrorFreeVerdict, VerifyError> {
+    check_no_negative_state_in_error_rules(transducer)?;
+
+    // k = number of positive state literals in the antecedent.
+    let k = constraint
+        .antecedent
+        .iter()
+        .filter(|lit| match lit {
+            BodyLiteral::Positive(atom) => {
+                transducer.schema().state().contains(atom.relation.clone())
+            }
+            _ => false,
+        })
+        .count();
+    let steps = k + 1;
+
+    // Violation of the constraint at the last step.
+    let violation = violation_formula(transducer, constraint, steps)?;
+    // No error generated at any step.
+    let error_free = error_free_formula(transducer, steps)?;
+
+    let sentence = Formula::and(vec![violation, error_free]);
+    let mut problem = BsProblem::new(sentence);
+    fix_database(&mut problem, db);
+
+    match solve_bs(&problem)? {
+        BsOutcome::Satisfiable(model) => Ok(ErrorFreeVerdict::Violated {
+            counterexample_inputs: witness_inputs(transducer, &model, steps)?,
+        }),
+        BsOutcome::Unsatisfiable => Ok(ErrorFreeVerdict::Holds),
+    }
+}
+
+/// Decides whether every error-free run of `left` is also error-free for
+/// `right` (Theorem 4.6).  The two transducers must share their input schema
+/// and satisfy the no-negative-state-literal condition on error rules.
+pub fn error_free_containment(
+    left: &SpocusTransducer,
+    right: &SpocusTransducer,
+    db: &Instance,
+) -> Result<ErrorFreeVerdict, VerifyError> {
+    if left.schema().input() != right.schema().input() {
+        return Err(VerifyError::Precondition {
+            detail: "error-free containment requires the same input schema".into(),
+        });
+    }
+    check_no_negative_state_in_error_rules(left)?;
+    check_no_negative_state_in_error_rules(right)?;
+
+    // A counterexample is a run, error-free for `left` throughout and for
+    // `right` up to its last step, whose last step fires one of `right`'s
+    // error rules.  For each error rule of `right`, the small-run bound is
+    // the number of its positive state literals plus one.
+    for rule in error_rules(right) {
+        let k = rule
+            .body
+            .iter()
+            .filter(|lit| match lit {
+                BodyLiteral::Positive(atom) => {
+                    right.schema().state().contains(atom.relation.clone())
+                }
+                _ => false,
+            })
+            .count();
+        let steps = k + 1;
+
+        let fires = rule_fires_formula(right, rule, steps)?;
+        let left_error_free = error_free_formula(left, steps)?;
+        let right_error_free_prefix = error_free_formula(right, steps - 1)?;
+
+        let sentence = Formula::and(vec![fires, left_error_free, right_error_free_prefix]);
+        let mut problem = BsProblem::new(sentence);
+        fix_database(&mut problem, db);
+
+        if let BsOutcome::Satisfiable(model) = solve_bs(&problem)? {
+            return Ok(ErrorFreeVerdict::Violated {
+                counterexample_inputs: witness_inputs(left, &model, steps)?,
+            });
+        }
+    }
+    Ok(ErrorFreeVerdict::Holds)
+}
+
+/// `∃x̄ (antecedent ∧ ¬consequent)` evaluated at step `step` over the
+/// replicated signature.
+fn violation_formula(
+    transducer: &SpocusTransducer,
+    constraint: &SdiConstraint,
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let mut vars = std::collections::BTreeSet::new();
+    for lit in &constraint.antecedent {
+        vars.extend(lit.variables());
+    }
+    vars.extend(constraint.consequent.free_variables());
+
+    let mut conjuncts = Vec::new();
+    for lit in &constraint.antecedent {
+        conjuncts.push(literal_formula(transducer, lit, step)?);
+    }
+    conjuncts.push(Formula::not(translate_positive(
+        transducer,
+        &constraint.consequent,
+        step,
+    )?));
+    Ok(Formula::exists(
+        vars.into_iter().collect::<Vec<_>>(),
+        Formula::and(conjuncts),
+    ))
+}
+
+/// Translates a positive formula over state/db/in atoms at a given step.
+fn translate_positive(
+    transducer: &SpocusTransducer,
+    formula: &Formula,
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    Ok(match formula {
+        Formula::True | Formula::False => formula.clone(),
+        Formula::Atom { relation, args } => {
+            crate::reduction::atom_formula(transducer, relation, args, step)?
+        }
+        Formula::And(fs) => Formula::and(
+            fs.iter()
+                .map(|f| translate_positive(transducer, f, step))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Formula::Or(fs) => Formula::or(
+            fs.iter()
+                .map(|f| translate_positive(transducer, f, step))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => {
+            return Err(VerifyError::UnsupportedProperty {
+                detail: format!("not a positive quantifier-free formula: {other}"),
+            })
+        }
+    })
+}
+
+/// "`error` is not generated at any of the first `steps` steps": for every
+/// error rule and step, the universally quantified negation of the rule body.
+fn error_free_formula(
+    transducer: &SpocusTransducer,
+    steps: usize,
+) -> Result<Formula, VerifyError> {
+    let mut conjuncts = Vec::new();
+    for rule in error_rules(transducer) {
+        for step in 1..=steps {
+            let vars: Vec<String> = rule.variables().into_iter().collect();
+            let mut body = Vec::new();
+            for lit in &rule.body {
+                body.push(literal_formula(transducer, lit, step)?);
+            }
+            conjuncts.push(Formula::forall(
+                vars,
+                Formula::not(Formula::and(body)),
+            ));
+        }
+    }
+    Ok(Formula::and(conjuncts))
+}
+
+/// `∃ȳ body` of an error rule at step `step`.
+fn rule_fires_formula(
+    transducer: &SpocusTransducer,
+    rule: &Rule,
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let vars: Vec<String> = rule.variables().into_iter().collect();
+    let mut body = Vec::new();
+    for lit in &rule.body {
+        body.push(literal_formula(transducer, lit, step)?);
+    }
+    Ok(Formula::exists(vars, Formula::and(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enforce::add_enforcement;
+    use rtx_core::models;
+    use rtx_datalog::Atom;
+    use rtx_logic::Term;
+
+    /// "payments must be for previously ordered products at the listed price"
+    fn payment_policy() -> SdiConstraint {
+        SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new(
+                "pay",
+                [Term::var("x"), Term::var("y")],
+            ))],
+            Formula::and(vec![
+                Formula::atom("price", [Term::var("x"), Term::var("y")]),
+                Formula::atom("past-order", [Term::var("x")]),
+            ]),
+        )
+        .unwrap()
+    }
+
+    /// "orders must be for available products"
+    fn availability_policy() -> SdiConstraint {
+        SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new("order", [Term::var("x")]))],
+            Formula::atom("available", [Term::var("x")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_transducer_admits_violating_runs() {
+        // `short` has no error rules, so every run is error-free; the payment
+        // policy is certainly violated by some run (pay without ordering).
+        let t = models::short();
+        let db = models::figure1_database();
+        match error_free_runs_satisfy(&t, &db, &payment_policy()).unwrap() {
+            ErrorFreeVerdict::Violated {
+                counterexample_inputs,
+            } => {
+                // the counterexample really is an error-free run violating the
+                // policy
+                let run = rtx_core::RelationalTransducer::run(&t, &db, &counterexample_inputs)
+                    .unwrap();
+                assert!(run.is_error_free());
+                assert!(!payment_policy().satisfied_on_run(&run, &db).unwrap());
+            }
+            ErrorFreeVerdict::Holds => panic!("expected a violation"),
+        }
+    }
+
+    /// "payments must be at the listed price" — its error rule only negates a
+    /// database relation, so it stays within the decidable case.
+    fn price_policy() -> SdiConstraint {
+        SdiConstraint::new(
+            vec![BodyLiteral::Positive(Atom::new(
+                "pay",
+                [Term::var("x"), Term::var("y")],
+            ))],
+            Formula::atom("price", [Term::var("x"), Term::var("y")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enforced_policy_holds_on_error_free_runs() {
+        // After compiling the availability policy into error rules
+        // (Theorem 4.1), every error-free run satisfies it, and Theorem 4.4
+        // verifies this automatically.
+        let t = models::short();
+        let enforced = add_enforcement(&t, &[availability_policy()]).unwrap();
+        let db = models::figure1_database();
+        assert!(error_free_runs_satisfy(&enforced, &db, &availability_policy())
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
+    fn enforcing_one_policy_does_not_enforce_another() {
+        let t = models::short();
+        let enforced = add_enforcement(&t, &[availability_policy()]).unwrap();
+        let db = models::figure1_database();
+        // the price policy is not enforced: paying a wrong amount is still
+        // possible in an error-free run
+        match error_free_runs_satisfy(&enforced, &db, &price_policy()).unwrap() {
+            ErrorFreeVerdict::Violated {
+                counterexample_inputs,
+            } => {
+                let run = rtx_core::RelationalTransducer::run(&enforced, &db, &counterexample_inputs)
+                    .unwrap();
+                assert!(run.is_error_free());
+                assert!(!price_policy().satisfied_on_run(&run, &db).unwrap());
+            }
+            ErrorFreeVerdict::Holds => panic!("expected a violation"),
+        }
+    }
+
+    #[test]
+    fn negative_state_literals_in_error_rules_are_rejected() {
+        // The payment policy's consequent mentions past-order, so its compiled
+        // error rule negates a state relation — exactly the shape Theorem 4.3
+        // shows undecidable, and exactly what the precondition check rejects.
+        let t = models::short();
+        let enforced = add_enforcement(&t, &[payment_policy()]).unwrap();
+        let db = models::figure1_database();
+        let has_negative_state = error_rules(&enforced).iter().any(|r| {
+            r.body.iter().any(|l| match l {
+                BodyLiteral::Negative(a) => enforced.schema().state().contains(a.relation.clone()),
+                _ => false,
+            })
+        });
+        assert!(has_negative_state);
+        assert!(check_no_negative_state_in_error_rules(&enforced).is_err());
+        assert!(matches!(
+            error_free_runs_satisfy(&enforced, &db, &availability_policy()),
+            Err(VerifyError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn error_free_containment_between_policies() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let strict = add_enforcement(&t, &[availability_policy()]).unwrap();
+        let lax = models::short(); // no error rules at all
+
+        // every error-free run of `strict` is error-free for `lax` (lax never
+        // errors)
+        assert!(error_free_containment(&strict, &lax, &db).unwrap().holds());
+        // the converse fails: lax admits runs ordering lemonde, which `strict`
+        // rejects
+        match error_free_containment(&lax, &strict, &db).unwrap() {
+            ErrorFreeVerdict::Violated {
+                counterexample_inputs,
+            } => {
+                let run_left =
+                    rtx_core::RelationalTransducer::run(&lax, &db, &counterexample_inputs).unwrap();
+                let run_right =
+                    rtx_core::RelationalTransducer::run(&strict, &db, &counterexample_inputs)
+                        .unwrap();
+                assert!(run_left.is_error_free());
+                assert!(!run_right.is_error_free());
+            }
+            ErrorFreeVerdict::Holds => panic!("expected a counterexample"),
+        }
+    }
+
+    #[test]
+    fn containment_requires_matching_input_schemas() {
+        let db = models::figure1_database();
+        assert!(matches!(
+            error_free_containment(&models::short(), &models::friendly(), &db),
+            Err(VerifyError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_transducers_are_error_free_equivalent() {
+        let t = add_enforcement(&models::short(), &[availability_policy()]).unwrap();
+        let db = models::figure1_database();
+        assert!(error_free_containment(&t, &t, &db).unwrap().holds());
+    }
+}

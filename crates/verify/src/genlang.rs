@@ -1,0 +1,119 @@
+//! Generated languages of propositional transducers (§3.1).
+//!
+//! For a propositional Spocus transducer `T`, `Gen(T)` — the set of output
+//! words produced by runs that emit at most one proposition per step — is a
+//! prefix-closed regular language accepted by an automaton whose only cycles
+//! are self loops.  This module constructs that automaton from the
+//! transducer's (finite, inflationary) cumulative-state transition system and
+//! checks the characterisation.
+
+use crate::VerifyError;
+use rtx_automata::{Dfa, Nfa};
+use rtx_core::PropositionalTransducer;
+use std::collections::BTreeSet;
+
+/// Builds a DFA accepting `Gen(T)` for a propositional Spocus transducer.
+///
+/// States of the underlying NFA are the reachable cumulative states of the
+/// transducer; silent steps (inputs that produce no output) are ε-closed
+/// away; every state is accepting because `Gen(T)` is prefix-closed by
+/// construction.
+pub fn gen_language_dfa(transducer: &PropositionalTransducer) -> Result<Dfa, VerifyError> {
+    let (states, labelled, silent) = transducer.transition_system()?;
+    let n = states.len();
+
+    // ε-closure over silent transitions.
+    let mut closure: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let mut additions = BTreeSet::new();
+            for &j in &closure[i] {
+                for &k in &silent[j] {
+                    if !closure[i].contains(&k) {
+                        additions.insert(k);
+                    }
+                }
+            }
+            if !additions.is_empty() {
+                closure[i].extend(additions);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // NFA: a labelled transition u --o--> v contributes edges from every state
+    // whose closure contains u, into the closure of v.
+    let mut nfa = Nfa::new(n.max(1), closure[0].iter().copied().collect(), (0..n).collect());
+    for u in 0..n {
+        for &cu in &closure[u] {
+            for (symbol, targets) in &labelled[cu] {
+                for &v in targets {
+                    for &cv in &closure[v] {
+                        nfa.add_transition(u, symbol.clone(), cv);
+                    }
+                    nfa.add_transition(u, symbol.clone(), v);
+                }
+            }
+        }
+    }
+    Ok(nfa.determinize())
+}
+
+/// Checks the paper's characterisation on a concrete propositional
+/// transducer: the generated language is prefix-closed and its DFA has only
+/// self-loop cycles, and the DFA agrees with direct enumeration of `Gen(T)`
+/// up to `max_len` steps.
+pub fn check_characterisation(
+    transducer: &PropositionalTransducer,
+    max_len: usize,
+) -> Result<bool, VerifyError> {
+    let dfa = gen_language_dfa(transducer)?;
+    if !dfa.is_prefix_closed() || !dfa.has_only_self_loop_cycles() {
+        return Ok(false);
+    }
+    let enumerated = transducer.generate_words(max_len)?;
+    // every enumerated word is accepted
+    for word in &enumerated {
+        if !dfa.accepts(word) {
+            return Ok(false);
+        }
+    }
+    // every accepted word of length ≤ max_len is enumerated
+    for word in dfa.words_up_to(max_len) {
+        if !enumerated.contains(&word) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::models;
+
+    #[test]
+    fn abstar_c_language_matches_the_paper() {
+        let t = models::abstar_c();
+        let dfa = gen_language_dfa(&t).unwrap();
+        let w = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(dfa.accepts(&w(&[])));
+        assert!(dfa.accepts(&w(&["a"])));
+        assert!(dfa.accepts(&w(&["a", "b", "b", "c"])));
+        assert!(!dfa.accepts(&w(&["b"])));
+        assert!(!dfa.accepts(&w(&["a", "c", "b"])));
+        assert!(!dfa.accepts(&w(&["a", "a"])));
+        assert!(dfa.is_prefix_closed());
+        assert!(dfa.has_only_self_loop_cycles());
+    }
+
+    #[test]
+    fn characterisation_holds_for_the_running_example() {
+        let t = models::abstar_c();
+        assert!(check_characterisation(&t, 4).unwrap());
+    }
+}

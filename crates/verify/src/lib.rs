@@ -1,0 +1,48 @@
+//! # rtx-verify
+//!
+//! The decision procedures of *Relational Transducers for Electronic
+//! Commerce*, implemented exactly as the paper proves them decidable: by
+//! reduction to finite satisfiability of Bernays–Schönfinkel (∃\*∀\*FO)
+//! sentences over a schema in which the unknown input sequence is replicated
+//! step by step (`R@1, R@2, …`), solved by `rtx-logic`/`rtx-sat`.
+//!
+//! | Paper result | Module | Entry point |
+//! |---|---|---|
+//! | Theorem 3.1 — log validation | [`log_validation`] | [`validate_log`] |
+//! | Theorem 3.2 — goal reachability (2-step collapse) | [`reachability`] | [`is_goal_reachable`] |
+//! | Theorem 3.3 — `T_past-input` temporal properties | [`temporal`] | [`holds_in_all_runs`] |
+//! | Theorem 3.5 / Corollary 3.6 — customization containment | [`containment`] | [`customization_preserves_logs`] |
+//! | Theorem 4.1 — enforcing `T_sdi` policies via error rules | [`enforce`] | [`SdiConstraint::compile_to_error_rules`] |
+//! | Theorem 4.4 — `T_sdi` over error-free runs | [`error_free`] | [`error_free_runs_satisfy`] |
+//! | Theorem 4.6 — error-free-run containment | [`error_free`] | [`error_free_containment`] |
+//! | §3.1 — `Gen(T)` of propositional transducers | [`genlang`] | [`gen_language_dfa`] |
+//! | Proposition 3.1 / Theorem 3.4 — FD/IncD reductions (undecidability witnesses) | [`dependencies`] | [`DependencyGadget`] |
+//!
+//! Every satisfiability-based procedure can also return a *witness* (an input
+//! sequence, a counterexample run prefix), and the test suite cross-checks
+//! witnesses by running the transducer concretely — tying the symbolic
+//! reductions back to the operational semantics of `rtx-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod dependencies;
+pub mod enforce;
+pub mod error_free;
+pub mod genlang;
+pub mod log_validation;
+pub mod reachability;
+pub mod reduction;
+pub mod temporal;
+
+mod error;
+
+pub use containment::{customization_preserves_logs, syntactically_safe_customization, ContainmentVerdict};
+pub use enforce::SdiConstraint;
+pub use error::VerifyError;
+pub use error_free::{error_free_containment, error_free_runs_satisfy, ErrorFreeVerdict};
+pub use genlang::gen_language_dfa;
+pub use log_validation::{validate_log, LogValidity};
+pub use reachability::{is_goal_reachable, Goal, GoalLiteral};
+pub use temporal::{holds_in_all_runs, TemporalVerdict};

@@ -1,0 +1,339 @@
+//! Log validation (Theorem 3.1).
+//!
+//! Given a Spocus transducer `T`, a database `D` and a log sequence `L`,
+//! decide whether some input sequence `I` produces exactly `L` — the fraud
+//! detection scenario of §2.1, where a supplier lets a customer run the
+//! supplier's business model locally and later audits the (partial) log the
+//! customer hands back.
+
+use crate::reduction::{atom_formula, fix_database, step_relation, witness_inputs};
+use crate::VerifyError;
+use rtx_core::{RelationalTransducer, SpocusTransducer};
+use rtx_logic::{solve_bs, BsOutcome, BsProblem, Formula, Term};
+use rtx_relational::{active_domain_of_sequence, Instance, InstanceSequence, RelationName};
+
+/// The outcome of a log-validation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogValidity {
+    /// The log is producible; `witness_inputs` is one input sequence that
+    /// produces it.
+    Valid {
+        /// An input sequence whose run generates the audited log.
+        witness_inputs: InstanceSequence,
+    },
+    /// No input sequence produces the log.
+    Invalid,
+}
+
+impl LogValidity {
+    /// True if the log was found valid.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, LogValidity::Valid { .. })
+    }
+}
+
+/// Decides whether `log` is a valid log of `transducer` over `db`
+/// (Theorem 3.1).
+///
+/// The log sequence must be over (a sub-schema of) the transducer's log
+/// schema; relations of the log schema missing from the sequence's schema are
+/// treated as empty at every step.
+pub fn validate_log(
+    transducer: &SpocusTransducer,
+    db: &Instance,
+    log: &InstanceSequence,
+) -> Result<LogValidity, VerifyError> {
+    let schema = transducer.schema();
+    let log_schema = schema.log_schema();
+    if !log.schema().is_subschema_of(&log_schema) {
+        return Err(VerifyError::Precondition {
+            detail: format!(
+                "the audited log has schema {} which is not contained in the transducer log schema {}",
+                log.schema(),
+                log_schema
+            ),
+        });
+    }
+
+    let steps = log.len();
+    let mut conjuncts: Vec<Formula> = Vec::new();
+
+    for (index, logged) in log.iter().enumerate() {
+        let step = index + 1;
+        for logged_relation in schema.log() {
+            let arity = log_schema
+                .arity_of(logged_relation.clone())
+                .expect("log relation is in the log schema");
+            let tuples: Vec<Vec<rtx_relational::Value>> = logged
+                .relation(logged_relation.clone())
+                .map(|r| r.iter().map(|t| t.values().to_vec()).collect())
+                .unwrap_or_default();
+
+            // The formula for "the tuple x̄ appears in this relation's slice of
+            // the run at this step".
+            let vars: Vec<String> = (0..arity).map(|i| format!("x{i}")).collect();
+            let var_terms: Vec<Term> = vars.iter().map(Term::var).collect();
+            let membership = if schema.input().contains(logged_relation.clone()) {
+                Formula::atom(step_relation(logged_relation, step), var_terms.clone())
+            } else {
+                atom_formula(transducer, logged_relation, &var_terms, step)?
+            };
+
+            // (a) every logged tuple is produced
+            for tuple in &tuples {
+                let ground: Vec<Term> = tuple.iter().cloned().map(Term::constant).collect();
+                let grounded = if schema.input().contains(logged_relation.clone()) {
+                    Formula::atom(step_relation(logged_relation, step), ground)
+                } else {
+                    atom_formula(transducer, logged_relation, &ground, step)?
+                };
+                conjuncts.push(grounded);
+            }
+
+            // (b) nothing beyond the logged tuples is produced
+            let allowed = Formula::or(
+                tuples
+                    .iter()
+                    .map(|tuple| {
+                        Formula::and(
+                            tuple
+                                .iter()
+                                .enumerate()
+                                .map(|(i, v)| {
+                                    Formula::eq(Term::var(vars[i].clone()), Term::constant(v.clone()))
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            conjuncts.push(Formula::forall(
+                vars.clone(),
+                Formula::implies(membership, allowed),
+            ));
+        }
+    }
+
+    let sentence = Formula::and(conjuncts);
+    let mut problem = BsProblem::new(sentence);
+    fix_database(&mut problem, db);
+    problem.add_constants(active_domain_of_sequence(log));
+
+    match solve_bs(&problem)? {
+        BsOutcome::Satisfiable(model) => Ok(LogValidity::Valid {
+            witness_inputs: witness_inputs(transducer, &model, steps)?,
+        }),
+        BsOutcome::Unsatisfiable => Ok(LogValidity::Invalid),
+    }
+}
+
+/// Runs the transducer on `inputs` and checks that the produced log matches
+/// `log` relation by relation (relations absent from the audited log's schema
+/// must be empty).  Used to cross-check the witnesses returned by
+/// [`validate_log`].
+pub fn log_matches(
+    transducer: &SpocusTransducer,
+    db: &Instance,
+    inputs: &InstanceSequence,
+    log: &InstanceSequence,
+) -> Result<bool, VerifyError> {
+    let run = transducer.run(db, inputs)?;
+    if run.log().len() != log.len() {
+        return Ok(false);
+    }
+    for (produced, expected) in run.log().iter().zip(log.iter()) {
+        for name in transducer.schema().log() {
+            let produced_rel = produced.relation(name.clone());
+            let expected_rel = expected.relation(name.clone());
+            let produced_tuples: Vec<_> =
+                produced_rel.map(|r| r.iter().cloned().collect()).unwrap_or_default();
+            let expected_tuples: Vec<_> =
+                expected_rel.map(|r| r.iter().cloned().collect()).unwrap_or_default();
+            if produced_tuples != expected_tuples {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Convenience: the log relation names of a transducer, for building audited
+/// log sequences.
+pub fn log_relation_names(transducer: &SpocusTransducer) -> Vec<RelationName> {
+    transducer.schema().log().iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::models;
+    use rtx_relational::{Schema, Tuple, Value};
+
+    fn log_step(
+        schema: &Schema,
+        sendbills: &[(&str, i64)],
+        pays: &[(&str, i64)],
+        delivers: &[&str],
+    ) -> Instance {
+        let mut inst = Instance::empty(schema);
+        for (p, amt) in sendbills {
+            inst.insert(
+                "sendbill",
+                Tuple::new(vec![Value::str(*p), Value::int(*amt)]),
+            )
+            .unwrap();
+        }
+        for (p, amt) in pays {
+            inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amt)]))
+                .unwrap();
+        }
+        for p in delivers {
+            inst.insert("deliver", Tuple::from_iter([*p])).unwrap();
+        }
+        inst
+    }
+
+    fn short_log_schema() -> Schema {
+        models::short().schema().log_schema()
+    }
+
+    #[test]
+    fn the_log_of_a_real_run_is_valid_and_the_witness_reproduces_it() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let run = t.run(&db, &models::figure1_inputs()).unwrap();
+        let log = run.log().clone();
+
+        match validate_log(&t, &db, &log).unwrap() {
+            LogValidity::Valid { witness_inputs } => {
+                assert_eq!(witness_inputs.len(), log.len());
+                assert!(log_matches(&t, &db, &witness_inputs, &log).unwrap());
+            }
+            LogValidity::Invalid => panic!("the log of an actual run must be valid"),
+        }
+    }
+
+    #[test]
+    fn delivery_without_payment_is_flagged_as_fraud() {
+        // A log in which `deliver(time)` appears at step 1 with no payment can
+        // not be produced by `short`: delivery requires a current payment at
+        // the listed price.
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![log_step(&schema, &[], &[], &["time"])],
+        )
+        .unwrap();
+        assert_eq!(validate_log(&t, &db, &log).unwrap(), LogValidity::Invalid);
+    }
+
+    #[test]
+    fn delivery_with_matching_payment_is_valid_even_with_partial_log() {
+        // Step 1: (unlogged) order(time); step 2: pay + deliver appear in the
+        // log.  The validator must invent the unlogged order input.
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![
+                log_step(&schema, &[("time", 855)], &[], &[]),
+                log_step(&schema, &[], &[("time", 855)], &["time"]),
+            ],
+        )
+        .unwrap();
+        match validate_log(&t, &db, &log).unwrap() {
+            LogValidity::Valid { witness_inputs } => {
+                // the witness must have ordered `time` at step 1
+                assert!(witness_inputs
+                    .get(0)
+                    .unwrap()
+                    .holds("order", &Tuple::from_iter(["time"])));
+                assert!(log_matches(&t, &db, &witness_inputs, &log).unwrap());
+            }
+            LogValidity::Invalid => panic!("expected a valid log"),
+        }
+    }
+
+    #[test]
+    fn billing_for_an_unlisted_product_is_invalid() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        // There is no price for "economist", so no run can bill it.
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![log_step(&schema, &[("economist", 100)], &[], &[])],
+        )
+        .unwrap();
+        assert_eq!(validate_log(&t, &db, &log).unwrap(), LogValidity::Invalid);
+    }
+
+    #[test]
+    fn billing_with_the_wrong_price_is_invalid() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![log_step(&schema, &[("time", 99)], &[], &[])],
+        )
+        .unwrap();
+        assert_eq!(validate_log(&t, &db, &log).unwrap(), LogValidity::Invalid);
+    }
+
+    #[test]
+    fn missing_bill_for_an_order_is_detected() {
+        // If pay(time) is logged at step 1, the same step's sendbill is
+        // whatever the rules say; but a log claiming a delivery at step 1
+        // without pay in the same step is invalid.
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![
+                log_step(&schema, &[("time", 855)], &[], &[]),
+                log_step(&schema, &[], &[], &["time"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(validate_log(&t, &db, &log).unwrap(), LogValidity::Invalid);
+    }
+
+    #[test]
+    fn empty_log_is_valid() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let log = InstanceSequence::empty(short_log_schema());
+        assert!(validate_log(&t, &db, &log).unwrap().is_valid());
+    }
+
+    #[test]
+    fn all_empty_steps_are_valid() {
+        // An input sequence of empty instances produces empty logs.
+        let t = models::short();
+        let db = models::figure1_database();
+        let schema = short_log_schema();
+        let log = InstanceSequence::new(
+            schema.clone(),
+            vec![Instance::empty(&schema), Instance::empty(&schema)],
+        )
+        .unwrap();
+        assert!(validate_log(&t, &db, &log).unwrap().is_valid());
+    }
+
+    #[test]
+    fn foreign_log_schema_is_rejected() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let other = Schema::from_pairs([("refund", 1)]).unwrap();
+        let log = InstanceSequence::empty(other);
+        assert!(matches!(
+            validate_log(&t, &db, &log),
+            Err(VerifyError::Precondition { .. })
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+//! Shared machinery for the ∃\*∀\*FO reductions of §3.2–§4.2.
+//!
+//! Every decision procedure views a hypothetical run of length `n` through a
+//! replicated signature: the input relation `R` becomes `R@1, …, R@n` (one
+//! copy per step), the database relations keep their names (their
+//! interpretation is fixed), and occurrences of the cumulative state relation
+//! `past-R` at step `i` unfold into the disjunction `R@1 ∨ … ∨ R@(i-1)`.
+//! Output relations have no symbols of their own: an output atom is replaced
+//! by the (existentially quantified) body of its defining rules — exactly the
+//! formula `φ(x1, …, xk)` constructed in the proof of Theorem 3.1.
+
+use crate::VerifyError;
+use rtx_core::SpocusTransducer;
+use rtx_datalog::{BodyLiteral, Rule};
+use rtx_logic::{Formula, Term};
+use rtx_relational::{Instance, InstanceSequence, RelationName, Schema};
+use std::collections::BTreeMap;
+
+/// The name of the replicated copy of input relation `name` at step `step`
+/// (1-based): `name@step`.
+pub fn step_relation(name: &RelationName, step: usize) -> RelationName {
+    RelationName::new(format!("{}@{}", name.as_str(), step))
+}
+
+/// Translates a body literal of an output (or error) rule, as evaluated at
+/// step `step`, into a formula over the replicated signature.
+///
+/// * database atoms are kept verbatim (their interpretation is fixed);
+/// * input atoms `R(ū)` become `R@step(ū)`;
+/// * state atoms `past-R(ū)` become `R@1(ū) ∨ … ∨ R@(step-1)(ū)` (false for
+///   the first step, where the state is empty);
+/// * inequalities become negated equalities.
+pub fn literal_formula(
+    transducer: &SpocusTransducer,
+    literal: &BodyLiteral,
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let schema = transducer.schema();
+    match literal {
+        BodyLiteral::NotEqual(a, b) => Ok(Formula::neq(a.clone(), b.clone())),
+        BodyLiteral::Positive(atom) | BodyLiteral::Negative(atom) => {
+            let positive = matches!(literal, BodyLiteral::Positive(_));
+            let base = atom_formula(transducer, &atom.relation, &atom.args, step)?;
+            let _ = schema;
+            Ok(if positive { base } else { Formula::not(base) })
+        }
+    }
+}
+
+/// The formula for a (positive) atom `relation(args)` evaluated at step
+/// `step` of a run, over the replicated signature.
+pub fn atom_formula(
+    transducer: &SpocusTransducer,
+    relation: &RelationName,
+    args: &[Term],
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let schema = transducer.schema();
+    if schema.db().contains(relation.clone()) {
+        return Ok(Formula::atom(relation.clone(), args.to_vec()));
+    }
+    if schema.input().contains(relation.clone()) {
+        return Ok(Formula::atom(step_relation(relation, step), args.to_vec()));
+    }
+    if schema.state().contains(relation.clone()) {
+        let base = relation
+            .strip_past()
+            .ok_or_else(|| VerifyError::Precondition {
+                detail: format!("state relation `{relation}` is not of the form past-R"),
+            })?;
+        let disjuncts: Vec<Formula> = (1..step)
+            .map(|j| Formula::atom(step_relation(&base, j), args.to_vec()))
+            .collect();
+        return Ok(Formula::or(disjuncts));
+    }
+    if schema.output().contains(relation.clone()) {
+        return output_atom_formula(transducer, relation, args, step);
+    }
+    Err(VerifyError::Precondition {
+        detail: format!("relation `{relation}` is not part of the transducer schema"),
+    })
+}
+
+/// The formula `φ_{R,step}(args)` stating that the output relation `R`
+/// contains the tuple `args` at step `step`: the disjunction, over the rules
+/// defining `R`, of the existentially quantified rule bodies with the head
+/// unified against `args` (proof of Theorem 3.1).
+pub fn output_atom_formula(
+    transducer: &SpocusTransducer,
+    relation: &RelationName,
+    args: &[Term],
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let rules = transducer.rules_for(relation);
+    let mut disjuncts = Vec::with_capacity(rules.len());
+    for (rule_index, rule) in rules.iter().enumerate() {
+        disjuncts.push(rule_body_formula(transducer, rule, rule_index, args, step)?);
+    }
+    Ok(Formula::or(disjuncts))
+}
+
+/// The body of one rule, with its head unified against `args`, its remaining
+/// variables freshly renamed and existentially quantified, evaluated at
+/// `step`.
+fn rule_body_formula(
+    transducer: &SpocusTransducer,
+    rule: &Rule,
+    rule_index: usize,
+    args: &[Term],
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    if rule.head.args.len() != args.len() {
+        return Err(VerifyError::Precondition {
+            detail: format!(
+                "output atom for `{}` has {} arguments but the rule head has {}",
+                rule.head.relation,
+                args.len(),
+                rule.head.args.len()
+            ),
+        });
+    }
+    // Head unification: head variables are *substituted* by the provided
+    // argument terms (keeping the existential block as small as possible —
+    // the grounding cost of the decision procedures is exponential in the
+    // number of existential variables); repeated head variables and constant
+    // head arguments become equality conjuncts.
+    let mut renaming: BTreeMap<String, Term> = BTreeMap::new();
+    let mut conjuncts: Vec<Formula> = Vec::new();
+    for (head_arg, provided) in rule.head.args.iter().zip(args) {
+        match head_arg {
+            Term::Var(v) => match renaming.get(v) {
+                Some(existing) => conjuncts.push(Formula::eq(existing.clone(), provided.clone())),
+                None => {
+                    renaming.insert(v.clone(), provided.clone());
+                }
+            },
+            Term::Const(_) => conjuncts.push(Formula::eq(head_arg.clone(), provided.clone())),
+        }
+    }
+    // Body-only variables are renamed apart so distinct rules (and repeated
+    // use of the same rule at different steps) cannot capture each other's
+    // quantifiers, and are existentially quantified.
+    let mut fresh_vars: Vec<String> = Vec::new();
+    for var in rule.variables() {
+        if renaming.contains_key(&var) {
+            continue;
+        }
+        let fresh = format!("{var}#r{rule_index}s{step}");
+        fresh_vars.push(fresh.clone());
+        renaming.insert(var, Term::var(fresh));
+    }
+    let rename = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => renaming.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        }
+    };
+
+    // Body literals.
+    for literal in &rule.body {
+        let renamed = rename_literal(literal, &rename);
+        conjuncts.push(literal_formula(transducer, &renamed, step)?);
+    }
+    Ok(Formula::exists(fresh_vars, Formula::and(conjuncts)))
+}
+
+fn rename_literal<F: Fn(&Term) -> Term>(literal: &BodyLiteral, rename: &F) -> BodyLiteral {
+    match literal {
+        BodyLiteral::NotEqual(a, b) => BodyLiteral::NotEqual(rename(a), rename(b)),
+        BodyLiteral::Positive(atom) => BodyLiteral::Positive(rtx_datalog::Atom {
+            relation: atom.relation.clone(),
+            args: atom.args.iter().map(rename).collect(),
+        }),
+        BodyLiteral::Negative(atom) => BodyLiteral::Negative(rtx_datalog::Atom {
+            relation: atom.relation.clone(),
+            args: atom.args.iter().map(rename).collect(),
+        }),
+    }
+}
+
+/// Reads a witness input sequence of length `steps` out of a satisfying
+/// structure over the replicated signature: step `i` collects the tuples of
+/// every `R@i`.
+pub fn witness_inputs(
+    transducer: &SpocusTransducer,
+    model: &rtx_logic::FiniteStructure,
+    steps: usize,
+) -> Result<InstanceSequence, VerifyError> {
+    let input_schema: &Schema = transducer.schema().input();
+    let mut instances = Vec::with_capacity(steps);
+    for step in 1..=steps {
+        let mut instance = Instance::empty(input_schema);
+        for (name, arity) in input_schema.iter() {
+            let replicated = step_relation(name, step);
+            for tuple in model.relation_tuples(replicated) {
+                if tuple.len() == arity {
+                    instance.insert(name.clone(), rtx_relational::Tuple::new(tuple))?;
+                }
+            }
+        }
+        instances.push(instance);
+    }
+    InstanceSequence::new(input_schema.clone(), instances).map_err(VerifyError::from)
+}
+
+/// Registers the transducer's database relations as fixed (closed-world)
+/// interpretations of a [`rtx_logic::BsProblem`], and its active domain as
+/// constants.
+pub fn fix_database(problem: &mut rtx_logic::BsProblem, db: &Instance) {
+    for (name, relation) in db.iter() {
+        problem.fix_relation(
+            name.clone(),
+            relation.arity(),
+            relation.iter().map(|t| t.values().to_vec()),
+        );
+    }
+    problem.add_constants(rtx_relational::active_domain(db));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::models;
+    use rtx_logic::{solve_bs, BsOutcome, BsProblem};
+    use rtx_relational::Value;
+
+    #[test]
+    fn step_relation_names_are_distinct_per_step() {
+        let r = RelationName::new("order");
+        assert_eq!(step_relation(&r, 1).as_str(), "order@1");
+        assert_ne!(step_relation(&r, 1), step_relation(&r, 2));
+    }
+
+    #[test]
+    fn state_atom_at_first_step_is_false() {
+        let t = models::short();
+        let f = atom_formula(
+            &t,
+            &RelationName::new("past-order"),
+            &[Term::var("x")],
+            1,
+        )
+        .unwrap();
+        assert_eq!(f, Formula::False);
+    }
+
+    #[test]
+    fn state_atom_unfolds_into_earlier_steps() {
+        let t = models::short();
+        let f = atom_formula(
+            &t,
+            &RelationName::new("past-order"),
+            &[Term::var("x")],
+            3,
+        )
+        .unwrap();
+        assert_eq!(
+            f,
+            Formula::or(vec![
+                Formula::atom("order@1", [Term::var("x")]),
+                Formula::atom("order@2", [Term::var("x")]),
+            ])
+        );
+    }
+
+    #[test]
+    fn db_atoms_keep_their_name() {
+        let t = models::short();
+        let f = atom_formula(
+            &t,
+            &RelationName::new("price"),
+            &[Term::var("x"), Term::var("y")],
+            2,
+        )
+        .unwrap();
+        assert_eq!(f, Formula::atom("price", [Term::var("x"), Term::var("y")]));
+    }
+
+    #[test]
+    fn unknown_relations_are_rejected() {
+        let t = models::short();
+        assert!(matches!(
+            atom_formula(&t, &RelationName::new("warehouse"), &[], 1),
+            Err(VerifyError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn output_formula_is_satisfiable_exactly_when_the_rule_can_fire() {
+        let t = models::short();
+        let db = models::figure1_database();
+
+        // deliver(time) at step 2 requires an order at step 1 and a payment at
+        // step 2 with the correct price.
+        let formula = output_atom_formula(
+            &t,
+            &RelationName::new("deliver"),
+            &[Term::constant(Value::str("time"))],
+            2,
+        )
+        .unwrap();
+        let mut problem = BsProblem::new(formula.clone());
+        fix_database(&mut problem, &db);
+        match solve_bs(&problem).unwrap() {
+            BsOutcome::Satisfiable(model) => {
+                // the witness must pay the listed price at step 2
+                let pays = model.relation_tuples("pay@2");
+                assert!(pays.contains(&vec![Value::str("time"), Value::int(855)]));
+                // and order time at step 1
+                let orders = model.relation_tuples("order@1");
+                assert!(orders.contains(&vec![Value::str("time")]));
+            }
+            BsOutcome::Unsatisfiable => panic!("deliver(time) should be reachable at step 2"),
+        }
+
+        // With an empty catalog the same formula is unsatisfiable.
+        let empty_db = Instance::empty(&models::catalog_schema());
+        let mut problem = BsProblem::new(formula);
+        fix_database(&mut problem, &empty_db);
+        assert!(matches!(
+            solve_bs(&problem).unwrap(),
+            BsOutcome::Unsatisfiable
+        ));
+    }
+
+    #[test]
+    fn deliver_is_unreachable_at_the_first_step() {
+        // past-order is empty at step 1, so deliver cannot fire.
+        let t = models::short();
+        let db = models::figure1_database();
+        let formula = output_atom_formula(
+            &t,
+            &RelationName::new("deliver"),
+            &[Term::constant(Value::str("time"))],
+            1,
+        )
+        .unwrap();
+        let mut problem = BsProblem::new(formula);
+        fix_database(&mut problem, &db);
+        assert!(matches!(
+            solve_bs(&problem).unwrap(),
+            BsOutcome::Unsatisfiable
+        ));
+    }
+
+    #[test]
+    fn witness_extraction_reads_step_relations() {
+        let t = models::short();
+        let mut model = rtx_logic::FiniteStructure::new(vec![]);
+        model.add_fact("order@1", vec![Value::str("time")]);
+        model.add_fact("pay@2", vec![Value::str("time"), Value::int(855)]);
+        model.add_fact("price", vec![Value::str("time"), Value::int(855)]); // ignored: not an input copy
+        let inputs = witness_inputs(&t, &model, 2).unwrap();
+        assert_eq!(inputs.len(), 2);
+        assert!(inputs
+            .get(0)
+            .unwrap()
+            .holds("order", &rtx_relational::Tuple::from_iter(["time"])));
+        assert!(inputs.get(1).unwrap().holds(
+            "pay",
+            &rtx_relational::Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+        assert!(inputs.get(1).unwrap().relation("order").unwrap().is_empty());
+    }
+}

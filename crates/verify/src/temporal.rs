@@ -1,0 +1,365 @@
+//! Temporal properties of runs (Theorem 3.3).
+//!
+//! The class `T_past-input` consists of sentences `∀x̄ φ(x̄)` where `φ` is a
+//! Boolean combination of literals over the output, database and state
+//! relations.  A run satisfies the sentence if it holds at every step, for
+//! the step's output, the database and the state *before* the step (so a
+//! `past-R` atom reads "R was input at some earlier step").  The canonical
+//! example from §2.1:
+//!
+//! > deliver(x) cannot be output unless pay(x, y) has been previously input,
+//! > where price(x, y) is in the database:
+//! > `∀x∀y (deliver(x) ∧ price(x,y) → past-pay(x,y))`.
+
+use crate::reduction::{fix_database, output_atom_formula, step_relation, witness_inputs};
+use crate::VerifyError;
+use rtx_core::{Run, SpocusTransducer};
+use rtx_logic::{solve_bs, BsOutcome, BsProblem, Formula, Term};
+use rtx_relational::{Instance, InstanceSequence, RelationName};
+use std::collections::BTreeMap;
+
+/// The verdict of a temporal-property check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalVerdict {
+    /// Every run of the transducer satisfies the property at every step.
+    Holds,
+    /// Some run violates the property; `counterexample_inputs` is a two-step
+    /// input sequence whose second step exhibits the violation.
+    Violated {
+        /// A two-step input sequence witnessing the violation.
+        counterexample_inputs: InstanceSequence,
+    },
+}
+
+impl TemporalVerdict {
+    /// True if the property holds on all runs.
+    pub fn holds(&self) -> bool {
+        matches!(self, TemporalVerdict::Holds)
+    }
+}
+
+/// Decides whether every run of `transducer` over `db` satisfies the
+/// `T_past-input` sentence `property` at every step (Theorem 3.3).
+///
+/// `property` must be of the form `∀x̄ φ` (or a closed Boolean combination)
+/// where the atoms of `φ` are over output, database and state relations.
+pub fn holds_in_all_runs(
+    transducer: &SpocusTransducer,
+    db: &Instance,
+    property: &Formula,
+) -> Result<TemporalVerdict, VerifyError> {
+    let schema = transducer.schema();
+    // Validate the vocabulary: only output, db and state relations.
+    for (relation, _arity) in property.relations().map_err(VerifyError::from)? {
+        let ok = schema.output().contains(relation.clone())
+            || schema.db().contains(relation.clone())
+            || schema.state().contains(relation.clone());
+        if !ok {
+            return Err(VerifyError::UnsupportedProperty {
+                detail: format!(
+                    "temporal properties in T_past-input only mention output, database and state relations; `{relation}` is not one"
+                ),
+            });
+        }
+    }
+    if !property.is_sentence() {
+        return Err(VerifyError::UnsupportedProperty {
+            detail: "the property must be a sentence (universally quantify its variables)".into(),
+        });
+    }
+
+    // A violation exists iff ¬property is satisfiable at some step of some
+    // run.  By the two-step collapse (Theorem 3.2 technique): the state at
+    // the violating step is an arbitrary instance (the collapsed earlier
+    // inputs, possibly empty), so it suffices to check step 2 of a two-step
+    // run.  ¬(∀x̄ φ) = ∃x̄ ¬φ, which stays in ∃*∀* once output atoms are
+    // replaced by their (existentially quantified) defining formulas under
+    // positive polarity and their negations under negative polarity.
+    let negated = Formula::not(property.clone()).nnf();
+    let translated = translate(transducer, &negated, 2)?;
+
+    let mut problem = BsProblem::new(translated);
+    fix_database(&mut problem, db);
+
+    match solve_bs(&problem)? {
+        BsOutcome::Satisfiable(model) => Ok(TemporalVerdict::Violated {
+            counterexample_inputs: witness_inputs(transducer, &model, 2)?,
+        }),
+        BsOutcome::Unsatisfiable => Ok(TemporalVerdict::Holds),
+    }
+}
+
+/// Translates a property formula (in NNF) into the replicated-signature
+/// vocabulary at the given step: output atoms become their defining formulas,
+/// state atoms become disjunctions over earlier steps, database atoms are
+/// kept.
+fn translate(
+    transducer: &SpocusTransducer,
+    formula: &Formula,
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    Ok(match formula {
+        Formula::True | Formula::False | Formula::Eq(..) => formula.clone(),
+        Formula::Atom { relation, args } => translate_atom(transducer, relation, args, step)?,
+        Formula::Not(inner) => {
+            let translated = translate(transducer, inner, step)?;
+            Formula::not(translated)
+        }
+        Formula::And(fs) => Formula::and(
+            fs.iter()
+                .map(|f| translate(transducer, f, step))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Formula::Or(fs) => Formula::or(
+            fs.iter()
+                .map(|f| translate(transducer, f, step))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Formula::Implies(a, b) => Formula::implies(
+            translate(transducer, a, step)?,
+            translate(transducer, b, step)?,
+        ),
+        Formula::Exists(vars, body) => {
+            Formula::exists(vars.clone(), translate(transducer, body, step)?)
+        }
+        Formula::Forall(vars, body) => {
+            Formula::forall(vars.clone(), translate(transducer, body, step)?)
+        }
+    })
+}
+
+fn translate_atom(
+    transducer: &SpocusTransducer,
+    relation: &RelationName,
+    args: &[Term],
+    step: usize,
+) -> Result<Formula, VerifyError> {
+    let schema = transducer.schema();
+    if schema.db().contains(relation.clone()) {
+        return Ok(Formula::atom(relation.clone(), args.to_vec()));
+    }
+    if schema.state().contains(relation.clone()) {
+        let base = relation
+            .strip_past()
+            .ok_or_else(|| VerifyError::Precondition {
+                detail: format!("state relation `{relation}` is not of the form past-R"),
+            })?;
+        return Ok(Formula::or(
+            (1..step)
+                .map(|j| Formula::atom(step_relation(&base, j), args.to_vec()))
+                .collect(),
+        ));
+    }
+    if schema.output().contains(relation.clone()) {
+        return output_atom_formula(transducer, relation, args, step);
+    }
+    Err(VerifyError::UnsupportedProperty {
+        detail: format!("relation `{relation}` may not appear in a T_past-input sentence"),
+    })
+}
+
+/// Checks a `T_past-input` sentence against a *concrete* run: the property is
+/// evaluated at every step over the step's output, the database and the state
+/// before the step.  Used to cross-check counterexamples returned by
+/// [`holds_in_all_runs`].
+pub fn run_satisfies(
+    property: &Formula,
+    run: &Run,
+    db: &Instance,
+) -> Result<bool, VerifyError> {
+    let schema = run.schema();
+    let empty_state = Instance::empty(schema.state());
+    for (index, output) in run.outputs().iter().enumerate() {
+        let state_before = if index == 0 {
+            &empty_state
+        } else {
+            run.states().get(index - 1).expect("aligned sequences")
+        };
+        let combined = output.union(state_before)?.union(db)?;
+        let mut domain: Vec<rtx_relational::Value> =
+            rtx_relational::active_domain(&combined).into_iter().collect();
+        for c in property.constants() {
+            if !domain.contains(&c) {
+                domain.push(c);
+            }
+        }
+        let structure = rtx_logic::FiniteStructure::from_instance(domain, &combined);
+        if !property
+            .eval(&structure, &BTreeMap::new())
+            .map_err(VerifyError::from)?
+        {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_core::models;
+    use rtx_core::{RelationalTransducer, SpocusBuilder};
+
+    /// "No product is delivered unless it has been paid at its listed price."
+    fn no_delivery_before_payment() -> Formula {
+        Formula::forall(
+            ["x", "y"],
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::atom("deliver", [Term::var("x")]),
+                    Formula::atom("price", [Term::var("x"), Term::var("y")]),
+                ]),
+                Formula::atom("past-pay", [Term::var("x"), Term::var("y")]),
+            ),
+        )
+    }
+
+    #[test]
+    fn short_never_delivers_before_payment_is_violated_by_same_step_payment() {
+        // In `short`, delivery happens in the *same* step as the payment, so
+        // the strict "previously paid" property is violated (past-pay does not
+        // yet contain the current payment) — exactly the subtlety §2.1 points
+        // out when it phrases the property with "sometime in the past".
+        let t = models::short();
+        let db = models::figure1_database();
+        let verdict = holds_in_all_runs(&t, &db, &no_delivery_before_payment()).unwrap();
+        match verdict {
+            TemporalVerdict::Violated {
+                counterexample_inputs,
+            } => {
+                // the counterexample is a genuine run violating the property
+                let run = t.run(&db, &counterexample_inputs).unwrap();
+                assert!(!run_satisfies(&no_delivery_before_payment(), &run, &db).unwrap());
+            }
+            TemporalVerdict::Holds => panic!("expected a violation"),
+        }
+    }
+
+    #[test]
+    fn delivery_implies_payment_now_or_earlier_holds_for_short() {
+        // The faithful rendering of the §2.1 property for `short`: a delivery
+        // of x at the listed price y implies pay(x, y) was input earlier *or
+        // in the same step*.  The same-step payment is visible to the rule
+        // (it appears in its body), so this property holds on all runs.
+        //
+        // Since `pay` is an input (not allowed in T_past-input directly), we
+        // verify the equivalent statement on an extension of `short` that
+        // echoes the current payment to an output relation `paid-now`.
+        let echo = SpocusBuilder::new("short-echo")
+            .input("order", 1)
+            .input("pay", 2)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .output("paid-now", 2)
+            .log(["sendbill", "pay", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+            .output_rule("paid-now(X,Y) :- pay(X,Y)")
+            .build()
+            .unwrap();
+        let property = Formula::forall(
+            ["x", "y"],
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::atom("deliver", [Term::var("x")]),
+                    Formula::atom("price", [Term::var("x"), Term::var("y")]),
+                ]),
+                Formula::or(vec![
+                    Formula::atom("past-pay", [Term::var("x"), Term::var("y")]),
+                    Formula::atom("paid-now", [Term::var("x"), Term::var("y")]),
+                ]),
+            ),
+        );
+        let db = models::figure1_database();
+        assert!(holds_in_all_runs(&echo, &db, &property).unwrap().holds());
+    }
+
+    #[test]
+    fn a_mutant_that_delivers_unpaid_products_is_caught() {
+        // Remove the payment check from the delivery rule: now a delivery can
+        // happen with no matching payment at all.
+        let mutant = SpocusBuilder::new("short-mutant")
+            .input("order", 1)
+            .input("pay", 2)
+            .database("price", 2)
+            .database("available", 1)
+            .output("sendbill", 2)
+            .output("deliver", 1)
+            .output("paid-now", 2)
+            .log(["sendbill", "pay", "deliver"])
+            .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+            .output_rule("deliver(X) :- past-order(X), price(X,Y)")
+            .output_rule("paid-now(X,Y) :- pay(X,Y)")
+            .build()
+            .unwrap();
+        let property = Formula::forall(
+            ["x", "y"],
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::atom("deliver", [Term::var("x")]),
+                    Formula::atom("price", [Term::var("x"), Term::var("y")]),
+                ]),
+                Formula::or(vec![
+                    Formula::atom("past-pay", [Term::var("x"), Term::var("y")]),
+                    Formula::atom("paid-now", [Term::var("x"), Term::var("y")]),
+                ]),
+            ),
+        );
+        let db = models::figure1_database();
+        assert!(!holds_in_all_runs(&mutant, &db, &property).unwrap().holds());
+    }
+
+    #[test]
+    fn trivially_true_and_false_properties() {
+        let t = models::short();
+        let db = models::figure1_database();
+        assert!(holds_in_all_runs(&t, &db, &Formula::True).unwrap().holds());
+        assert!(!holds_in_all_runs(&t, &db, &Formula::False).unwrap().holds());
+    }
+
+    #[test]
+    fn properties_over_foreign_relations_are_rejected() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let bad = Formula::forall(["x"], Formula::atom("warehouse", [Term::var("x")]));
+        assert!(matches!(
+            holds_in_all_runs(&t, &db, &bad),
+            Err(VerifyError::UnsupportedProperty { .. })
+        ));
+        // input relations are also not part of T_past-input
+        let bad = Formula::forall(["x"], Formula::not(Formula::atom("order", [Term::var("x")])));
+        assert!(matches!(
+            holds_in_all_runs(&t, &db, &bad),
+            Err(VerifyError::UnsupportedProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn open_formulas_are_rejected() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let open = Formula::atom("deliver", [Term::var("x")]);
+        assert!(matches!(
+            holds_in_all_runs(&t, &db, &open),
+            Err(VerifyError::UnsupportedProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn run_satisfaction_matches_direct_inspection() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let run = t.run(&db, &models::figure1_inputs()).unwrap();
+        // "no product is ever billed at a price other than its listed price"
+        let property = Formula::forall(
+            ["x", "y"],
+            Formula::implies(
+                Formula::atom("sendbill", [Term::var("x"), Term::var("y")]),
+                Formula::atom("price", [Term::var("x"), Term::var("y")]),
+            ),
+        );
+        assert!(run_satisfies(&property, &run, &db).unwrap());
+    }
+}

@@ -1,0 +1,74 @@
+//! Customization audit: a supplier checks whether customer-modified business
+//! models still conform to the original semantics (Theorem 3.5 /
+//! Corollary 3.6), and falls back to the syntactic sufficient condition.
+//!
+//! Run with `cargo run --example customization_audit`.
+
+use rtx::core::models;
+use rtx::prelude::*;
+use rtx::verify::syntactically_safe_customization;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let short = models::short();
+    let db = models::figure1_database();
+
+    // Customization 1: friendly — adds warnings, keeps the logged behaviour.
+    let friendly = models::friendly();
+
+    // Customization 2: a "rogue" model that ships products on order, skipping
+    // payment.
+    let rogue = SpocusBuilder::new("rogue")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- order(X), price(X,Y)")
+        .build()?;
+
+    for candidate in [&friendly, &rogue] {
+        println!("auditing customization `{}` against `short`…", candidate.name());
+        let syntactic = syntactically_safe_customization(&short, candidate);
+        println!("  syntactic sufficient condition: {}", if syntactic { "passes" } else { "fails" });
+        let verdict = customization_preserves_logs(&short, candidate, &db)?;
+        match verdict {
+            rtx::verify::ContainmentVerdict::Contained => {
+                println!("  semantic check (Theorem 3.5): accepted — logs are preserved\n");
+            }
+            rtx::verify::ContainmentVerdict::NotContained { counterexample_inputs } => {
+                println!("  semantic check (Theorem 3.5): REJECTED");
+                println!("  counterexample inputs:\n{counterexample_inputs}");
+                let run_orig = short.run(&db, &restrict(&counterexample_inputs, &short)?)?;
+                let run_cust = candidate.run(&db, &counterexample_inputs)?;
+                println!("  original log:\n{}", run_orig.log());
+                println!("  customized log:\n{}", run_cust.log());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Restricts an input sequence over the customization's schema to the
+/// original's input schema.
+fn restrict(
+    inputs: &InstanceSequence,
+    original: &SpocusTransducer,
+) -> Result<InstanceSequence, Box<dyn std::error::Error>> {
+    let schema = original.schema().input().clone();
+    let mut steps = Vec::new();
+    for step in inputs.iter() {
+        let mut restricted = Instance::empty(&schema);
+        for (name, relation) in step.iter() {
+            if schema.contains(name.clone()) {
+                for tuple in relation.iter() {
+                    restricted.insert(name.clone(), tuple.clone())?;
+                }
+            }
+        }
+        steps.push(restricted);
+    }
+    Ok(InstanceSequence::new(schema, steps)?)
+}

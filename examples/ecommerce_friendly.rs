@@ -1,0 +1,34 @@
+//! Figure 2 of the paper: a run of the `friendly` business model, the
+//! customer-friendly customization of `short` that adds warnings
+//! (`unavailable`, `rejectpay`, `alreadypaid`) and bill reminders (`rebill`).
+//!
+//! Run with `cargo run --example ecommerce_friendly`.
+
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let friendly = models::friendly();
+    let db = models::figure1_database();
+    let inputs = models::figure2_inputs();
+
+    println!("=== TRANSDUCER FRIENDLY (§2.1) ===\n{friendly}");
+
+    let run = friendly.run(&db, &inputs)?;
+    println!("=== Figure 2: input and output sequences of a run of friendly ===");
+    for step in run.steps() {
+        println!("step {}:", step.index + 1);
+        println!("  input : {}", step.input);
+        println!("  output: {}", step.output);
+    }
+
+    // §2.1 / Theorem 3.5: friendly is a sound customization of short — every
+    // log it produces is a log short could have produced.
+    let short = models::short();
+    let verdict = customization_preserves_logs(&short, &friendly, &db)?;
+    println!(
+        "\ncustomization check (short ⊒ friendly): {}",
+        if verdict.is_contained() { "sound" } else { "REJECTED" }
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Figure 1 of the paper: a run of the `short` business model.
+//!
+//! Reproduces the input/output exchange of §2.1 — order Time and Newsweek,
+//! receive both bills, pay Time, take delivery of Time, and so on — and then
+//! audits the produced log with the Theorem 3.1 procedure.
+//!
+//! Run with `cargo run --example ecommerce_short`.
+
+use rtx::core::models;
+use rtx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let short = models::short();
+    let db = models::figure1_database();
+    let inputs = models::figure1_inputs();
+
+    println!("=== TRANSDUCER SHORT (§2.1) ===\n{short}");
+    println!("=== catalog ===\n{db}\n");
+
+    let run = short.run(&db, &inputs)?;
+    println!("=== Figure 1: input and output sequences of a run of short ===");
+    for step in run.steps() {
+        println!("step {}:", step.index + 1);
+        println!("  input : {}", step.input);
+        println!("  output: {}", step.output);
+        println!("  log   : {}", step.log);
+    }
+
+    // The supplier-side audit of §2.1 (log checking / fraud detection).
+    let verdict = validate_log(&short, &db, run.log())?;
+    println!("\nsupplier audit of the log: {}", if verdict.is_valid() { "valid" } else { "INVALID" });
+
+    // A tampered log — a delivery with no payment — is rejected.
+    let tampered = rtx::workloads::tamper_log(run.log(), "lemonde");
+    let verdict = validate_log(&short, &db, &tampered)?;
+    println!(
+        "supplier audit of a tampered log (free Le Monde delivery): {}",
+        if verdict.is_valid() { "valid" } else { "INVALID" }
+    );
+    Ok(())
+}

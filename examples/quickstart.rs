@@ -1,0 +1,76 @@
+//! Quickstart: define a small business model with the builder API, run it,
+//! and verify two of the paper's properties on it (goal reachability and a
+//! temporal safety property).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rtx::prelude::*;
+use rtx_datalog::Atom;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A minimal order → bill → pay → deliver model, built programmatically.
+    let shop = SpocusBuilder::new("quickstart-shop")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+        .build()?;
+    println!("{shop}");
+
+    // 2. A tiny catalog.
+    let catalog_schema = Schema::from_pairs([("price", 2)])?;
+    let mut db = Instance::empty(&catalog_schema);
+    db.insert(
+        "price",
+        Tuple::new(vec![Value::str("espresso"), Value::int(3)]),
+    )?;
+    db.insert(
+        "price",
+        Tuple::new(vec![Value::str("grinder"), Value::int(120)]),
+    )?;
+
+    // 3. A customer session: order, then pay.
+    let input_schema = shop.schema().input().clone();
+    let mut step1 = Instance::empty(&input_schema);
+    step1.insert("order", Tuple::from_iter(["espresso"]))?;
+    let mut step2 = Instance::empty(&input_schema);
+    step2.insert(
+        "pay",
+        Tuple::new(vec![Value::str("espresso"), Value::int(3)]),
+    )?;
+    let inputs = InstanceSequence::new(input_schema, vec![step1, step2])?;
+
+    let run = shop.run(&db, &inputs)?;
+    println!("--- run ---\n{run}");
+
+    // 4. Goal reachability (Theorem 3.2): can a grinder ever be delivered?
+    let goal = Goal::atom(Atom::new(
+        "deliver",
+        [rtx::logic::Term::constant(Value::str("grinder"))],
+    ));
+    let reachable = is_goal_reachable(&shop, &db, &goal)?;
+    println!(
+        "deliver(grinder) reachable: {}",
+        if reachable.is_some() { "yes" } else { "no" }
+    );
+
+    // 5. A temporal property (Theorem 3.3): bills always quote the listed price.
+    let property = Formula::forall(
+        ["x", "y"],
+        Formula::implies(
+            Formula::atom("sendbill", [Term::var("x"), Term::var("y")]),
+            Formula::atom("price", [Term::var("x"), Term::var("y")]),
+        ),
+    );
+    let verdict = holds_in_all_runs(&shop, &db, &property)?;
+    println!("bills always quote the listed price: {}", verdict.holds());
+
+    // 6. Audit the run's own log (Theorem 3.1).
+    let validity = validate_log(&shop, &db, run.log())?;
+    println!("the run's log validates: {}", validity.is_valid());
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Integration tests for customization containment (Theorem 3.5 /
+//! Corollary 3.6) and the dependency-based undecidability gadgets.
+
+use rtx::core::models;
+use rtx::prelude::*;
+use rtx::verify::dependencies::{
+    DependencyGadget, DependencySet, FunctionalDependency, InclusionDependency,
+};
+use rtx::verify::{syntactically_safe_customization, ContainmentVerdict};
+
+#[test]
+fn friendly_preserves_short_logs() {
+    let db = models::figure1_database();
+    let verdict =
+        customization_preserves_logs(&models::short(), &models::friendly(), &db).unwrap();
+    assert!(verdict.is_contained());
+    assert!(syntactically_safe_customization(&models::short(), &models::friendly()));
+}
+
+#[test]
+fn rogue_customizations_are_rejected_with_a_counterexample() {
+    let short = models::short();
+    let db = models::figure1_database();
+    let rogue = SpocusBuilder::new("rogue")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- order(X), price(X,Y)")
+        .build()
+        .unwrap();
+    match customization_preserves_logs(&short, &rogue, &db).unwrap() {
+        ContainmentVerdict::NotContained {
+            counterexample_inputs,
+        } => {
+            // the counterexample genuinely separates the two logs
+            let rogue_run = rogue.run(&db, &counterexample_inputs).unwrap();
+            let short_run = short.run(&db, &counterexample_inputs).unwrap();
+            assert_ne!(rogue_run.log(), short_run.log());
+        }
+        ContainmentVerdict::Contained => panic!("rogue customization must be rejected"),
+    }
+}
+
+#[test]
+fn adding_an_unlogged_reporting_output_is_sound() {
+    // A customization that adds a reporting output (not logged) driven by a
+    // new input is accepted both syntactically and semantically.
+    let short = models::short();
+    let db = models::figure1_database();
+    let reporting = SpocusBuilder::new("reporting")
+        .input("order", 1)
+        .input("pay", 2)
+        .input("report-request", 0)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .output("outstanding", 2)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+        .output_rule("outstanding(X,Y) :- report-request, past-order(X), price(X,Y), NOT past-pay(X,Y)")
+        .build()
+        .unwrap();
+    assert!(syntactically_safe_customization(&short, &reporting));
+    assert!(customization_preserves_logs(&short, &reporting, &db)
+        .unwrap()
+        .is_contained());
+}
+
+#[test]
+fn proposition_31_gadget_tracks_dependency_implication() {
+    // F = {1 → 2}, G = {R[1] ⊆ R[2]}: F does not imply G, and the gadget's
+    // witness log is reachable.
+    let f = DependencySet {
+        fds: vec![FunctionalDependency { lhs: vec![0], rhs: 1 }],
+        inds: vec![],
+    };
+    let g = DependencySet {
+        fds: vec![],
+        inds: vec![InclusionDependency { lhs: vec![0], rhs: vec![1] }],
+    };
+    let gadget = DependencyGadget::new(2, f.clone(), g.clone()).unwrap();
+
+    let witness = Relation::from_tuples(
+        2,
+        vec![
+            Tuple::new(vec![Value::str("a"), Value::str("1")]),
+            Tuple::new(vec![Value::str("b"), Value::str("2")]),
+        ],
+    )
+    .unwrap();
+    assert!(f.satisfied_by(&witness) && !g.satisfied_by(&witness));
+    assert!(gadget.witnesses_non_implication(&witness).unwrap());
+
+    // In the opposite configuration (G as F and F as G), the instance that
+    // satisfies the inclusion dependency but not the FD witnesses the
+    // converse non-implication.
+    let gadget_rev = DependencyGadget::new(2, g, f).unwrap();
+    let rev_witness = Relation::from_tuples(
+        2,
+        vec![
+            Tuple::new(vec![Value::str("a"), Value::str("a")]),
+            Tuple::new(vec![Value::str("a"), Value::str("b")]),
+            Tuple::new(vec![Value::str("b"), Value::str("a")]),
+        ],
+    )
+    .unwrap();
+    assert!(gadget_rev.witnesses_non_implication(&rev_witness).unwrap());
+}

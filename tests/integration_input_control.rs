@@ -1,0 +1,143 @@
+//! Integration tests for §4: enforcing `T_sdi` policies (Theorem 4.1) and
+//! verifying properties of error-free runs (Theorems 4.4 and 4.6).
+
+use rtx::core::models;
+use rtx::prelude::*;
+use rtx::verify::enforce::add_enforcement;
+use rtx::verify::error_free::{check_no_negative_state_in_error_rules, error_rules};
+use rtx_datalog::{Atom, BodyLiteral};
+
+fn availability_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new("order", [Term::var("x")]))],
+        Formula::atom("available", [Term::var("x")]),
+    )
+    .unwrap()
+}
+
+fn price_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new(
+            "pay",
+            [Term::var("x"), Term::var("y")],
+        ))],
+        Formula::atom("price", [Term::var("x"), Term::var("y")]),
+    )
+    .unwrap()
+}
+
+#[test]
+fn enforcement_equivalence_on_random_sessions() {
+    // Theorem 4.1, checked operationally: a run of the policed model is
+    // error-free exactly when every step satisfies the policy.
+    let short = models::short();
+    let db = rtx::workloads::catalog(4, 5);
+    let policies = [availability_policy(), price_policy()];
+    let policed = add_enforcement(&short, &policies).unwrap();
+
+    for seed in 0..8u64 {
+        let inputs = rtx::workloads::customer_session(&db, 3, 4, 0.5, seed);
+        let run = policed.run(&db, &inputs).unwrap();
+        let base_run = short.run(&db, &inputs).unwrap();
+        let satisfied = policies
+            .iter()
+            .all(|p| p.satisfied_on_run(&base_run, &db).unwrap());
+        assert_eq!(run.is_error_free(), satisfied, "seed {seed}");
+    }
+}
+
+#[test]
+fn error_free_runs_satisfy_enforced_policies() {
+    let short = models::short();
+    let db = models::figure1_database();
+    let policed = add_enforcement(&short, &[availability_policy(), price_policy()]).unwrap();
+    assert!(check_no_negative_state_in_error_rules(&policed).is_ok());
+    assert_eq!(error_rules(&policed).len(), 2);
+
+    for policy in [availability_policy(), price_policy()] {
+        assert!(error_free_runs_satisfy(&policed, &db, &policy)
+            .unwrap()
+            .holds());
+    }
+    // but the unpoliced model does not enforce either policy
+    for policy in [availability_policy(), price_policy()] {
+        assert!(!error_free_runs_satisfy(&short, &db, &policy)
+            .unwrap()
+            .holds());
+    }
+}
+
+#[test]
+fn error_free_containment_is_ordered_by_strictness() {
+    let short = models::short();
+    let db = models::figure1_database();
+    let lenient = add_enforcement(&short, &[availability_policy()]).unwrap();
+    let strict = add_enforcement(&short, &[availability_policy(), price_policy()]).unwrap();
+
+    // every error-free run of the strict model is error-free for the lenient one
+    assert!(error_free_containment(&strict, &lenient, &db)
+        .unwrap()
+        .holds());
+    // but not conversely: paying a wrong price is fine for the lenient model
+    // and an error for the strict one
+    match error_free_containment(&lenient, &strict, &db).unwrap() {
+        rtx::verify::ErrorFreeVerdict::Violated {
+            counterexample_inputs,
+        } => {
+            let lenient_run = lenient.run(&db, &counterexample_inputs).unwrap();
+            let strict_run = strict.run(&db, &counterexample_inputs).unwrap();
+            assert!(lenient_run.is_error_free());
+            assert!(!strict_run.is_error_free());
+        }
+        rtx::verify::ErrorFreeVerdict::Holds => panic!("expected a separating run"),
+    }
+}
+
+#[test]
+fn paper_example_policies_compile_and_enforce() {
+    // §4.1, example 3: "if the purchase of x is cancelled then x was
+    // previously ordered" — over a model extended with a cancel input.
+    let cancellable = SpocusBuilder::new("cancellable")
+        .input("order", 1)
+        .input("pay", 2)
+        .input("cancel", 1)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule(
+            "deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y), NOT past-cancel(X)",
+        )
+        .build()
+        .unwrap();
+    let policy = SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new("cancel", [Term::var("x")]))],
+        Formula::atom("past-order", [Term::var("x")]),
+    )
+    .unwrap();
+    let policed = add_enforcement(&cancellable, &[policy.clone()]).unwrap();
+
+    let db = models::figure1_database();
+    let schema = policed.schema().input().clone();
+    // cancelling before ordering trips the error rule
+    let mut bad_step = Instance::empty(&schema);
+    bad_step
+        .insert("cancel", Tuple::from_iter(["time"]))
+        .unwrap();
+    let bad = InstanceSequence::new(schema.clone(), vec![bad_step]).unwrap();
+    assert!(!policed.run(&db, &bad).unwrap().is_error_free());
+
+    // ordering and later cancelling is fine
+    let mut step1 = Instance::empty(&schema);
+    step1.insert("order", Tuple::from_iter(["time"])).unwrap();
+    let mut step2 = Instance::empty(&schema);
+    step2.insert("cancel", Tuple::from_iter(["time"])).unwrap();
+    let good = InstanceSequence::new(schema, vec![step1, step2]).unwrap();
+    assert!(policed.run(&db, &good).unwrap().is_error_free());
+
+    // the policy has a positive state consequent, so its error rule has a
+    // negative state literal and Theorem 4.4's procedure must refuse it
+    assert!(check_no_negative_state_in_error_rules(&policed).is_err());
+}

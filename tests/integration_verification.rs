@@ -1,0 +1,118 @@
+//! Integration tests for the decision procedures against the worked models:
+//! log validation (Theorem 3.1), goal reachability (Theorem 3.2) and temporal
+//! properties (Theorem 3.3), cross-checked against concrete runs.
+
+use rtx::core::models;
+use rtx::prelude::*;
+use rtx::verify::log_validation::log_matches;
+use rtx::verify::temporal::run_satisfies;
+use rtx_datalog::Atom;
+
+#[test]
+fn logs_of_real_runs_validate_and_witnesses_reproduce_them() {
+    let short = models::short();
+    let db = models::figure1_database();
+    for (steps, honesty, seed) in [(1usize, 1.0, 1u64), (2, 1.0, 2), (3, 0.5, 3)] {
+        let inputs = rtx::workloads::customer_session(&db, steps, 3, honesty, seed);
+        let run = short.run(&db, &inputs).unwrap();
+        match validate_log(&short, &db, run.log()).unwrap() {
+            LogValidity::Valid { witness_inputs } => {
+                assert!(log_matches(&short, &db, &witness_inputs, run.log()).unwrap());
+            }
+            LogValidity::Invalid => panic!("log of a real run declared invalid"),
+        }
+    }
+}
+
+#[test]
+fn tampered_logs_are_rejected() {
+    let short = models::short();
+    let db = models::figure1_database();
+    let inputs = rtx::workloads::customer_session(&db, 2, 3, 1.0, 7);
+    let log = rtx::workloads::log_of(&short, &db, &inputs);
+    // claim a delivery of a product whose payment never appears in the log
+    let tampered = rtx::workloads::tamper_log(&log, "newsweek");
+    // the tampered step has deliver(newsweek) but the log's pay slice at that
+    // step cannot justify it unless the honest session already did exactly
+    // that; re-check against the actual run to make the expectation precise
+    let honest_run = short.run(&db, &inputs).unwrap();
+    let already_delivered = honest_run
+        .log()
+        .last()
+        .map(|l| l.holds("deliver", &Tuple::from_iter(["newsweek"])))
+        .unwrap_or(false);
+    let verdict = validate_log(&short, &db, &tampered).unwrap();
+    if already_delivered {
+        assert!(verdict.is_valid());
+    } else {
+        assert!(!verdict.is_valid(), "tampered log must be flagged");
+    }
+}
+
+#[test]
+fn goal_reachability_matches_the_paper_claim() {
+    // §2.1: deliver(x) is achievable exactly for products with a listed price.
+    let short = models::short();
+    let db = models::figure1_database();
+    for product in ["time", "newsweek", "lemonde"] {
+        let goal = Goal::atom(Atom::new("deliver", [Term::constant(Value::str(product))]));
+        let witness = is_goal_reachable(&short, &db, &goal).unwrap();
+        let witness = witness.expect("every listed product is deliverable");
+        let run = short.run(&db, &witness.inputs).unwrap();
+        assert!(goal.satisfied_in(run.outputs().last().unwrap()));
+    }
+    let goal = Goal::atom(Atom::new(
+        "deliver",
+        [Term::constant(Value::str("economist"))],
+    ));
+    assert!(is_goal_reachable(&short, &db, &goal).unwrap().is_none());
+}
+
+#[test]
+fn temporal_property_of_the_introduction() {
+    // "No product can be delivered before payment is received" — phrased over
+    // the friendly model with a paid-now echo so the current payment counts.
+    let audited = SpocusBuilder::new("audited")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .output("paid-now", 2)
+        .log(["sendbill", "pay", "deliver"])
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+        .output_rule("paid-now(X,Y) :- pay(X,Y)")
+        .build()
+        .unwrap();
+    let db = models::figure1_database();
+    let property = Formula::forall(
+        ["x", "y"],
+        Formula::implies(
+            Formula::and(vec![
+                Formula::atom("deliver", [Term::var("x")]),
+                Formula::atom("price", [Term::var("x"), Term::var("y")]),
+            ]),
+            Formula::or(vec![
+                Formula::atom("past-pay", [Term::var("x"), Term::var("y")]),
+                Formula::atom("paid-now", [Term::var("x"), Term::var("y")]),
+            ]),
+        ),
+    );
+    assert!(holds_in_all_runs(&audited, &db, &property).unwrap().holds());
+
+    // and the concrete Figure-1-style run satisfies it too
+    let inputs = models::figure1_inputs();
+    let run = audited.run(&db, &inputs).unwrap();
+    assert!(run_satisfies(&property, &run, &db).unwrap());
+}
+
+#[test]
+fn genlang_characterisation_for_the_propositional_example() {
+    let t = models::abstar_c();
+    assert!(rtx::verify::genlang::check_characterisation(&t, 4).unwrap());
+    let dfa = rtx::verify::gen_language_dfa(&t).unwrap();
+    assert!(dfa.is_prefix_closed());
+    assert!(dfa.has_only_self_loop_cycles());
+}

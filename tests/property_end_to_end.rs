@@ -1,0 +1,134 @@
+//! Property-based tests over the whole stack: randomly generated catalogs and
+//! customer sessions must uphold the paper's invariants.
+
+use proptest::prelude::*;
+use rtx::core::models;
+use rtx::prelude::*;
+use rtx::verify::log_validation::log_matches;
+
+/// Strategy: a small catalog (product names p0..p{n-1} with prices 1..50).
+fn catalog_strategy() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(1i64..50, 1..4).prop_map(|prices| {
+        let mut db = Instance::empty(&models::catalog_schema());
+        for (i, price) in prices.iter().enumerate() {
+            db.insert(
+                "price",
+                Tuple::new(vec![Value::str(format!("p{i}")), Value::int(*price)]),
+            )
+            .unwrap();
+            if i % 2 == 0 {
+                db.insert("available", Tuple::from_iter([format!("p{i}").as_str()]))
+                    .unwrap();
+            }
+        }
+        db
+    })
+}
+
+/// Strategy: an input sequence over the `short` schema with up to 3 steps.
+fn inputs_strategy() -> impl Strategy<Value = InstanceSequence> {
+    let step = (
+        proptest::collection::vec(0usize..3, 0..3),
+        proptest::collection::vec((0usize..3, 1i64..50), 0..2),
+    );
+    proptest::collection::vec(step, 0..3).prop_map(|steps| {
+        let schema = models::short_input_schema();
+        let instances: Vec<Instance> = steps
+            .into_iter()
+            .map(|(orders, pays)| {
+                let mut inst = Instance::empty(&schema);
+                for o in orders {
+                    inst.insert("order", Tuple::from_iter([format!("p{o}").as_str()]))
+                        .unwrap();
+                }
+                for (p, amount) in pays {
+                    inst.insert(
+                        "pay",
+                        Tuple::new(vec![Value::str(format!("p{p}")), Value::int(amount)]),
+                    )
+                    .unwrap();
+                }
+                inst
+            })
+            .collect();
+        InstanceSequence::new(schema, instances).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Soundness of Theorem 3.1: the log of any actual run validates, and the
+    /// returned witness reproduces the same log.
+    #[test]
+    fn logs_of_runs_always_validate(db in catalog_strategy(), inputs in inputs_strategy()) {
+        let short = models::short();
+        let run = short.run(&db, &inputs).unwrap();
+        match validate_log(&short, &db, run.log()).unwrap() {
+            LogValidity::Valid { witness_inputs } => {
+                prop_assert!(log_matches(&short, &db, &witness_inputs, run.log()).unwrap());
+            }
+            LogValidity::Invalid => prop_assert!(false, "log of a real run declared invalid"),
+        }
+    }
+
+    /// The temporal safety invariant of `short`: every bill quotes the listed
+    /// price, and every delivered product was ordered at some earlier step.
+    #[test]
+    fn runs_of_short_respect_billing_and_ordering(db in catalog_strategy(), inputs in inputs_strategy()) {
+        let short = models::short();
+        let run = short.run(&db, &inputs).unwrap();
+        for (index, output) in run.outputs().iter().enumerate() {
+            for bill in output.relation("sendbill").unwrap().iter() {
+                prop_assert!(db.holds("price", bill));
+            }
+            for delivery in output.relation("deliver").unwrap().iter() {
+                // ordered at a strictly earlier step
+                let ordered_before = (0..index).any(|j| {
+                    run.inputs().get(j).unwrap().holds("order", delivery)
+                });
+                prop_assert!(ordered_before);
+            }
+        }
+    }
+
+    /// Cumulative state is inflationary: each state instance contains the
+    /// previous one.
+    #[test]
+    fn states_are_inflationary(db in catalog_strategy(), inputs in inputs_strategy()) {
+        let short = models::short();
+        let run = short.run(&db, &inputs).unwrap();
+        for i in 1..run.len() {
+            let earlier = run.states().get(i - 1).unwrap();
+            let later = run.states().get(i).unwrap();
+            prop_assert!(earlier.is_subinstance_of(later));
+        }
+    }
+
+    /// friendly is log-equivalent to short on shared inputs (the §2.1 claim).
+    #[test]
+    fn friendly_and_short_log_equivalent(db in catalog_strategy(), inputs in inputs_strategy()) {
+        let short = models::short();
+        let friendly = models::friendly();
+        let friendly_schema = models::friendly_input_schema();
+        let widened = InstanceSequence::new(
+            friendly_schema.clone(),
+            inputs
+                .iter()
+                .map(|step| {
+                    let mut inst = Instance::empty(&friendly_schema);
+                    for (name, rel) in step.iter() {
+                        for tuple in rel.iter() {
+                            inst.insert(name.clone(), tuple.clone()).unwrap();
+                        }
+                    }
+                    inst
+                })
+                .collect(),
+        )
+        .unwrap();
+        let a = short.run(&db, &inputs).unwrap();
+        let b = friendly.run(&db, &widened).unwrap();
+        prop_assert_eq!(a.log(), b.log());
+    }
+}
