@@ -199,11 +199,8 @@ impl Dfa {
     /// Both automata should share an alphabet; symbols missing from either
     /// lead to the implicit dead state.
     pub fn intersection(&self, other: &Dfa) -> Dfa {
-        let alphabet: BTreeSet<Symbol> = self
-            .alphabet()
-            .union(&other.alphabet())
-            .cloned()
-            .collect();
+        let alphabet: BTreeSet<Symbol> =
+            self.alphabet().union(&other.alphabet()).cloned().collect();
         let index = |a: usize, b: usize| a * other.num_states + b;
         let mut out = Dfa::new(
             self.num_states * other.num_states,
@@ -228,18 +225,15 @@ impl Dfa {
     /// True if the two DFAs accept the same language (checked over the union
     /// of their alphabets by breadth-first exploration of the product).
     pub fn equivalent(&self, other: &Dfa) -> bool {
-        let alphabet: BTreeSet<Symbol> = self
-            .alphabet()
-            .union(&other.alphabet())
-            .cloned()
-            .collect();
+        let alphabet: BTreeSet<Symbol> =
+            self.alphabet().union(&other.alphabet()).cloned().collect();
         // Pair exploration with an explicit dead marker (None).
         let start = (Some(self.start), Some(other.start));
         let mut seen = BTreeSet::from([start]);
         let mut queue = VecDeque::from([start]);
         while let Some((a, b)) = queue.pop_front() {
-            let a_acc = a.map_or(false, |s| self.is_accepting(s));
-            let b_acc = b.map_or(false, |s| other.is_accepting(s));
+            let a_acc = a.is_some_and(|s| self.is_accepting(s));
+            let b_acc = b.is_some_and(|s| other.is_accepting(s));
             if a_acc != b_acc {
                 return false;
             }

@@ -1,15 +1,22 @@
 //! PERF-DL: the set-at-a-time output-program evaluation the paper advocates —
-//! Spocus step cost versus catalog size, and the naive vs semi-naive ablation
-//! on a recursive substrate workload.
+//! Spocus step cost versus catalog size, and the naive vs semi-naive vs
+//! compiled-indexed ablation on a recursive substrate workload.
 
 use criterion::Criterion;
 use rtx::core::models;
-use rtx::datalog::{evaluate_stratified, parse_program, EvalOptions, FixpointStrategy};
+use rtx::datalog::{
+    evaluate_nonrecursive, evaluate_stratified, parse_program, CompiledProgram, EvalEngine,
+    EvalOptions, FixpointStrategy,
+};
 use rtx::prelude::*;
 
 fn benches(c: &mut Criterion) {
     let short = models::short();
 
+    // The headline number: a whole customer run against growing catalogs.
+    // The transducer runtime uses the compiled-indexed engine with the
+    // catalog pre-indexed once per run, so this should scale with the
+    // session size, not the catalog size.
     let mut group = c.benchmark_group("spocus_step_vs_catalog_size");
     for products in [100usize, 1_000, 10_000] {
         let db = rtx::workloads::catalog(products, 1);
@@ -20,7 +27,32 @@ fn benches(c: &mut Criterion) {
     }
     group.finish();
 
-    // Ablation: naive vs semi-naive fixpoint on transitive closure of a chain.
+    // In-repo ablation of the same step: the reference interpreter
+    // (re-analysis + nested scans over the unioned EDB, the pre-compilation
+    // evaluation path) versus the cached compiled program.
+    let mut group = c.benchmark_group("spocus_step_engines");
+    for products in [1_000usize, 10_000] {
+        let db = rtx::workloads::catalog(products, 1);
+        let inputs = rtx::workloads::customer_session(&db, 4, products, 0.9, 3);
+        let program = short.output_program().clone();
+        group.bench_function(format!("interpreter/products={products}"), |b| {
+            b.iter(|| {
+                let mut state = Instance::empty(short.schema().state());
+                for input in inputs.iter() {
+                    let edb = input.union(&state).unwrap().union(&db).unwrap();
+                    evaluate_nonrecursive(&program, &edb).unwrap();
+                    state = short.state_step(input, &state, &db).unwrap();
+                }
+            });
+        });
+        group.bench_function(format!("compiled/products={products}"), |b| {
+            b.iter(|| short.run(&db, &inputs).unwrap());
+        });
+    }
+    group.finish();
+
+    // Ablation: naive vs semi-naive vs compiled-indexed fixpoint on the
+    // transitive closure of a chain.
     let tc = parse_program(
         "tc(X,Y) :- edge(X,Y).\n\
          tc(X,Z) :- edge(X,Y), tc(Y,Z).",
@@ -37,16 +69,39 @@ fn benches(c: &mut Criterion) {
             )
             .unwrap();
         }
-        for (label, strategy) in [
-            ("naive", FixpointStrategy::Naive),
-            ("semi-naive", FixpointStrategy::SemiNaive),
+        for (label, options) in [
+            (
+                "naive",
+                EvalOptions {
+                    strategy: FixpointStrategy::Naive,
+                    engine: EvalEngine::Interpreted,
+                },
+            ),
+            (
+                "semi-naive",
+                EvalOptions {
+                    strategy: FixpointStrategy::SemiNaive,
+                    engine: EvalEngine::Interpreted,
+                },
+            ),
+            (
+                "compiled-indexed",
+                EvalOptions {
+                    strategy: FixpointStrategy::SemiNaive,
+                    engine: EvalEngine::CompiledIndexed,
+                },
+            ),
         ] {
             group.bench_function(format!("{label}/chain={n}"), |b| {
-                b.iter(|| {
-                    evaluate_stratified(&tc, &edb, EvalOptions { strategy }).unwrap()
-                });
+                b.iter(|| evaluate_stratified(&tc, &edb, options).unwrap());
             });
         }
+        // The compiled engine without per-call compilation: what a resident
+        // service pays once the program is installed.
+        let compiled = CompiledProgram::compile(&tc).unwrap();
+        group.bench_function(format!("compiled-cached/chain={n}"), |b| {
+            b.iter(|| compiled.evaluate(&[&edb]).unwrap());
+        });
     }
     group.finish();
 }

@@ -25,10 +25,8 @@ fn benches(c: &mut Criterion) {
 
     c.bench_function("thm31_reject_tampered_log", |b| {
         let inputs = rtx::workloads::customer_session(&db, 1, 3, 1.0, 13);
-        let log = rtx::workloads::tamper_log(
-            &rtx::workloads::log_of(&short, &db, &inputs),
-            "lemonde",
-        );
+        let log =
+            rtx::workloads::tamper_log(&rtx::workloads::log_of(&short, &db, &inputs), "lemonde");
         b.iter(|| {
             let verdict = validate_log(&short, &db, &log).unwrap();
             assert!(!verdict.is_valid());

@@ -28,7 +28,11 @@ fn benches(c: &mut Criterion) {
         let scaled_db = rtx::workloads::scaled_database(2, 4);
         let goal = Goal::atom(Atom::new("out0", [Term::constant(Value::str("r0"))]));
         group.bench_function(format!("outputs={outputs}"), |b| {
-            b.iter(|| assert!(is_goal_reachable(&model, &scaled_db, &goal).unwrap().is_some()));
+            b.iter(|| {
+                assert!(is_goal_reachable(&model, &scaled_db, &goal)
+                    .unwrap()
+                    .is_some())
+            });
         });
     }
     group.finish();

@@ -61,7 +61,11 @@ fn benches(c: &mut Criterion) {
         let catalog = rtx::workloads::catalog(products, 3);
         let model = audited_model(true);
         group.bench_function(format!("products={products}"), |b| {
-            b.iter(|| assert!(holds_in_all_runs(&model, &catalog, &property).unwrap().holds()));
+            b.iter(|| {
+                assert!(holds_in_all_runs(&model, &catalog, &property)
+                    .unwrap()
+                    .holds())
+            });
         });
     }
     group.finish();

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the small API surface the benchmark harness uses — [`Criterion`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] — with real wall-clock
+//! measurement.  Each benchmark is warmed up, then sampled `sample_size`
+//! times; the mean and median per-iteration times are printed and appended to
+//! `target/criterion-lite/results.csv` so CI can archive them.
+//!
+//! `--quick` on the command line (or `CRITERION_QUICK=1` in the environment)
+//! shrinks warm-up and measurement windows for smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver: configuration plus collected results.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        let (warm, measure) = if quick {
+            (Duration::from_millis(50), Duration::from_millis(150))
+        } else {
+            (Duration::from_secs(3), Duration::from_secs(5))
+        };
+        Criterion {
+            sample_size: if quick { 10 } else { 100 },
+            warm_up_time: warm,
+            measurement_time: measure,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Plot generation is not supported; accepted for API compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Measures one top-level (ungrouped) benchmark function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(id.into(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the collected results and writes the CSV summary.
+    pub fn final_summary(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = target_dir().join("criterion-lite");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join("results.csv");
+            let fresh = !path.exists();
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                if fresh {
+                    let _ = writeln!(file, "benchmark,mean_ns,median_ns,samples");
+                }
+                for r in &self.results {
+                    let _ = writeln!(
+                        file,
+                        "{},{:.1},{:.1},{}",
+                        r.id, r.mean_ns, r.median_ns, r.samples
+                    );
+                }
+            }
+        }
+        println!("\nsummary ({} benchmarks):", self.results.len());
+        for r in &self.results {
+            println!("  {:<55} {}", r.id, format_ns(r.median_ns));
+        }
+    }
+
+    fn run_one(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
+        // Warm up and estimate the per-iteration cost.
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+
+        // Split the measurement window into `sample_size` samples.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: Mode::Fixed {
+                    iterations: iters_per_sample,
+                },
+                iterations: 0,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{:<55} time: [{} {} {}]",
+            id,
+            format_ns(samples_ns[0]),
+            format_ns(median_ns),
+            format_ns(*samples_ns.last().unwrap())
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns,
+            median_ns,
+            samples: samples_ns.len(),
+        });
+    }
+}
+
+/// The workspace `target` directory.  Bench binaries run with the package
+/// directory as cwd, so relative `target` would land inside the package;
+/// prefer `CARGO_TARGET_DIR`, then the nearest existing `target` directory
+/// walking up from cwd.
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate;
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(id, &mut f);
+        self
+    }
+
+    /// Closes the group (results are kept on the parent `Criterion`).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Keep timing single iterations until the deadline passes.
+    Calibrate { deadline: Instant },
+    /// Time exactly this many iterations.
+    Fixed { iterations: u64 },
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    mode: Mode,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` according to the current mode.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Calibrate { deadline } => loop {
+                let start = Instant::now();
+                std_black_box(routine());
+                self.elapsed += start.elapsed();
+                self.iterations += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+            Mode::Fixed { iterations } => {
+                let start = Instant::now();
+                for _ in 0..iterations {
+                    std_black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iterations += iterations;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_collect_results() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+            .without_plots();
+        let mut group = c.benchmark_group("demo");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[0].id, "demo/sum");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

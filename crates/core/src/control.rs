@@ -131,7 +131,10 @@ mod tests {
         assert!(ControlDiscipline::AcceptAtEnd.accepts(&fraud));
 
         // A step with no order violates ok-at-every-step only.
-        let silent = run_of(vec![step(&["time"], &[], false), step(&[], &["time"], true)]);
+        let silent = run_of(vec![
+            step(&["time"], &[], false),
+            step(&[], &["time"], true),
+        ]);
         assert!(ControlDiscipline::ErrorFree.accepts(&silent));
         assert!(!ControlDiscipline::OkAtEveryStep.accepts(&silent));
         assert!(ControlDiscipline::AcceptAtEnd.accepts(&silent));

@@ -261,7 +261,10 @@ fn check_cumulative_shape(rule: &Rule) -> Result<(), CoreError> {
         .relation
         .strip_past()
         .ok_or_else(|| CoreError::NotSpocus {
-            detail: format!("state relation `{}` is not of the form past-R", head.relation),
+            detail: format!(
+                "state relation `{}` is not of the form past-R",
+                head.relation
+            ),
         })?;
     if rule.body.len() != 1 {
         return Err(CoreError::NotSpocus {
@@ -284,9 +287,7 @@ fn check_cumulative_shape(rule: &Rule) -> Result<(), CoreError> {
             ),
         });
     }
-    if head.args != body_atom.args
-        || head.args.iter().any(|t| !matches!(t, Term::Var(_)))
-    {
+    if head.args != body_atom.args || head.args.iter().any(|t| !matches!(t, Term::Var(_))) {
         return Err(CoreError::NotSpocus {
             detail: format!(
                 "state rule `{rule}` must copy the input tuple unchanged (projections are not Spocus; see Proposition 3.1)"
@@ -369,7 +370,10 @@ state rules
   past-order(X) +:- order(X);
 output rules
   deliver(X) :- past-order(X).";
-        assert!(matches!(parse_transducer(text), Err(CoreError::Parse { .. })));
+        assert!(matches!(
+            parse_transducer(text),
+            Err(CoreError::Parse { .. })
+        ));
 
         let fixed = text.replace("order, cancel;", "order, cancel/1;");
         let t = parse_transducer(&fixed).unwrap();
@@ -407,10 +411,7 @@ output rules
 
     #[test]
     fn output_rules_must_not_be_cumulative() {
-        let text = SHORT.replace(
-            "sendbill(X,Y) :- order(X)",
-            "sendbill(X,Y) +:- order(X)",
-        );
+        let text = SHORT.replace("sendbill(X,Y) :- order(X)", "sendbill(X,Y) +:- order(X)");
         assert!(matches!(
             parse_transducer(&text),
             Err(CoreError::Parse { .. })

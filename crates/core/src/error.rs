@@ -72,7 +72,8 @@ mod tests {
             detail: "projection in state rule".into(),
         };
         assert!(e.to_string().contains("Spocus"));
-        let e: CoreError = rtx_relational::RelationalError::UnknownRelation { name: "r".into() }.into();
+        let e: CoreError =
+            rtx_relational::RelationalError::UnknownRelation { name: "r".into() }.into();
         assert!(matches!(e, CoreError::Relational(_)));
         let e: CoreError = rtx_datalog::DatalogError::Parse {
             message: "x".into(),
@@ -80,8 +81,16 @@ mod tests {
         }
         .into();
         assert!(matches!(e, CoreError::Datalog(_)));
-        assert!(CoreError::Parse { detail: "bad".into() }.to_string().contains("bad"));
-        assert!(CoreError::InvalidSchema { detail: "d".into() }.to_string().contains("schema"));
-        assert!(CoreError::SchemaMismatch { detail: "m".into() }.to_string().contains("mismatch"));
+        assert!(CoreError::Parse {
+            detail: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
+        assert!(CoreError::InvalidSchema { detail: "d".into() }
+            .to_string()
+            .contains("schema"));
+        assert!(CoreError::SchemaMismatch { detail: "m".into() }
+            .to_string()
+            .contains("mismatch"));
     }
 }

@@ -125,7 +125,8 @@ pub fn figure1_database() -> Instance {
 fn short_step(orders: &[&str], pays: &[(&str, i64)]) -> Instance {
     let mut inst = Instance::empty(&short_input_schema());
     for o in orders {
-        inst.insert("order", Tuple::from_iter([*o])).expect("order/1");
+        inst.insert("order", Tuple::from_iter([*o]))
+            .expect("order/1");
     }
     for (p, amount) in pays {
         inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amount)]))
@@ -137,7 +138,8 @@ fn short_step(orders: &[&str], pays: &[(&str, i64)]) -> Instance {
 fn friendly_step(orders: &[&str], pays: &[(&str, i64)], pending_bills: bool) -> Instance {
     let mut inst = Instance::empty(&friendly_input_schema());
     for o in orders {
-        inst.insert("order", Tuple::from_iter([*o])).expect("order/1");
+        inst.insert("order", Tuple::from_iter([*o]))
+            .expect("order/1");
     }
     for (p, amount) in pays {
         inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amount)]))

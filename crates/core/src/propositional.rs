@@ -57,7 +57,10 @@ impl PropositionalTransducer {
 
     /// The output alphabet (output proposition names).
     pub fn alphabet(&self) -> Vec<String> {
-        self.outputs.iter().map(|r| r.as_str().to_string()).collect()
+        self.outputs
+            .iter()
+            .map(|r| r.as_str().to_string())
+            .collect()
     }
 
     /// The number of input propositions.
@@ -94,7 +97,7 @@ impl PropositionalTransducer {
                     let emitted: Vec<&RelationName> = self
                         .outputs
                         .iter()
-                        .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                        .filter(|o| output.relation((*o).clone()).is_some_and(|r| r.holds()))
                         .collect();
                     if emitted.len() > 1 {
                         // Not a legal step of a propositional-output run.
@@ -135,7 +138,7 @@ impl PropositionalTransducer {
             let emitted: Vec<String> = self
                 .outputs
                 .iter()
-                .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                .filter(|o| output.relation((*o).clone()).is_some_and(|r| r.holds()))
                 .map(|o| o.as_str().to_string())
                 .collect();
             if emitted.len() > 1 {
@@ -178,8 +181,14 @@ impl PropositionalTransducer {
     #[allow(clippy::type_complexity)]
     pub fn transition_system(
         &self,
-        ) -> Result<(Vec<Instance>, Vec<BTreeMap<String, BTreeSet<usize>>>, Vec<BTreeSet<usize>>), CoreError>
-    {
+    ) -> Result<
+        (
+            Vec<Instance>,
+            Vec<BTreeMap<String, BTreeSet<usize>>>,
+            Vec<BTreeSet<usize>>,
+        ),
+        CoreError,
+    > {
         let db = Instance::empty(self.inner.schema().db());
         let mut states: Vec<Instance> = vec![Instance::empty(self.inner.schema().state())];
         let mut index: BTreeMap<Instance, usize> = BTreeMap::new();
@@ -197,7 +206,7 @@ impl PropositionalTransducer {
                 let emitted: Vec<String> = self
                     .outputs
                     .iter()
-                    .filter(|o| output.relation((*o).clone()).map_or(false, |r| r.holds()))
+                    .filter(|o| output.relation((*o).clone()).is_some_and(|r| r.holds()))
                     .map(|o| o.as_str().to_string())
                     .collect();
                 if emitted.len() > 1 {
@@ -265,7 +274,7 @@ mod tests {
         let words = t.generate_words(4).unwrap();
         for w in &words {
             for cut in 0..w.len() {
-                assert!(words.contains(&w[..cut].to_vec()), "prefix of {w:?} missing");
+                assert!(words.contains(&w[..cut]), "prefix of {w:?} missing");
             }
         }
     }
@@ -274,7 +283,8 @@ mod tests {
     fn explicit_input_sequences_produce_expected_words() {
         let t = models::abstar_c();
         assert_eq!(
-            t.word_of_inputs(&[vec!["A"], vec!["B"], vec!["B"], vec!["C"]]).unwrap(),
+            t.word_of_inputs(&[vec!["A"], vec!["B"], vec!["B"], vec!["C"]])
+                .unwrap(),
             vec!["a", "b", "b", "c"]
         );
         // repeating A after the first step emits nothing (NOT past-A blocks it)
@@ -283,7 +293,10 @@ mod tests {
             vec!["a"]
         );
         // C before A emits nothing
-        assert_eq!(t.word_of_inputs(&[vec!["C"]]).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            t.word_of_inputs(&[vec!["C"]]).unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl Run {
     pub fn has_ok_at_every_step(&self) -> bool {
         self.outputs.iter().all(|o| {
             o.relation("ok")
-                .map_or(false, rtx_relational::Relation::holds)
+                .is_some_and(rtx_relational::Relation::holds)
         })
     }
 
@@ -145,13 +145,13 @@ impl Run {
         self.outputs
             .last()
             .and_then(|o| o.relation("accept"))
-            .map_or(false, rtx_relational::Relation::holds)
+            .is_some_and(rtx_relational::Relation::holds)
     }
 
     fn no_output_in(&self, relation: &str) -> bool {
         self.outputs
             .iter()
-            .all(|o| o.relation(relation).map_or(true, |r| r.is_empty()))
+            .all(|o| o.relation(relation).is_none_or(|r| r.is_empty()))
     }
 }
 
@@ -175,8 +175,8 @@ mod tests {
 
     fn schema() -> TransducerSchema {
         let input = Schema::from_pairs([("order", 1)]).unwrap();
-        let output = Schema::from_pairs([("deliver", 1), ("error", 0), ("ok", 0), ("accept", 0)])
-            .unwrap();
+        let output =
+            Schema::from_pairs([("deliver", 1), ("error", 0), ("ok", 0), ("accept", 0)]).unwrap();
         TransducerSchema::new(
             input.clone(),
             TransducerSchema::cumulative_state_schema(&input),
@@ -228,7 +228,14 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        Run::new(s, Instance::empty(&Schema::empty()), inputs, states, outputs).unwrap()
+        Run::new(
+            s,
+            Instance::empty(&Schema::empty()),
+            inputs,
+            states,
+            outputs,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -269,7 +276,9 @@ mod tests {
         let steps: Vec<_> = run.steps().collect();
         assert_eq!(steps.len(), 2);
         assert_eq!(steps[0].index, 0);
-        assert!(steps[0].output.holds("deliver", &Tuple::from_iter(["time"])));
+        assert!(steps[0]
+            .output
+            .holds("deliver", &Tuple::from_iter(["time"])));
         assert!(run.ever_outputs("deliver", &Tuple::from_iter(["time"])));
         assert!(!run.ever_outputs("deliver", &Tuple::from_iter([Value::str("lemonde")])));
     }
@@ -277,15 +286,18 @@ mod tests {
     #[test]
     fn mismatched_lengths_rejected() {
         let s = schema();
-        let inputs = InstanceSequence::new(
-            s.input().clone(),
-            vec![Instance::empty(s.input())],
-        )
-        .unwrap();
+        let inputs =
+            InstanceSequence::new(s.input().clone(), vec![Instance::empty(s.input())]).unwrap();
         let states = InstanceSequence::empty(s.state().clone());
         let outputs = InstanceSequence::empty(s.output().clone());
         assert!(matches!(
-            Run::new(s, Instance::empty(&Schema::empty()), inputs, states, outputs),
+            Run::new(
+                s,
+                Instance::empty(&Schema::empty()),
+                inputs,
+                states,
+                outputs
+            ),
             Err(CoreError::SchemaMismatch { .. })
         ));
     }

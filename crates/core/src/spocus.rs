@@ -1,9 +1,9 @@
 //! Spocus transducers (§3.1).
 
-use crate::{CoreError, RelationalTransducer, TransducerSchema};
+use crate::{CoreError, RelationalTransducer, Run, TransducerSchema};
 use rtx_datalog::safety::{check_program_safety, check_semipositive};
-use rtx_datalog::{evaluate_nonrecursive, BodyLiteral, Program};
-use rtx_relational::{Instance, RelationName};
+use rtx_datalog::{BodyLiteral, CompiledProgram, Program};
+use rtx_relational::{Instance, InstanceSequence, RelationName};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -21,11 +21,19 @@ use std::fmt;
 /// 3. every rule is safe (each variable occurs in a positive body literal);
 /// 4. the program is "flat" — no output relation appears in a body — which
 ///    makes it trivially non-recursive and semipositive.
+///
+/// Construction also **compiles** the output program once
+/// ([`rtx_datalog::CompiledProgram`]): safety checking, dependency analysis
+/// and stratification never run again, and every step joins through hash
+/// indexes.  [`RelationalTransducer::run`] additionally pre-indexes the
+/// database so the per-step cost is independent of the catalog size for
+/// selective rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpocusTransducer {
     name: String,
     schema: TransducerSchema,
     output_program: Program,
+    compiled: CompiledProgram,
 }
 
 impl SpocusTransducer {
@@ -55,9 +63,7 @@ impl SpocusTransducer {
                     ),
                 });
             }
-            if schema.output().arity_of(rule.head.relation.clone())
-                != Some(rule.head.arity())
-            {
+            if schema.output().arity_of(rule.head.relation.clone()) != Some(rule.head.arity()) {
                 return Err(CoreError::NotSpocus {
                     detail: format!(
                         "rule head `{}` has arity {} but the schema declares {:?}",
@@ -104,10 +110,15 @@ impl SpocusTransducer {
             detail: e.to_string(),
         })?;
 
+        // Compile once: every later step evaluates with zero re-analysis.
+        let compiled =
+            CompiledProgram::compile_nonrecursive(&output_program).map_err(CoreError::Datalog)?;
+
         Ok(SpocusTransducer {
             name: name.into(),
             schema,
             output_program,
+            compiled,
         })
     }
 
@@ -133,16 +144,28 @@ impl SpocusTransducer {
         self.output_program.rules_for(relation)
     }
 
-    /// Builds the combined "extensional database" an output step sees:
-    /// `input ∪ previous_state ∪ db` (well-defined because the three schemas
-    /// are disjoint).
-    fn step_edb(
+    /// The compiled form of the output program (compiled once at
+    /// construction).
+    pub fn compiled_output_program(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Evaluates the compiled output program against the step sources
+    /// (`input ∪ previous_state ∪ db`, passed separately — the schemas are
+    /// disjoint, so no union needs to be materialised) and fills out the full
+    /// output schema (the program may not mention every output relation).
+    fn evaluate_output(
         &self,
-        input: &Instance,
-        previous_state: &Instance,
-        db: &Instance,
+        sources: &[&Instance],
+        prepared: Option<&rtx_datalog::PreparedDb<'_>>,
     ) -> Result<Instance, CoreError> {
-        Ok(input.union(previous_state)?.union(db)?)
+        let (derived, _) = self.compiled.evaluate_prepared(sources, prepared)?;
+        let mut output = Instance::empty(self.schema.output());
+        // Head relations are validated output relations with matching
+        // arities, and absorbing into fresh empty relations shares the
+        // derived tuple sets instead of copying them.
+        output.absorb(&derived)?;
+        Ok(output)
     }
 }
 
@@ -170,25 +193,30 @@ impl RelationalTransducer for SpocusTransducer {
         Ok(next)
     }
 
-    /// Output: evaluate the semipositive non-recursive program against
-    /// `input ∪ previous_state ∪ db`.
+    /// Output: evaluate the compiled semipositive non-recursive program
+    /// against `input ∪ previous_state ∪ db`.  No safety checking, dependency
+    /// analysis or stratification happens here — all of it ran once at
+    /// construction.
     fn output_step(
         &self,
         input: &Instance,
         previous_state: &Instance,
         db: &Instance,
     ) -> Result<Instance, CoreError> {
-        let edb = self.step_edb(input, previous_state, db)?;
-        let derived = evaluate_nonrecursive(&self.output_program, &edb)?;
-        // The program may not mention every output relation; materialise the
-        // full output schema so runs are well-typed.
-        let mut output = Instance::empty(self.schema.output());
-        for (name, relation) in derived.iter() {
-            for tuple in relation.iter() {
-                output.insert(name.clone(), tuple.clone())?;
-            }
-        }
-        Ok(output)
+        self.evaluate_output(&[input, previous_state, db], None)
+    }
+
+    /// Runs the transducer with the database pre-indexed once for the whole
+    /// run: each step probes the same catalog indexes instead of rebuilding
+    /// them, so the per-step cost is driven by the input and state sizes, not
+    /// the database size.
+    fn run(&self, db: &Instance, inputs: &InstanceSequence) -> Result<Run, CoreError> {
+        let prepared = self.compiled.prepare(db);
+        crate::transducer::drive_run(&self.schema, db, inputs, |input, previous_state| {
+            let output = self.evaluate_output(&[input, previous_state], Some(&prepared))?;
+            let next_state = self.state_step(input, previous_state, db)?;
+            Ok((output, next_state))
+        })
     }
 }
 
@@ -271,7 +299,10 @@ mod tests {
 
         // step 1: bills for both ordered products, no delivery
         let o1 = run.outputs().get(0).unwrap();
-        assert!(o1.holds("sendbill", &Tuple::new(vec![Value::str("time"), Value::int(855)])));
+        assert!(o1.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
         assert!(o1.holds(
             "sendbill",
             &Tuple::new(vec![Value::str("newsweek"), Value::int(845)])
@@ -306,7 +337,13 @@ mod tests {
         .unwrap();
         let run = t.run(&db(), &inputs).unwrap();
         // paying without a prior order: no delivery (past-order empty)
-        assert!(run.outputs().get(0).unwrap().relation("deliver").unwrap().is_empty());
+        assert!(run
+            .outputs()
+            .get(0)
+            .unwrap()
+            .relation("deliver")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -391,5 +428,62 @@ mod tests {
         assert_eq!(t.name(), "short");
         assert_eq!(t.output_program().len(), 2);
         assert_eq!(t.rules_for(&RelationName::new("deliver")).len(), 1);
+        assert!(!t.compiled_output_program().is_recursive());
+    }
+
+    /// Acceptance criterion of the compiled-evaluation work: after
+    /// construction, stepping the transducer performs **no** safety check,
+    /// dependency-graph construction or stratification.  The datalog crate
+    /// counts analyses per thread; stepping must not move the counter.
+    #[test]
+    fn steps_perform_no_program_reanalysis() {
+        let t = short();
+        let db = db();
+        let inputs = InstanceSequence::new(
+            Schema::from_pairs([("order", 1), ("pay", 2)]).unwrap(),
+            vec![
+                input_step(&["time"], &[]),
+                input_step(&[], &[("time", 855)]),
+                input_step(&["newsweek"], &[("newsweek", 845)]),
+            ],
+        )
+        .unwrap();
+        let analyses_after_construction = rtx_datalog::compile::analysis_count();
+        for _ in 0..3 {
+            t.run(&db, &inputs).unwrap();
+        }
+        let state = Instance::empty(t.schema().state());
+        t.output_step(&input_step(&["time"], &[]), &state, &db)
+            .unwrap();
+        assert_eq!(
+            rtx_datalog::compile::analysis_count(),
+            analyses_after_construction,
+            "stepping a Spocus transducer must not re-analyse its output program"
+        );
+    }
+
+    /// The explicit-run path (with the database pre-indexed) and the trait's
+    /// default step-by-step path must produce identical runs.
+    #[test]
+    fn prepared_run_matches_stepwise_outputs() {
+        let t = short();
+        let db = db();
+        let inputs = InstanceSequence::new(
+            Schema::from_pairs([("order", 1), ("pay", 2)]).unwrap(),
+            vec![
+                input_step(&["time", "newsweek"], &[]),
+                input_step(&[], &[("time", 855)]),
+                input_step(&["lemonde"], &[("newsweek", 845)]),
+            ],
+        )
+        .unwrap();
+        let run = t.run(&db, &inputs).unwrap();
+        let mut state = Instance::empty(t.schema().state());
+        for (i, input) in inputs.iter().enumerate() {
+            let output = t.output_step(input, &state, &db).unwrap();
+            assert_eq!(run.outputs().get(i), Some(&output), "output at step {i}");
+            state = t.state_step(input, &state, &db).unwrap();
+            assert_eq!(run.states().get(i), Some(&state), "state at step {i}");
+        }
     }
 }

@@ -241,17 +241,17 @@ impl Program {
     pub fn relation_arities(&self) -> Result<BTreeMap<RelationName, usize>, DatalogError> {
         let mut out: BTreeMap<RelationName, usize> = BTreeMap::new();
         let note =
-            |name: &RelationName, arity: usize, out: &mut BTreeMap<RelationName, usize>| {
-                match out.get(name) {
-                    Some(&a) if a != arity => Err(DatalogError::InconsistentArity {
-                        relation: name.as_str().to_string(),
-                        first: a,
-                        second: arity,
-                    }),
-                    _ => {
-                        out.insert(name.clone(), arity);
-                        Ok(())
-                    }
+            |name: &RelationName, arity: usize, out: &mut BTreeMap<RelationName, usize>| match out
+                .get(name)
+            {
+                Some(&a) if a != arity => Err(DatalogError::InconsistentArity {
+                    relation: name.as_str().to_string(),
+                    first: a,
+                    second: arity,
+                }),
+                _ => {
+                    out.insert(name.clone(), arity);
+                    Ok(())
                 }
             };
         for rule in &self.rules {
@@ -335,7 +335,10 @@ mod tests {
     #[test]
     fn program_idb_edb_partition() {
         let p = Program::new(vec![deliver_rule()]);
-        assert_eq!(p.idb_relations(), BTreeSet::from([RelationName::new("deliver")]));
+        assert_eq!(
+            p.idb_relations(),
+            BTreeSet::from([RelationName::new("deliver")])
+        );
         let edb = p.edb_relations();
         assert!(edb.contains(&RelationName::new("price")));
         assert!(edb.contains(&RelationName::new("past-pay")));
@@ -345,13 +348,13 @@ mod tests {
     #[test]
     fn arity_consistency() {
         let mut p = Program::new(vec![deliver_rule()]);
-        assert_eq!(
-            p.relation_arities().unwrap()[&RelationName::new("pay")],
-            2
-        );
+        assert_eq!(p.relation_arities().unwrap()[&RelationName::new("pay")], 2);
         p.push(Rule::new(
             Atom::new("deliver", [Term::var("X"), Term::var("Y")]),
-            vec![BodyLiteral::Positive(Atom::new("pay", [Term::var("X"), Term::var("Y")]))],
+            vec![BodyLiteral::Positive(Atom::new(
+                "pay",
+                [Term::var("X"), Term::var("Y")],
+            ))],
         ));
         assert!(matches!(
             p.relation_arities(),

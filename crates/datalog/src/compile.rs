@@ -1,0 +1,1384 @@
+//! Rule compilation and hash-indexed evaluation.
+//!
+//! The interpreter in [`crate::engine`] re-analyses a program on every call:
+//! it re-checks safety, rebuilds the dependency graph, re-stratifies, binds
+//! variables through a string-keyed map and scans (and clones) whole
+//! relations at every join level.  For a Spocus transducer that evaluates the
+//! same output program at every input step, all of that work is loop-invariant.
+//!
+//! This module factors the loop-invariant work into a one-time **compilation
+//! pipeline**:
+//!
+//! 1. **Analysis** — safety checking, arity collection, dependency-graph
+//!    construction and stratification run exactly once, in
+//!    [`CompiledProgram::compile`].  Rules are grouped into strata and, inside
+//!    each non-recursive stratum, ordered topologically so that a rule never
+//!    reads a derived relation before the rules defining it have run.
+//! 2. **Slot resolution** — every variable of a rule is assigned a dense
+//!    numeric slot; at evaluation time bindings live in a flat
+//!    `Vec<Option<Value>>` register frame instead of a `BTreeMap<String,
+//!    Value>`.
+//! 3. **Join ordering** — the positive atoms of each rule are reordered with
+//!    a greedy bound-prefix heuristic: at each step the atom with the most
+//!    bound columns (constants or variables bound by earlier atoms) is chosen,
+//!    ties broken towards fewer fresh variables and then towards the original
+//!    body order.
+//! 4. **Access-path selection** — for each atom (in its chosen position) the
+//!    columns are statically partitioned into *key* columns (constants and
+//!    already-bound variables: the hash-index probe key), *write* columns
+//!    (first occurrence of a variable: binds the slot) and *check* columns
+//!    (repeated variable within the same atom: an equality filter).
+//!
+//! At evaluation time each join level probes a [`TupleIndex`] on the atom's
+//! key columns instead of scanning the relation.  Indexes are built lazily,
+//! only for the `(relation, columns)` pairs the program actually probes, and
+//! cached for the duration of an evaluation (and across evaluations for a
+//! long-lived database prepared with [`CompiledProgram::prepare`] — the
+//! access path a transducer uses for its catalog across an entire run).
+//!
+//! The reference interpreter remains available through [`crate::engine`] and
+//! is used as an oracle by the randomized equivalence tests; benchmarks can
+//! compare naive, semi-naive and compiled-indexed evaluation through
+//! [`crate::EvalOptions`].
+
+use crate::engine::EvalStats;
+use crate::graph::DependencyGraph;
+use crate::safety::check_program_safety;
+use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
+use rtx_logic::Term;
+use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple, TupleIndex, Value};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+thread_local! {
+    static ANALYSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of full program analyses (safety + dependency graph +
+/// stratification) performed by this thread.
+///
+/// This is a test hook: callers that cache a [`CompiledProgram`] can assert
+/// that repeated evaluation does **zero** re-analysis by checking that this
+/// counter does not move across evaluations.
+pub fn analysis_count() -> u64 {
+    ANALYSES.with(Cell::get)
+}
+
+/// A term as seen from a rule's register frame: either a compiled variable
+/// slot or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotTerm {
+    /// The value bound to a register slot.
+    Slot(usize),
+    /// An inline constant.
+    Const(Value),
+}
+
+/// A positive body atom, compiled against a join position: its columns are
+/// partitioned into index-key, slot-write and equality-check columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledAtom {
+    relation: RelationName,
+    arity: usize,
+    /// Position of this atom in the rule body as written (before reordering).
+    source_index: usize,
+    /// True if the relation is defined in the same stratum (drives the
+    /// semi-naive delta rewriting for recursive strata).
+    recursive: bool,
+    /// Columns probed through the hash index, with the terms producing the
+    /// probe key (parallel vectors).
+    key_cols: Vec<usize>,
+    key_terms: Vec<SlotTerm>,
+    /// True if `key_cols` is `[0, 1, .., k-1]`: the probe can range-scan the
+    /// relation's sorted tuple set directly, with no index to build.
+    prefix_key: bool,
+    /// `(column, slot)`: first occurrence of a variable — binds the slot.
+    writes: Vec<(usize, usize)>,
+    /// `(column, slot)`: repeated variable within this atom — equality check.
+    checks: Vec<(usize, usize)>,
+}
+
+impl CompiledAtom {
+    /// The relation this atom reads.
+    pub fn relation(&self) -> &RelationName {
+        &self.relation
+    }
+
+    /// The columns probed through the hash index.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// True if the probe is a sorted-prefix range scan (key columns
+    /// `[0..k)`), which needs no index at all.
+    pub fn uses_prefix_scan(&self) -> bool {
+        self.prefix_key
+    }
+
+    /// The `(column, slot)` pairs that bind fresh variables.
+    pub fn write_columns(&self) -> &[(usize, usize)] {
+        &self.writes
+    }
+
+    /// The `(column, slot)` pairs checked for same-atom variable repeats.
+    pub fn check_columns(&self) -> &[(usize, usize)] {
+        &self.checks
+    }
+}
+
+/// A negated atom with slot-resolved arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledNegation {
+    relation: RelationName,
+    args: Vec<SlotTerm>,
+}
+
+/// One rule after compilation: reordered atoms, slot-resolved head and
+/// filters, and the size of the register frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledRule {
+    head_relation: RelationName,
+    head: Vec<SlotTerm>,
+    atoms: Vec<CompiledAtom>,
+    /// Positions (in `atoms`) of same-stratum relations, precomputed for the
+    /// semi-naive delta rewriting.
+    recursive_positions: Vec<usize>,
+    negations: Vec<CompiledNegation>,
+    disequalities: Vec<(SlotTerm, SlotTerm)>,
+    n_slots: usize,
+    /// Slot index → variable name, for diagnostics.
+    slot_names: Vec<String>,
+    /// Rendering of the source rule, for diagnostics.
+    source: String,
+}
+
+impl CompiledRule {
+    /// The head relation.
+    pub fn head_relation(&self) -> &RelationName {
+        &self.head_relation
+    }
+
+    /// The compiled atoms in chosen join order.
+    pub fn atoms(&self) -> &[CompiledAtom] {
+        &self.atoms
+    }
+
+    /// The chosen join order, as indices into the rule body as written.
+    pub fn atom_order(&self) -> Vec<usize> {
+        self.atoms.iter().map(|a| a.source_index).collect()
+    }
+
+    /// Number of register slots (distinct variables) of the rule.
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+}
+
+/// A stratum of compiled rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Stratum {
+    /// Indices into `CompiledProgram::rules`, topologically ordered by head
+    /// relation (meaningful for the single-pass evaluation of non-recursive
+    /// strata).
+    rule_indices: Vec<usize>,
+    /// Head relations of this stratum.
+    heads: BTreeSet<RelationName>,
+    /// True if some rule body mentions a same-stratum head.
+    recursive: bool,
+}
+
+/// A datalog program compiled for repeated indexed evaluation.
+///
+/// Compilation runs every per-program analysis once; evaluation then performs
+/// no safety checking, no graph construction and no stratification — see the
+/// [module docs](self) for the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProgram {
+    rules: Vec<CompiledRule>,
+    strata: Vec<Stratum>,
+    out_schema: Schema,
+    recursive: bool,
+}
+
+impl CompiledProgram {
+    /// Compiles a (possibly recursive) stratified program.
+    pub fn compile(program: &Program) -> Result<Self, DatalogError> {
+        Self::compile_with(program, false)
+    }
+
+    /// Compiles a program, rejecting recursion among derived relations — the
+    /// entry point for Spocus output programs, which must be non-recursive.
+    pub fn compile_nonrecursive(program: &Program) -> Result<Self, DatalogError> {
+        Self::compile_with(program, true)
+    }
+
+    fn compile_with(program: &Program, forbid_recursion: bool) -> Result<Self, DatalogError> {
+        ANALYSES.with(|c| c.set(c.get() + 1));
+        check_program_safety(program)?;
+        let arities = program.relation_arities()?;
+        let graph = DependencyGraph::of(program);
+        let idb = program.idb_relations();
+
+        let mut recursive = false;
+        if let Some(cycle) = graph.first_cycle() {
+            if cycle.iter().any(|r| idb.contains(r)) {
+                if forbid_recursion {
+                    return Err(DatalogError::Recursive {
+                        cycle: cycle.iter().map(|r| r.as_str().to_string()).collect(),
+                    });
+                }
+                recursive = true;
+            }
+        }
+
+        let relation_strata = graph.stratify()?;
+        // Topological position of every relation: `sccs()` lists components
+        // dependencies-first, so rules evaluated in this order always see
+        // their derived dependencies fully computed.
+        let mut topo_pos: BTreeMap<RelationName, usize> = BTreeMap::new();
+        for (pos, component) in graph.sccs().iter().enumerate() {
+            for relation in component {
+                topo_pos.insert(relation.clone(), pos);
+            }
+        }
+
+        let out_schema = Schema::from_pairs(
+            idb.iter()
+                .map(|r| (r.clone(), *arities.get(r).unwrap_or(&0))),
+        )?;
+
+        let mut rules = Vec::new();
+        let mut strata = Vec::new();
+        for stratum_relations in &relation_strata {
+            let heads: BTreeSet<RelationName> = stratum_relations
+                .iter()
+                .filter(|r| idb.contains(*r))
+                .cloned()
+                .collect();
+            if heads.is_empty() {
+                continue;
+            }
+            let mut source_indices: Vec<usize> = program
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| heads.contains(&r.head.relation))
+                .map(|(i, _)| i)
+                .collect();
+            source_indices.sort_by_key(|&i| {
+                let head = &program.rules()[i].head.relation;
+                (*topo_pos.get(head).unwrap_or(&0), i)
+            });
+            let stratum_recursive = source_indices.iter().any(|&i| {
+                program.rules()[i]
+                    .body_relations()
+                    .iter()
+                    .any(|r| heads.contains(r))
+            });
+            let mut rule_indices = Vec::with_capacity(source_indices.len());
+            for i in source_indices {
+                rule_indices.push(rules.len());
+                rules.push(compile_rule(&program.rules()[i], &heads)?);
+            }
+            strata.push(Stratum {
+                rule_indices,
+                heads,
+                recursive: stratum_recursive,
+            });
+        }
+
+        Ok(CompiledProgram {
+            rules,
+            strata,
+            out_schema,
+            recursive,
+        })
+    }
+
+    /// The compiled rules, grouped by stratum and topologically ordered.
+    pub fn rules(&self) -> &[CompiledRule] {
+        &self.rules
+    }
+
+    /// The schema of the derived (IDB) relations.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// True if some derived relation depends on itself.
+    pub fn is_recursive(&self) -> bool {
+        self.recursive
+    }
+
+    /// Pre-builds every hash index this program probes against a long-lived
+    /// database instance.
+    ///
+    /// A transducer evaluates its output program once per input step against
+    /// `input ∪ state ∪ db`, where `db` does not change across the run;
+    /// preparing `db` once makes the per-step cost independent of the
+    /// database size for selective rules.  Prefix-keyed probes range-scan the
+    /// relation's own sorted tuple set, so only non-prefix key shapes need an
+    /// index built here.
+    pub fn prepare<'a>(&self, db: &'a Instance) -> PreparedDb<'a> {
+        let mut indexes: HashMap<(RelationName, Vec<usize>), TupleIndex> = HashMap::new();
+        for rule in &self.rules {
+            for atom in &rule.atoms {
+                if atom.key_cols.is_empty() || atom.prefix_key {
+                    continue;
+                }
+                if let Some(relation) = db.get(&atom.relation) {
+                    indexes
+                        .entry((atom.relation.clone(), atom.key_cols.clone()))
+                        .or_insert_with(|| {
+                            TupleIndex::build(atom.key_cols.clone(), relation.iter())
+                        });
+                }
+            }
+        }
+        PreparedDb {
+            instance: db,
+            indexes,
+        }
+    }
+
+    /// Evaluates the program against a list of extensional sources.
+    ///
+    /// Relations are resolved in each source in turn (first match wins), then
+    /// in the derived instance; a relation found nowhere is empty — the same
+    /// convention as the reference interpreter.
+    pub fn evaluate(&self, sources: &[&Instance]) -> Result<(Instance, EvalStats), DatalogError> {
+        self.evaluate_prepared(sources, None)
+    }
+
+    /// Evaluates with an optional prepared database appended to the source
+    /// list; indexes prepared for it are reused instead of rebuilt.
+    pub fn evaluate_prepared(
+        &self,
+        sources: &[&Instance],
+        prepared: Option<&PreparedDb<'_>>,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
+        let mut ctx = EvalContext::new(self, sources, prepared);
+        let mut stats = EvalStats::default();
+        for stratum in &self.strata {
+            if stratum.recursive {
+                self.run_recursive_stratum(stratum, &mut ctx, &mut stats)?;
+            } else {
+                self.run_single_pass_stratum(stratum, &mut ctx, &mut stats)?;
+            }
+        }
+        Ok((ctx.derived, stats))
+    }
+
+    /// Non-recursive stratum: one pass over its rules in topological order.
+    fn run_single_pass_stratum(
+        &self,
+        stratum: &Stratum,
+        ctx: &mut EvalContext<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        stats.rounds += 1;
+        let mut sink = Vec::new();
+        for &ri in &stratum.rule_indices {
+            let rule = &self.rules[ri];
+            stats.rule_applications += 1;
+            sink.clear();
+            ctx.run_pass(rule, None, &mut sink)?;
+            stats.tuples_derived += sink.len() as u64;
+            ctx.insert_derived(&rule.head_relation, sink.drain(..))?;
+        }
+        Ok(())
+    }
+
+    /// Recursive stratum: semi-naive fixpoint with the standard
+    /// old/delta/full split over the recursive atom occurrences.
+    fn run_recursive_stratum(
+        &self,
+        stratum: &Stratum,
+        ctx: &mut EvalContext<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<(), DatalogError> {
+        let mut delta: BTreeMap<RelationName, Relation> = stratum
+            .heads
+            .iter()
+            .map(|r| {
+                let arity = self.out_schema.arity_of(r.clone()).unwrap_or(0);
+                (r.clone(), Relation::empty(arity))
+            })
+            .collect();
+        let mut old = ctx.derived.clone();
+
+        loop {
+            stats.rounds += 1;
+            ctx.begin_round();
+            // Deltas are empty exactly on the first round: any later round
+            // only starts because the previous one inserted new facts.
+            let first_round = delta.values().all(Relation::is_empty);
+            let mut new_facts: Vec<(RelationName, Tuple)> = Vec::new();
+            let mut sink = Vec::new();
+            for &ri in &stratum.rule_indices {
+                let rule = &self.rules[ri];
+                let recursive_positions = &rule.recursive_positions;
+                if recursive_positions.is_empty() && !first_round {
+                    // A rule with no recursive body atom saturates in round
+                    // 1; re-running it would re-derive the same tuples.
+                    continue;
+                }
+                stats.rule_applications += 1;
+                sink.clear();
+                if first_round {
+                    ctx.run_pass(rule, None, &mut sink)?;
+                } else {
+                    for &pos in recursive_positions {
+                        ctx.run_pass(
+                            rule,
+                            Some(SeminaiveView {
+                                delta_pos: pos,
+                                delta: &delta,
+                                old: &old,
+                            }),
+                            &mut sink,
+                        )?;
+                    }
+                }
+                stats.tuples_derived += sink.len() as u64;
+                for tuple in sink.drain(..) {
+                    if !ctx
+                        .derived
+                        .get(&rule.head_relation)
+                        .is_some_and(|r| r.contains(&tuple))
+                    {
+                        new_facts.push((rule.head_relation.clone(), tuple));
+                    }
+                }
+            }
+
+            for rel in delta.values_mut() {
+                *rel = Relation::empty(rel.arity());
+            }
+            old = ctx.derived.clone();
+            // Merge directly and invalidate the derived-index cache once at
+            // the end of the round — no rule reads `derived` in between.
+            let mut changed = false;
+            for (name, tuple) in new_facts {
+                if ctx.derived.insert(name.clone(), tuple.clone())? {
+                    changed = true;
+                    if let Some(d) = delta.get_mut(&name) {
+                        d.insert(tuple)?;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            ctx.invalidate_derived();
+        }
+        Ok(())
+    }
+}
+
+/// A database instance with the program's hash indexes pre-built — see
+/// [`CompiledProgram::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedDb<'a> {
+    instance: &'a Instance,
+    indexes: HashMap<(RelationName, Vec<usize>), TupleIndex>,
+}
+
+impl PreparedDb<'_> {
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// Number of distinct `(relation, columns)` indexes prepared.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+/// Restriction applied to one evaluation pass of a rule in a recursive
+/// stratum: the atom at `delta_pos` reads the delta, recursive atoms at
+/// earlier positions read the pre-delta snapshot, everything else reads the
+/// full database.
+struct SeminaiveView<'v> {
+    delta_pos: usize,
+    delta: &'v BTreeMap<RelationName, Relation>,
+    old: &'v Instance,
+}
+
+/// Where a positive atom resolves for one evaluation pass.
+enum AtomPlan<'x> {
+    /// Probe a hash index with a key assembled from the register frame.
+    Probe {
+        index: &'x TupleIndex,
+        atom: &'x CompiledAtom,
+    },
+    /// Range-scan the relation's sorted tuple set on a column prefix — no
+    /// index needed, the `BTreeSet` ordering *is* the index.
+    PrefixScan {
+        relation: &'x Relation,
+        atom: &'x CompiledAtom,
+    },
+    /// Full scan that re-checks the key columns per tuple: the defensive
+    /// fallback for a keyed atom whose index is unexpectedly missing.
+    CheckedScan {
+        relation: &'x Relation,
+        atom: &'x CompiledAtom,
+    },
+    /// Scan a relation (no bound columns).
+    Scan {
+        relation: &'x Relation,
+        atom: &'x CompiledAtom,
+    },
+    /// The relation is empty or absent: the pass produces nothing.
+    Empty,
+}
+
+/// Index spaces of an evaluation context (cache keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Space {
+    /// External sources and the prepared database: immutable for the whole
+    /// evaluation.
+    External,
+    /// The derived instance: invalidated whenever it changes.
+    Derived,
+    /// The per-round delta of a recursive stratum.
+    Delta,
+    /// The per-round pre-delta snapshot of a recursive stratum.
+    Old,
+}
+
+struct EvalContext<'x> {
+    sources: Vec<&'x Instance>,
+    prepared: Option<&'x PreparedDb<'x>>,
+    derived: Instance,
+    cache: HashMap<(Space, RelationName, Vec<usize>), TupleIndex>,
+}
+
+impl<'x> EvalContext<'x> {
+    fn new(
+        program: &CompiledProgram,
+        sources: &[&'x Instance],
+        prepared: Option<&'x PreparedDb<'x>>,
+    ) -> Self {
+        EvalContext {
+            sources: sources.to_vec(),
+            prepared,
+            derived: Instance::empty(&program.out_schema),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Resolves a positive atom's relation: external sources in order, then
+    /// the prepared database, then the derived instance.
+    fn resolve(&self, name: &RelationName) -> Option<(Space, &Relation)> {
+        for source in &self.sources {
+            if let Some(rel) = source.get(name) {
+                return Some((Space::External, rel));
+            }
+        }
+        if let Some(prepared) = self.prepared {
+            if let Some(rel) = prepared.instance.get(name) {
+                return Some((Space::External, rel));
+            }
+        }
+        self.derived.get(name).map(|rel| (Space::Derived, rel))
+    }
+
+    /// Drops the per-round delta/old index entries.
+    fn begin_round(&mut self) {
+        self.cache
+            .retain(|(space, _, _), _| !matches!(space, Space::Delta | Space::Old));
+    }
+
+    /// Drops indexes over the derived instance (called when it changes).
+    fn invalidate_derived(&mut self) {
+        self.cache
+            .retain(|(space, _, _), _| !matches!(space, Space::Derived));
+    }
+
+    fn insert_derived(
+        &mut self,
+        relation: &RelationName,
+        tuples: impl Iterator<Item = Tuple>,
+    ) -> Result<(), DatalogError> {
+        let mut changed = false;
+        for tuple in tuples {
+            changed |= self.derived.insert(relation.clone(), tuple)?;
+        }
+        if changed {
+            self.invalidate_derived();
+        }
+        Ok(())
+    }
+
+    /// Makes sure an index for `(space, relation, cols)` exists in the cache,
+    /// building it from `relation_data` if missing.  Prepared-database
+    /// indexes are used as-is and never copied into the cache.
+    fn ensure_index(
+        &mut self,
+        space: Space,
+        name: &RelationName,
+        cols: &[usize],
+        view: Option<&SeminaiveView<'_>>,
+    ) {
+        let key = (space, name.clone(), cols.to_vec());
+        if self.cache.contains_key(&key) {
+            return;
+        }
+        let index = match space {
+            Space::Delta => {
+                let view = view.expect("delta space implies a semi-naive view");
+                view.delta
+                    .get(name)
+                    .map(|rel| TupleIndex::build(cols.to_vec(), rel.iter()))
+            }
+            Space::Old => {
+                let view = view.expect("old space implies a semi-naive view");
+                self.resolve_old(view, name)
+                    .map(|rel| TupleIndex::build(cols.to_vec(), rel.iter()))
+            }
+            Space::External | Space::Derived => self
+                .resolve(name)
+                .filter(|(s, _)| *s == space)
+                .map(|(_, rel)| TupleIndex::build(cols.to_vec(), rel.iter())),
+        };
+        if let Some(index) = index {
+            self.cache.insert(key, index);
+        }
+    }
+
+    /// Resolution for a recursive atom at a pre-delta position: sources
+    /// first (mirroring the interpreter's lookup), then the snapshot.
+    fn resolve_old<'s>(
+        &'s self,
+        view: &'s SeminaiveView<'_>,
+        name: &RelationName,
+    ) -> Option<&'s Relation> {
+        for source in &self.sources {
+            if let Some(rel) = source.get(name) {
+                return Some(rel);
+            }
+        }
+        if let Some(prepared) = self.prepared {
+            if let Some(rel) = prepared.instance.get(name) {
+                return Some(rel);
+            }
+        }
+        view.old.get(name)
+    }
+
+    /// Runs one evaluation pass of a rule, appending derived head tuples
+    /// (possibly with duplicates) to `sink`.
+    fn run_pass(
+        &mut self,
+        rule: &CompiledRule,
+        view: Option<SeminaiveView<'_>>,
+        sink: &mut Vec<Tuple>,
+    ) -> Result<(), DatalogError> {
+        // Phase 1 (mutable): make sure every hash index this pass probes
+        // exists.  Prefix-keyed atoms range-scan the sorted tuple set
+        // directly and need nothing built.
+        for (pos, atom) in rule.atoms.iter().enumerate() {
+            if atom.key_cols.is_empty() || atom.prefix_key {
+                continue;
+            }
+            let Some(space) = self.probe_space(pos, atom, view.as_ref()) else {
+                continue;
+            };
+            if space == Space::External && self.prepared_index(atom).is_some() {
+                continue;
+            }
+            self.ensure_index(space, &atom.relation, &atom.key_cols, view.as_ref());
+        }
+
+        // Phase 2 (immutable): assemble the plan and run the join.  The
+        // space decision is shared with phase 1 (`probe_space`), so every
+        // index looked up here was ensured above.
+        let mut plans = Vec::with_capacity(rule.atoms.len());
+        for (pos, atom) in rule.atoms.iter().enumerate() {
+            let plan = match self.probe_space(pos, atom, view.as_ref()) {
+                None => AtomPlan::Empty,
+                Some(Space::Delta) => {
+                    let v = view.as_ref().expect("delta space implies a view");
+                    self.plan_for(Space::Delta, atom, v.delta.get(&atom.relation))
+                }
+                Some(Space::Old) => {
+                    let v = view.as_ref().expect("old space implies a view");
+                    self.plan_for(Space::Old, atom, self.resolve_old(v, &atom.relation))
+                }
+                Some(space) => {
+                    let rel = self.resolve(&atom.relation).map(|(_, rel)| rel);
+                    self.plan_for(space, atom, rel)
+                }
+            };
+            if matches!(plan, AtomPlan::Empty) {
+                return Ok(());
+            }
+            plans.push(plan);
+        }
+        let negations: Vec<Vec<&Relation>> = rule
+            .negations
+            .iter()
+            .map(|neg| self.negation_sources(&neg.relation))
+            .collect();
+
+        let mut regs: Vec<Option<Value>> = vec![None; rule.n_slots];
+        join(rule, &plans, &negations, 0, &mut regs, sink)
+    }
+
+    fn plan_for<'s>(
+        &'s self,
+        space: Space,
+        atom: &'s CompiledAtom,
+        relation: Option<&'s Relation>,
+    ) -> AtomPlan<'s> {
+        let Some(relation) = relation else {
+            return AtomPlan::Empty;
+        };
+        if relation.is_empty() {
+            return AtomPlan::Empty;
+        }
+        if atom.key_cols.is_empty() {
+            return AtomPlan::Scan { relation, atom };
+        }
+        if atom.prefix_key {
+            return AtomPlan::PrefixScan { relation, atom };
+        }
+        if space == Space::External {
+            if let Some(index) = self.prepared_index(atom) {
+                return AtomPlan::Probe { index, atom };
+            }
+        }
+        match self
+            .cache
+            .get(&(space, atom.relation.clone(), atom.key_cols.clone()))
+        {
+            Some(index) => AtomPlan::Probe { index, atom },
+            // Unreachable while `probe_space` drives both the ensure phase
+            // and this one; the checked scan keeps the join correct (it
+            // still filters on the key columns) if they ever diverge.
+            None => AtomPlan::CheckedScan { relation, atom },
+        }
+    }
+
+    /// Which index space a positive atom reads from for this pass, or `None`
+    /// if its relation resolves nowhere.  Both `run_pass` phases must use
+    /// this single decision so the plan always finds the index it ensured.
+    fn probe_space(
+        &self,
+        pos: usize,
+        atom: &CompiledAtom,
+        view: Option<&SeminaiveView<'_>>,
+    ) -> Option<Space> {
+        match view {
+            Some(v) if v.delta_pos == pos => Some(Space::Delta),
+            Some(v) if atom.recursive && pos < v.delta_pos => Some(Space::Old),
+            _ => self.resolve(&atom.relation).map(|(space, _)| space),
+        }
+    }
+
+    /// The prepared index for an atom, if the atom's relation resolves to the
+    /// prepared database (sources shadow it, mirroring interpreter lookup).
+    fn prepared_index(&self, atom: &CompiledAtom) -> Option<&TupleIndex> {
+        let prepared = self.prepared?;
+        if self.sources.iter().any(|s| s.get(&atom.relation).is_some()) {
+            return None;
+        }
+        prepared
+            .indexes
+            .get(&(atom.relation.clone(), atom.key_cols.clone()))
+    }
+
+    /// Every source holding the negated relation (negation checks all
+    /// sources, like the interpreter's `check_filters`).
+    fn negation_sources(&self, name: &RelationName) -> Vec<&Relation> {
+        let mut out = Vec::new();
+        for source in &self.sources {
+            if let Some(rel) = source.get(name) {
+                out.push(rel);
+            }
+        }
+        if let Some(prepared) = self.prepared {
+            if let Some(rel) = prepared.instance.get(name) {
+                out.push(rel);
+            }
+        }
+        if let Some(rel) = self.derived.get(name) {
+            out.push(rel);
+        }
+        out
+    }
+}
+
+/// Recursive indexed join over the compiled atoms; at the leaf, negations and
+/// disequalities are checked and the head is materialised.
+fn join(
+    rule: &CompiledRule,
+    plans: &[AtomPlan<'_>],
+    negations: &[Vec<&Relation>],
+    level: usize,
+    regs: &mut Vec<Option<Value>>,
+    sink: &mut Vec<Tuple>,
+) -> Result<(), DatalogError> {
+    if level == plans.len() {
+        for (neg, rels) in rule.negations.iter().zip(negations) {
+            let tuple = materialize(rule, &neg.args, regs)?;
+            if rels.iter().any(|rel| rel.contains(&tuple)) {
+                return Ok(());
+            }
+        }
+        for (a, b) in &rule.disequalities {
+            if value_of(rule, a, regs)? == value_of(rule, b, regs)? {
+                return Ok(());
+            }
+        }
+        sink.push(materialize(rule, &rule.head, regs)?);
+        return Ok(());
+    }
+
+    let (atom, tuples): (&CompiledAtom, &[Tuple]) = match &plans[level] {
+        AtomPlan::Probe { index, atom } => {
+            let mut key = Vec::with_capacity(atom.key_terms.len());
+            for term in &atom.key_terms {
+                key.push(value_of(rule, term, regs)?.clone());
+            }
+            (atom, index.probe(&key))
+        }
+        AtomPlan::PrefixScan { relation, atom } => {
+            let mut key = Vec::with_capacity(atom.key_terms.len());
+            for term in &atom.key_terms {
+                key.push(value_of(rule, term, regs)?.clone());
+            }
+            for tuple in relation.scan_prefix(&key) {
+                step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
+            }
+            return Ok(());
+        }
+        AtomPlan::CheckedScan { relation, atom } => {
+            let mut key = Vec::with_capacity(atom.key_terms.len());
+            for term in &atom.key_terms {
+                key.push(value_of(rule, term, regs)?.clone());
+            }
+            for tuple in relation.iter() {
+                let matches = tuple.arity() == atom.arity
+                    && atom
+                        .key_cols
+                        .iter()
+                        .zip(&key)
+                        .all(|(&col, want)| tuple.values()[col] == *want);
+                if matches {
+                    step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
+                }
+            }
+            return Ok(());
+        }
+        AtomPlan::Scan { relation, atom } => {
+            // Scans iterate the relation directly (no per-level clone); the
+            // borrow is disjoint from the register frame.
+            for tuple in relation.iter() {
+                step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
+            }
+            return Ok(());
+        }
+        AtomPlan::Empty => return Ok(()),
+    };
+    for tuple in tuples {
+        step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
+    }
+    Ok(())
+}
+
+/// Applies one candidate tuple at a join level: binds write slots, verifies
+/// check columns, recurses, and unwinds the bindings.
+#[allow(clippy::too_many_arguments)]
+fn step_tuple(
+    rule: &CompiledRule,
+    plans: &[AtomPlan<'_>],
+    negations: &[Vec<&Relation>],
+    level: usize,
+    atom: &CompiledAtom,
+    tuple: &Tuple,
+    regs: &mut Vec<Option<Value>>,
+    sink: &mut Vec<Tuple>,
+) -> Result<(), DatalogError> {
+    if tuple.arity() != atom.arity {
+        return Ok(());
+    }
+    let values = tuple.values();
+    for &(col, slot) in &atom.writes {
+        regs[slot] = Some(values[col].clone());
+    }
+    let ok = atom
+        .checks
+        .iter()
+        .all(|&(col, slot)| regs[slot].as_ref() == Some(&values[col]));
+    let result = if ok {
+        join(rule, plans, negations, level + 1, regs, sink)
+    } else {
+        Ok(())
+    };
+    for &(_, slot) in &atom.writes {
+        regs[slot] = None;
+    }
+    result
+}
+
+fn value_of<'r>(
+    rule: &'r CompiledRule,
+    term: &'r SlotTerm,
+    regs: &'r [Option<Value>],
+) -> Result<&'r Value, DatalogError> {
+    match term {
+        SlotTerm::Const(value) => Ok(value),
+        SlotTerm::Slot(slot) => regs[*slot]
+            .as_ref()
+            .ok_or_else(|| DatalogError::UnboundVariable {
+                rule: rule.source.clone(),
+                variable: rule.slot_names[*slot].clone(),
+            }),
+    }
+}
+
+fn materialize(
+    rule: &CompiledRule,
+    terms: &[SlotTerm],
+    regs: &[Option<Value>],
+) -> Result<Tuple, DatalogError> {
+    let mut values = Vec::with_capacity(terms.len());
+    for term in terms {
+        values.push(value_of(rule, term, regs)?.clone());
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Compiles one rule: slot assignment, greedy bound-prefix join ordering and
+/// per-atom access-path selection.  `stratum_heads` marks which relations are
+/// recursive occurrences.
+fn compile_rule(
+    rule: &Rule,
+    stratum_heads: &BTreeSet<RelationName>,
+) -> Result<CompiledRule, DatalogError> {
+    let positives: Vec<(usize, &Atom)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| match l {
+            BodyLiteral::Positive(atom) => Some((i, atom)),
+            _ => None,
+        })
+        .collect();
+
+    // Slot assignment in first-positive-occurrence order; safety guarantees
+    // that this covers every variable of the rule.
+    let mut slots: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut slot_names: Vec<String> = Vec::new();
+    for (_, atom) in &positives {
+        for term in &atom.args {
+            if let Term::Var(name) = term {
+                if !slots.contains_key(name.as_str()) {
+                    slots.insert(name, slot_names.len());
+                    slot_names.push(name.clone());
+                }
+            }
+        }
+    }
+
+    let slot_of = |term: &Term| -> Result<SlotTerm, DatalogError> {
+        match term {
+            Term::Const(value) => Ok(SlotTerm::Const(value.clone())),
+            Term::Var(name) => slots
+                .get(name.as_str())
+                .map(|&s| SlotTerm::Slot(s))
+                .ok_or_else(|| DatalogError::UnsafeRule {
+                    rule: rule.to_string(),
+                    variable: name.clone(),
+                }),
+        }
+    };
+
+    // Greedy bound-prefix join ordering.
+    let mut remaining: Vec<usize> = (0..positives.len()).collect();
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(positives.len());
+    while !remaining.is_empty() {
+        let (chosen_pos, &chosen) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &i)| {
+                let atom = positives[i].1;
+                let mut bound_cols = 0i64;
+                let mut fresh = BTreeSet::new();
+                for term in &atom.args {
+                    match term {
+                        Term::Const(_) => bound_cols += 1,
+                        Term::Var(name) => {
+                            let slot = slots[name.as_str()];
+                            if bound.contains(&slot) {
+                                bound_cols += 1;
+                            } else {
+                                fresh.insert(slot);
+                            }
+                        }
+                    }
+                }
+                // Most bound columns, then fewest fresh variables, then the
+                // original body order (max_by_key keeps the last maximum, so
+                // negate the index to prefer earlier atoms).
+                (bound_cols, -(fresh.len() as i64), -(i as i64))
+            })
+            .expect("remaining is non-empty");
+        remaining.remove(chosen_pos);
+        order.push(chosen);
+        for term in &positives[chosen].1.args {
+            if let Term::Var(name) = term {
+                bound.insert(slots[name.as_str()]);
+            }
+        }
+    }
+
+    // Access-path selection per atom, in the chosen order.
+    let mut bound_before: BTreeSet<usize> = BTreeSet::new();
+    let mut atoms = Vec::with_capacity(order.len());
+    for &i in &order {
+        let (source_index, atom) = positives[i];
+        let mut key_cols = Vec::new();
+        let mut key_terms = Vec::new();
+        let mut writes = Vec::new();
+        let mut checks = Vec::new();
+        let mut written_here: BTreeSet<usize> = BTreeSet::new();
+        for (col, term) in atom.args.iter().enumerate() {
+            match term {
+                Term::Const(value) => {
+                    key_cols.push(col);
+                    key_terms.push(SlotTerm::Const(value.clone()));
+                }
+                Term::Var(name) => {
+                    let slot = slots[name.as_str()];
+                    if bound_before.contains(&slot) {
+                        key_cols.push(col);
+                        key_terms.push(SlotTerm::Slot(slot));
+                    } else if written_here.contains(&slot) {
+                        checks.push((col, slot));
+                    } else {
+                        writes.push((col, slot));
+                        written_here.insert(slot);
+                    }
+                }
+            }
+        }
+        bound_before.extend(written_here);
+        // Key columns are collected in column order, so a prefix key is
+        // exactly `[0, 1, .., k-1]`.
+        let prefix_key = !key_cols.is_empty() && key_cols.iter().enumerate().all(|(i, &c)| i == c);
+        atoms.push(CompiledAtom {
+            relation: atom.relation.clone(),
+            arity: atom.args.len(),
+            source_index,
+            recursive: stratum_heads.contains(&atom.relation),
+            key_cols,
+            key_terms,
+            prefix_key,
+            writes,
+            checks,
+        });
+    }
+
+    let mut negations = Vec::new();
+    let mut disequalities = Vec::new();
+    for literal in &rule.body {
+        match literal {
+            BodyLiteral::Positive(_) => {}
+            BodyLiteral::Negative(atom) => {
+                let args = atom
+                    .args
+                    .iter()
+                    .map(&slot_of)
+                    .collect::<Result<Vec<_>, _>>()?;
+                negations.push(CompiledNegation {
+                    relation: atom.relation.clone(),
+                    args,
+                });
+            }
+            BodyLiteral::NotEqual(a, b) => {
+                disequalities.push((slot_of(a)?, slot_of(b)?));
+            }
+        }
+    }
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(&slot_of)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let recursive_positions = atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.recursive)
+        .map(|(i, _)| i)
+        .collect();
+
+    Ok(CompiledRule {
+        head_relation: rule.head.relation.clone(),
+        head,
+        atoms,
+        recursive_positions,
+        negations,
+        disequalities,
+        n_slots: slot_names.len(),
+        slot_names,
+        source: rule.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_stratified, EvalOptions};
+    use crate::parser::parse_program;
+
+    fn edb(pairs: &[(&str, usize)], facts: &[(&str, &[&str])]) -> Instance {
+        let schema = Schema::from_pairs(pairs.iter().map(|&(n, a)| (n, a))).unwrap();
+        let mut inst = Instance::empty(&schema);
+        for (rel, vals) in facts {
+            inst.insert(*rel, Tuple::from_iter(vals.iter().copied()))
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn join_order_prefers_bound_prefixes() {
+        // c has a constant (1 bound column) so it is chosen first; it binds
+        // X, which makes a(X,Z) 1-bound while b(Z,Y) is still 0-bound.
+        let program = parse_program("p(X,Y) :- a(X,Z), b(Z,Y), c(X, gold).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let rule = &compiled.rules()[0];
+        assert_eq!(rule.atom_order(), vec![2, 0, 1]);
+        // c probes on its constant column; a probes on X; b probes on Z.
+        assert_eq!(rule.atoms()[0].key_columns(), &[1]);
+        assert_eq!(rule.atoms()[1].key_columns(), &[0]);
+        assert_eq!(rule.atoms()[2].key_columns(), &[0]);
+    }
+
+    #[test]
+    fn index_keys_cover_constants_and_bound_variables() {
+        let program = parse_program("p(X) :- a(X), b(X, gold, Y).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let rule = &compiled.rules()[0];
+        assert_eq!(rule.atom_order(), vec![1, 0]);
+        let b = &rule.atoms()[0];
+        // b's constant column is a key; X and Y are fresh writes.
+        assert_eq!(b.key_columns(), &[1]);
+        assert_eq!(b.write_columns().len(), 2);
+        let a = &rule.atoms()[1];
+        assert_eq!(a.key_columns(), &[0]);
+        assert!(a.write_columns().is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_within_an_atom_becomes_a_check() {
+        let program = parse_program("loop(X) :- edge(X, X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let atom = &compiled.rules()[0].atoms()[0];
+        assert_eq!(atom.write_columns(), &[(0, 0)]);
+        assert_eq!(atom.check_columns(), &[(1, 0)]);
+        assert!(atom.key_columns().is_empty());
+
+        let db = edb(
+            &[("edge", 2)],
+            &[("edge", &["a", "a"]), ("edge", &["a", "b"])],
+        );
+        let (out, _) = compiled.evaluate(&[&db]).unwrap();
+        assert_eq!(out.relation("loop").unwrap().len(), 1);
+        assert!(out.holds("loop", &Tuple::from_iter(["a"])));
+    }
+
+    #[test]
+    fn compile_runs_analysis_once_and_evaluation_runs_none() {
+        let program = parse_program("p(X) :- q(X), NOT r(X).").unwrap();
+        let before = analysis_count();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        assert_eq!(analysis_count(), before + 1);
+        let db = edb(
+            &[("q", 1), ("r", 1)],
+            &[("q", &["a"]), ("q", &["b"]), ("r", &["b"])],
+        );
+        for _ in 0..5 {
+            let (out, _) = compiled.evaluate(&[&db]).unwrap();
+            assert_eq!(out.relation("p").unwrap().len(), 1);
+        }
+        assert_eq!(analysis_count(), before + 1);
+    }
+
+    #[test]
+    fn nonrecursive_layers_evaluate_in_topological_order() {
+        // `a` reads `b` but sorts before it alphabetically: topological
+        // ordering (not name ordering) must drive the single pass.
+        let program = parse_program("a(X) :- b(X).\nb(X) :- q(X).").unwrap();
+        let compiled = CompiledProgram::compile_nonrecursive(&program).unwrap();
+        let db = edb(&[("q", 1)], &[("q", &["v"])]);
+        let (out, _) = compiled.evaluate(&[&db]).unwrap();
+        assert!(out.holds("a", &Tuple::from_iter(["v"])));
+    }
+
+    #[test]
+    fn compile_nonrecursive_rejects_cycles() {
+        let program =
+            parse_program("tc(X,Y) :- edge(X,Y).\ntc(X,Z) :- edge(X,Y), tc(Y,Z).").unwrap();
+        assert!(matches!(
+            CompiledProgram::compile_nonrecursive(&program),
+            Err(DatalogError::Recursive { .. })
+        ));
+        assert!(CompiledProgram::compile(&program).unwrap().is_recursive());
+    }
+
+    #[test]
+    fn recursive_programs_match_the_interpreter() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- edge(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("edge", 2)],
+            &[
+                ("edge", &["a", "b"]),
+                ("edge", &["b", "c"]),
+                ("edge", &["c", "d"]),
+                ("edge", &["d", "a"]),
+            ],
+        );
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let (fast, _) = compiled.evaluate(&[&db]).unwrap();
+        let (reference, _) = evaluate_stratified(&program, &db, EvalOptions::default()).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.relation("tc").unwrap().len(), 16);
+    }
+
+    #[test]
+    fn recursive_strata_do_not_rerun_saturated_rules() {
+        // Non-linear transitive closure on a 6-node chain: the compiled
+        // semi-naive fixpoint must enumerate each derivation exactly once
+        // (5 base + 20 split-point derivations — the same count the
+        // interpreter's regression test pins) and must not re-run the
+        // non-recursive base rule after the first round.
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        let mut db = edb(&[("edge", 2)], &[]);
+        for i in 0..5 {
+            db.insert(
+                "edge",
+                Tuple::from_iter([format!("n{i}"), format!("n{}", i + 1)]),
+            )
+            .unwrap();
+        }
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let (out, stats) = compiled.evaluate(&[&db]).unwrap();
+        assert_eq!(out.relation("tc").unwrap().len(), 15);
+        assert_eq!(stats.tuples_derived, 25);
+    }
+
+    #[test]
+    fn stratified_negation_matches_the_interpreter() {
+        let program = parse_program(
+            "reach(X) :- source(X).\n\
+             reach(Y) :- reach(X), edge(X,Y).\n\
+             unreachable(X) :- node(X), NOT reach(X).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("source", 1), ("edge", 2), ("node", 1)],
+            &[
+                ("source", &["a"]),
+                ("edge", &["a", "b"]),
+                ("node", &["a"]),
+                ("node", &["b"]),
+                ("node", &["c"]),
+            ],
+        );
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let (fast, _) = compiled.evaluate(&[&db]).unwrap();
+        let (reference, _) = evaluate_stratified(&program, &db, EvalOptions::default()).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn prefix_probes_need_no_prepared_index() {
+        // price(X,Y) is probed on its first column, which the sorted tuple
+        // set serves directly: preparing the database builds nothing.
+        let program = parse_program("bill(X,Y) :- order(X), price(X,Y).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let mut db = edb(&[("price", 2)], &[]);
+        for i in 0..100 {
+            db.insert("price", Tuple::from_iter([format!("p{i}"), format!("{i}")]))
+                .unwrap();
+        }
+        let price_atom = &compiled.rules()[0].atoms()[1];
+        assert_eq!(price_atom.relation().as_str(), "price");
+        assert!(price_atom.uses_prefix_scan());
+        let prepared = compiled.prepare(&db);
+        assert_eq!(prepared.index_count(), 0);
+        let orders = edb(&[("order", 1)], &[("order", &["p7"])]);
+        let (out, _) = compiled
+            .evaluate_prepared(&[&orders], Some(&prepared))
+            .unwrap();
+        assert!(out.holds("bill", &Tuple::from_iter(["p7", "7"])));
+        assert_eq!(out.relation("bill").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_prefix_probes_use_the_prepared_hash_index() {
+        // made-by(Y, X) joins on its *second* column, which is not a prefix:
+        // the prepared database carries a hash index keyed on column 1.
+        let program = parse_program("sourced(X) :- item(X), made-by(Y, X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let atom = compiled.rules()[0]
+            .atoms()
+            .iter()
+            .find(|a| a.relation().as_str() == "made-by")
+            .unwrap();
+        assert_eq!(atom.key_columns(), &[1]);
+        assert!(!atom.uses_prefix_scan());
+        let db = edb(
+            &[("made-by", 2)],
+            &[
+                ("made-by", &["acme", "widget"]),
+                ("made-by", &["acme", "gadget"]),
+                ("made-by", &["globex", "widget"]),
+            ],
+        );
+        let prepared = compiled.prepare(&db);
+        assert_eq!(prepared.index_count(), 1);
+        let items = edb(&[("item", 1)], &[("item", &["widget"])]);
+        let (out, _) = compiled
+            .evaluate_prepared(&[&items], Some(&prepared))
+            .unwrap();
+        assert!(out.holds("sourced", &Tuple::from_iter(["widget"])));
+        assert_eq!(out.relation("sourced").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn multiple_sources_resolve_first_match() {
+        let program = parse_program("p(X) :- q(X), NOT r(X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let a = edb(&[("q", 1)], &[("q", &["x"])]);
+        let b = edb(&[("r", 1)], &[("r", &["x"])]);
+        let (out, _) = compiled.evaluate(&[&a, &b]).unwrap();
+        // negation sees every source: r(x) holds, so p is empty
+        assert!(out.relation("p").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fact_rules_fire_once() {
+        let program = parse_program("ok :- a(X), NOT b(X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let db = edb(&[("a", 1), ("b", 1)], &[("a", &["1"])]);
+        let (out, _) = compiled.evaluate(&[&db]).unwrap();
+        assert!(out.relation("ok").unwrap().holds());
+    }
+}

@@ -2,14 +2,22 @@
 //!
 //! Two entry points are provided:
 //!
-//! * [`evaluate_nonrecursive`] — the evaluation a Spocus transducer performs
-//!   at every step: the program must be non-recursive, and derived relations
-//!   are computed in dependency (topological) order in a single pass;
+//! * [`evaluate_nonrecursive`] — the reference evaluation of a non-recursive
+//!   program: derived relations are computed in dependency (topological)
+//!   order in a single pass;
 //! * [`evaluate_stratified`] — the general engine for stratified datalog¬,
 //!   iterating each stratum to a fixpoint with either naive or semi-naive
-//!   evaluation ([`FixpointStrategy`]).  This is the substrate ablation the
-//!   benchmarks exercise (`datalog_eval`).
+//!   evaluation ([`FixpointStrategy`]), or delegating to the compiled-indexed
+//!   engine ([`EvalEngine::CompiledIndexed`]).  This is the substrate
+//!   ablation the benchmarks exercise (`datalog_eval`).
+//!
+//! Both interpreter paths re-analyse the program on every call and join with
+//! nested scans; they are kept as the **reference oracle** for the compiled
+//! engine in [`crate::compile`], which performs the analysis once and joins
+//! through hash indexes.  Production callers (the Spocus transducer runtime)
+//! use the compiled engine.
 
+use crate::compile::CompiledProgram;
 use crate::graph::DependencyGraph;
 use crate::safety::check_program_safety;
 use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
@@ -23,16 +31,32 @@ pub enum FixpointStrategy {
     /// Re-derive everything from scratch each round.
     Naive,
     /// Semi-naive: each round only joins against the delta of the previous
-    /// round for one occurrence of a recursive relation.
+    /// round for one occurrence of a recursive relation; recursive
+    /// occurrences before the delta position read the pre-delta snapshot so
+    /// that no derivation is enumerated twice.
     #[default]
     SemiNaive,
+}
+
+/// Which evaluation engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalEngine {
+    /// The tuple-at-a-time reference interpreter.
+    #[default]
+    Interpreted,
+    /// Compile once ([`crate::compile::CompiledProgram`]) and evaluate with
+    /// slot registers and hash-indexed joins.  The fixpoint strategy is
+    /// always semi-naive in this mode.
+    CompiledIndexed,
 }
 
 /// Evaluation options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalOptions {
-    /// Fixpoint strategy for recursive strata.
+    /// Fixpoint strategy for recursive strata (interpreter only).
     pub strategy: FixpointStrategy,
+    /// Engine selection.
+    pub engine: EvalEngine,
 }
 
 /// Statistics from an evaluation, for the benchmark harness.
@@ -54,10 +78,7 @@ pub struct EvalStats {
 /// relations.  Body relations that are missing from `edb` are treated as
 /// empty, which mirrors the paper's convention that input relations not
 /// mentioned at a step are empty.
-pub fn evaluate_nonrecursive(
-    program: &Program,
-    edb: &Instance,
-) -> Result<Instance, DatalogError> {
+pub fn evaluate_nonrecursive(program: &Program, edb: &Instance) -> Result<Instance, DatalogError> {
     check_program_safety(program)?;
     let arities = program.relation_arities()?;
     let graph = DependencyGraph::of(program);
@@ -71,6 +92,9 @@ pub fn evaluate_nonrecursive(
             });
         }
     }
+    // No stratification needed: ordering comes from the SCC decomposition
+    // below, and a program without IDB cycles cannot have negation through a
+    // cycle, so `stratify` could never fail here.
 
     let idb = program.idb_relations();
     let out_schema = Schema::from_pairs(
@@ -79,12 +103,11 @@ pub fn evaluate_nonrecursive(
     )?;
     let mut derived = Instance::empty(&out_schema);
 
-    // Process derived relations in stratification order so that rules whose
-    // bodies mention other derived relations (layered programs) see their
-    // dependencies already computed.
-    let strata = graph.stratify()?;
-    for stratum in strata {
-        for relation in stratum {
+    // Process derived relations in topological order (`sccs()` lists
+    // components dependencies-first), so that rules whose bodies mention
+    // other derived relations always see their dependencies computed.
+    for component in graph.sccs() {
+        for relation in component {
             if !idb.contains(&relation) {
                 continue;
             }
@@ -105,6 +128,9 @@ pub fn evaluate_stratified(
     edb: &Instance,
     options: EvalOptions,
 ) -> Result<(Instance, EvalStats), DatalogError> {
+    if options.engine == EvalEngine::CompiledIndexed {
+        return CompiledProgram::compile(program)?.evaluate(&[edb]);
+    }
     check_program_safety(program)?;
     let arities = program.relation_arities()?;
     let graph = DependencyGraph::of(program);
@@ -127,12 +153,15 @@ pub fn evaluate_stratified(
         if stratum_rules.is_empty() {
             continue;
         }
-        // Delta per derived relation of this stratum (for semi-naive).
+        // Delta per derived relation of this stratum (for semi-naive), plus
+        // the pre-delta snapshot (`previous`): `previous ∪ delta` is always
+        // the current derived instance and the two are disjoint.
         let mut delta: BTreeMap<RelationName, Relation> = stratum
             .iter()
             .filter(|r| idb.contains(*r))
             .map(|r| (r.clone(), Relation::empty(*arities.get(r).unwrap_or(&0))))
             .collect();
+        let mut previous = derived.clone();
 
         // Initial round: full evaluation of every rule of the stratum.
         loop {
@@ -143,7 +172,7 @@ pub fn evaluate_stratified(
                 let candidates = match options.strategy {
                     FixpointStrategy::Naive => apply_rule(rule, &[edb, &derived])?,
                     FixpointStrategy::SemiNaive => {
-                        apply_rule_seminaive(rule, edb, &derived, &delta, &stratum)?
+                        apply_rule_seminaive(rule, edb, &derived, &previous, &delta, &stratum)?
                     }
                 };
                 for tuple in candidates {
@@ -153,10 +182,11 @@ pub fn evaluate_stratified(
                     }
                 }
             }
-            // Refresh deltas.
+            // Refresh deltas; snapshot the pre-delta state before merging.
             for (_, rel) in delta.iter_mut() {
                 *rel = Relation::empty(rel.arity());
             }
+            previous = derived.clone();
             let mut changed = false;
             for (name, tuple) in new_facts {
                 if derived.insert(name.clone(), tuple.clone())? {
@@ -175,8 +205,8 @@ pub fn evaluate_stratified(
 }
 
 /// Applies a rule against a database presented as a list of instances
-/// (later instances take precedence only in the sense that relations are
-/// looked up in each in turn; a relation found nowhere is empty).
+/// (relations are looked up in each in turn; a relation found nowhere is
+/// empty).
 fn apply_rule(rule: &Rule, databases: &[&Instance]) -> Result<Vec<Tuple>, DatalogError> {
     let mut results = Vec::new();
     let mut bindings = BTreeMap::new();
@@ -192,15 +222,18 @@ fn apply_rule(rule: &Rule, databases: &[&Instance]) -> Result<Vec<Tuple>, Datalo
     Ok(results)
 }
 
-/// Semi-naive application: for rules whose body mentions recursive relations
-/// (relations of the current stratum), evaluate once per occurrence of a
-/// recursive relation with that occurrence restricted to the delta.  Rules
-/// with no recursive body relation are evaluated fully (they only need one
-/// round to saturate).
+/// Semi-naive application with the standard old/delta/full split: for each
+/// occurrence `p` of a recursive relation, occurrence `p` reads the delta,
+/// recursive occurrences *before* `p` read the pre-delta snapshot and
+/// occurrences *after* `p` read the full derived instance.  Summed over all
+/// `p`, every derivation that uses at least one delta tuple is enumerated
+/// exactly once.  Rules with no recursive body relation are evaluated fully
+/// (they only need one round to saturate).
 fn apply_rule_seminaive(
     rule: &Rule,
     edb: &Instance,
     derived: &Instance,
+    previous: &Instance,
     delta: &BTreeMap<RelationName, Relation>,
     stratum: &[RelationName],
 ) -> Result<Vec<Tuple>, DatalogError> {
@@ -212,11 +245,16 @@ fn apply_rule_seminaive(
         .map(|(i, _)| i)
         .collect();
 
-    // First round (empty deltas and empty derived) or non-recursive rule:
-    // evaluate fully.
+    // Deltas are empty exactly on the first round (any later round only
+    // starts because the previous one inserted new facts): evaluate every
+    // rule fully there.  A rule with no recursive body atom saturates in
+    // that round and derives nothing new afterwards — skip it.
     let deltas_empty = delta.values().all(Relation::is_empty);
-    if recursive_positions.is_empty() || deltas_empty {
+    if deltas_empty {
         return apply_rule(rule, &[edb, derived]);
+    }
+    if recursive_positions.is_empty() {
+        return Ok(Vec::new());
     }
 
     let mut results = Vec::new();
@@ -229,59 +267,70 @@ fn apply_rule_seminaive(
             &[edb, derived],
             &mut bindings,
             &mut results,
-            Some((pos, delta)),
+            Some(&SeminaiveView {
+                delta_pos: pos,
+                delta,
+                old_chain: [edb, previous],
+                recursive_positions: &recursive_positions,
+            }),
         )?;
     }
     Ok(results)
 }
 
-fn positive_atoms(rule: &Rule) -> Vec<Atom> {
+fn positive_atoms(rule: &Rule) -> Vec<&Atom> {
     rule.body
         .iter()
         .filter_map(|l| match l {
-            BodyLiteral::Positive(a) => Some(a.clone()),
+            BodyLiteral::Positive(a) => Some(a),
             _ => None,
         })
         .collect()
 }
 
+/// The delta restriction applied to one semi-naive pass — see
+/// [`apply_rule_seminaive`].
+struct SeminaiveView<'a> {
+    delta_pos: usize,
+    delta: &'a BTreeMap<RelationName, Relation>,
+    old_chain: [&'a Instance; 2],
+    recursive_positions: &'a [usize],
+}
+
 /// Recursive nested-loop join over the positive atoms; when all positive
 /// atoms are matched, negative literals and inequalities are checked and the
 /// head is instantiated.
-///
-/// `delta_restriction` optionally restricts the atom at the given index to a
-/// delta relation (semi-naive evaluation).
 fn join_positive(
     rule: &Rule,
-    positives: &[Atom],
+    positives: &[&Atom],
     index: usize,
     databases: &[&Instance],
     bindings: &mut BTreeMap<String, Value>,
     results: &mut Vec<Tuple>,
-    delta_restriction: Option<(usize, &BTreeMap<RelationName, Relation>)>,
+    view: Option<&SeminaiveView<'_>>,
 ) -> Result<(), DatalogError> {
     if index == positives.len() {
-        if check_filters(rule, databases, bindings) {
-            results.push(instantiate(&rule.head, bindings));
+        if check_filters(rule, databases, bindings)? {
+            results.push(instantiate(rule, &rule.head, bindings)?);
         }
         return Ok(());
     }
-    let atom = &positives[index];
-    let use_delta = matches!(delta_restriction, Some((pos, _)) if pos == index);
-    let tuples: Vec<Tuple> = if use_delta {
-        let (_, delta) = delta_restriction.expect("checked");
-        delta
-            .get(&atom.relation)
-            .map(|r| r.iter().cloned().collect())
-            .unwrap_or_default()
-    } else {
-        lookup(databases, &atom.relation)
+    let atom = positives[index];
+    let relation: Option<&Relation> = match view {
+        Some(v) if v.delta_pos == index => v.delta.get(&atom.relation),
+        Some(v) if index < v.delta_pos && v.recursive_positions.contains(&index) => {
+            lookup(&v.old_chain, &atom.relation)
+        }
+        _ => lookup(databases, &atom.relation),
     };
-    'tuples: for tuple in tuples {
+    let Some(relation) = relation else {
+        return Ok(());
+    };
+    'tuples: for tuple in relation.iter() {
         if tuple.arity() != atom.args.len() {
             continue;
         }
-        let mut added: Vec<String> = Vec::new();
+        let mut added: Vec<&str> = Vec::new();
         for (term, value) in atom.args.iter().zip(tuple.values()) {
             match term {
                 Term::Const(c) => {
@@ -298,7 +347,7 @@ fn join_positive(
                     Some(_) => {}
                     None => {
                         bindings.insert(name.clone(), value.clone());
-                        added.push(name.clone());
+                        added.push(name);
                     }
                 },
             }
@@ -310,16 +359,16 @@ fn join_positive(
             databases,
             bindings,
             results,
-            delta_restriction,
+            view,
         )?;
         undo(bindings, &added);
     }
     Ok(())
 }
 
-fn undo(bindings: &mut BTreeMap<String, Value>, added: &[String]) {
+fn undo(bindings: &mut BTreeMap<String, Value>, added: &[&str]) {
     for name in added {
-        bindings.remove(name);
+        bindings.remove(*name);
     }
 }
 
@@ -328,52 +377,66 @@ fn check_filters(
     rule: &Rule,
     databases: &[&Instance],
     bindings: &BTreeMap<String, Value>,
-) -> bool {
+) -> Result<bool, DatalogError> {
     for lit in &rule.body {
         match lit {
             BodyLiteral::Positive(_) => {}
             BodyLiteral::Negative(atom) => {
-                let tuple = instantiate(atom, bindings);
+                let tuple = instantiate(rule, atom, bindings)?;
                 let present = databases
                     .iter()
-                    .any(|db| db.holds(atom.relation.clone(), &tuple));
+                    .any(|db| db.get(&atom.relation).is_some_and(|r| r.contains(&tuple)));
                 if present {
-                    return false;
+                    return Ok(false);
                 }
             }
             BodyLiteral::NotEqual(a, b) => {
-                let av = resolve(a, bindings);
-                let bv = resolve(b, bindings);
+                let av = resolve(rule, a, bindings)?;
+                let bv = resolve(rule, b, bindings)?;
                 if av == bv {
-                    return false;
+                    return Ok(false);
                 }
             }
         }
     }
-    true
+    Ok(true)
 }
 
-fn resolve(term: &Term, bindings: &BTreeMap<String, Value>) -> Value {
+/// Resolves a term under a binding.  An unbound variable is a hard error:
+/// the safety check guarantees every variable of a filter literal is bound by
+/// the positive body, so hitting this means the caller bypassed safety —
+/// failing loudly beats fabricating a sentinel value that silently satisfies
+/// (or falsifies) the filter.
+fn resolve<'b>(
+    rule: &Rule,
+    term: &'b Term,
+    bindings: &'b BTreeMap<String, Value>,
+) -> Result<&'b Value, DatalogError> {
     match term {
-        Term::Const(c) => c.clone(),
+        Term::Const(c) => Ok(c),
         Term::Var(name) => bindings
             .get(name)
-            .cloned()
-            .unwrap_or_else(|| Value::str(format!("<unbound:{name}>"))),
+            .ok_or_else(|| DatalogError::UnboundVariable {
+                rule: rule.to_string(),
+                variable: name.clone(),
+            }),
     }
 }
 
-fn instantiate(atom: &Atom, bindings: &BTreeMap<String, Value>) -> Tuple {
-    Tuple::new(atom.args.iter().map(|t| resolve(t, bindings)).collect())
+fn instantiate(
+    rule: &Rule,
+    atom: &Atom,
+    bindings: &BTreeMap<String, Value>,
+) -> Result<Tuple, DatalogError> {
+    let mut values = Vec::with_capacity(atom.args.len());
+    for term in &atom.args {
+        values.push(resolve(rule, term, bindings)?.clone());
+    }
+    Ok(Tuple::new(values))
 }
 
-fn lookup(databases: &[&Instance], relation: &RelationName) -> Vec<Tuple> {
-    for db in databases {
-        if let Some(rel) = db.relation(relation.clone()) {
-            return rel.iter().cloned().collect();
-        }
-    }
-    Vec::new()
+fn lookup<'a>(databases: &[&'a Instance], relation: &RelationName) -> Option<&'a Relation> {
+    databases.iter().find_map(|db| db.get(relation))
 }
 
 #[cfg(test)]
@@ -393,10 +456,8 @@ mod tests {
 
     #[test]
     fn single_rule_join_with_negation_and_inequality() {
-        let program = parse_program(
-            "suspicious(X,Y) :- pay(X,Y), pay(X,Z), Y <> Z, NOT refund(X).",
-        )
-        .unwrap();
+        let program =
+            parse_program("suspicious(X,Y) :- pay(X,Y), pay(X,Z), Y <> Z, NOT refund(X).").unwrap();
         let db = edb(
             &[("pay", 2), ("refund", 1)],
             &[
@@ -464,6 +525,18 @@ mod tests {
     }
 
     #[test]
+    fn layered_programs_ignore_alphabetical_order() {
+        // `a` depends on `b` but sorts before it: evaluation must follow the
+        // dependency order, not the relation-name order (regression test for
+        // the stratum-internal ordering bug).
+        let program = parse_program("a(X) :- b(X).\nb(X) :- q(X).").unwrap();
+        let db = edb(&[("q", 1)], &[("q", &["v"])]);
+        let out = evaluate_nonrecursive(&program, &db).unwrap();
+        assert!(out.holds("a", &Tuple::from_iter(["v"])));
+        assert!(out.holds("b", &Tuple::from_iter(["v"])));
+    }
+
+    #[test]
     fn recursive_program_rejected_by_nonrecursive_entry_point() {
         let program = parse_program(
             "tc(X,Y) :- edge(X,Y).\n\
@@ -499,6 +572,7 @@ mod tests {
             &db,
             EvalOptions {
                 strategy: FixpointStrategy::Naive,
+                ..EvalOptions::default()
             },
         )
         .unwrap();
@@ -507,14 +581,103 @@ mod tests {
             &db,
             EvalOptions {
                 strategy: FixpointStrategy::SemiNaive,
+                ..EvalOptions::default()
             },
         )
         .unwrap();
         assert_eq!(naive.relation("tc"), semi.relation("tc"));
         assert_eq!(naive.relation("tc").unwrap().len(), 16); // complete graph on 4 nodes
-        // Semi-naive should not derive more tuples than naive re-derivation.
+                                                             // Semi-naive should not derive more tuples than naive re-derivation.
         assert!(semi_stats.tuples_derived <= naive_stats.tuples_derived);
         assert!(naive_stats.rounds >= 3);
+    }
+
+    #[test]
+    fn seminaive_does_not_rederive_across_delta_positions() {
+        // Non-linear transitive closure has two recursive occurrences; the
+        // old/delta/full split must enumerate each derivation exactly once.
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        let n = 6usize;
+        let mut facts: Vec<(String, String)> = Vec::new();
+        for i in 0..n - 1 {
+            facts.push((format!("n{i}"), format!("n{}", i + 1)));
+        }
+        let schema = Schema::from_pairs([("edge", 2)]).unwrap();
+        let mut db = Instance::empty(&schema);
+        for (a, b) in &facts {
+            db.insert("edge", Tuple::from_iter([a.as_str(), b.as_str()]))
+                .unwrap();
+        }
+        let (out, stats) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: FixpointStrategy::SemiNaive,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        // 15 tc facts on a 6-node chain.
+        assert_eq!(out.relation("tc").unwrap().len(), 15);
+        // Every derivation is enumerated exactly once: 5 base facts plus one
+        // rule-2 derivation per (path, split point) pair — on a 6-node chain
+        // that is sum over path lengths L of (6-L)(L-1) = 20, i.e. 25 total.
+        // Without the pre-delta split, delta⋈delta pairs are enumerated from
+        // both recursive occurrences and the count inflates.
+        assert_eq!(
+            stats.tuples_derived, 25,
+            "semi-naive re-derivation regression: {} tuples derived",
+            stats.tuples_derived
+        );
+        let (_, naive_stats) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: FixpointStrategy::Naive,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(stats.tuples_derived < naive_stats.tuples_derived);
+    }
+
+    #[test]
+    fn seminaive_skips_saturated_lower_stratum_rules() {
+        // Negation forces `tc` into a later stratum than `edge`, so the base
+        // rule has no recursive body atom *and* does not share its stratum
+        // with an EDB relation: it must still run only once, not once per
+        // fixpoint round.  25 = 5 base + 20 split-point derivations, the
+        // same count the compiled engine and the non-stratified variant pin.
+        let program = parse_program(
+            "bad(X) :- flag(X).\n\
+             tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), tc(Y,Z), NOT bad(X).",
+        )
+        .unwrap();
+        let schema = Schema::from_pairs([("edge", 2), ("flag", 1)]).unwrap();
+        let mut db = Instance::empty(&schema);
+        for i in 0..5 {
+            db.insert(
+                "edge",
+                Tuple::from_iter([format!("n{i}"), format!("n{}", i + 1)]),
+            )
+            .unwrap();
+        }
+        let (out, stats) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                strategy: FixpointStrategy::SemiNaive,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.relation("tc").unwrap().len(), 15);
+        assert_eq!(stats.tuples_derived, 25);
     }
 
     #[test]
@@ -542,6 +705,30 @@ mod tests {
     }
 
     #[test]
+    fn compiled_engine_is_selectable_through_options() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Z) :- edge(X,Y), tc(Y,Z).",
+        )
+        .unwrap();
+        let db = edb(
+            &[("edge", 2)],
+            &[("edge", &["a", "b"]), ("edge", &["b", "c"])],
+        );
+        let (compiled, _) = evaluate_stratified(
+            &program,
+            &db,
+            EvalOptions {
+                engine: EvalEngine::CompiledIndexed,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let (reference, _) = evaluate_stratified(&program, &db, EvalOptions::default()).unwrap();
+        assert_eq!(compiled, reference);
+    }
+
+    #[test]
     fn unsafe_program_is_rejected_by_both_engines() {
         let program = parse_program("p(X,Y) :- q(X).").unwrap();
         let db = edb(&[("q", 1)], &[("q", &["a"])]);
@@ -551,6 +738,28 @@ mod tests {
         ));
         assert!(matches!(
             evaluate_stratified(&program, &db, EvalOptions::default()),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_in_negation_is_a_hard_error() {
+        // An unsafe negated rule never reaches the join through the public
+        // entry points (the safety check rejects it first); drive the
+        // internal application path directly to pin down the defence-in-depth
+        // behaviour: no `<unbound:..>` sentinel value is fabricated, the
+        // evaluation fails loudly instead.
+        let program = parse_program("p(X) :- q(X), NOT r(X, Z).").unwrap();
+        let rule = &program.rules()[0];
+        let db = edb(&[("q", 1), ("r", 2)], &[("q", &["a"])]);
+        let err = apply_rule(rule, &[&db]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatalogError::UnboundVariable { variable, .. } if variable == "Z"
+        ));
+        // And the public entry point still reports the rule as unsafe.
+        assert!(matches!(
+            evaluate_nonrecursive(&program, &db),
             Err(DatalogError::UnsafeRule { .. })
         ));
     }

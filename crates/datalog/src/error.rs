@@ -46,6 +46,17 @@ pub enum DatalogError {
         /// The negated derived relation.
         relation: String,
     },
+    /// A variable was unbound when a filter literal or head was instantiated.
+    ///
+    /// The safety check makes this unreachable through the public entry
+    /// points; the engines raise it instead of fabricating a sentinel value
+    /// if an unsafe rule is driven through the evaluation internals.
+    UnboundVariable {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+    },
     /// An error bubbled up from the relational layer.
     Relational(rtx_relational::RelationalError),
 }
@@ -77,6 +88,10 @@ impl fmt::Display for DatalogError {
             DatalogError::NegatedIdb { relation } => write!(
                 f,
                 "program is not semipositive: derived relation `{relation}` appears negated"
+            ),
+            DatalogError::UnboundVariable { rule, variable } => write!(
+                f,
+                "internal: variable `{variable}` unbound while instantiating `{rule}` (safety checking was bypassed)"
             ),
             DatalogError::Relational(e) => write!(f, "relational error: {e}"),
         }
@@ -119,10 +134,8 @@ mod tests {
 
     #[test]
     fn from_relational_error() {
-        let e: DatalogError = rtx_relational::RelationalError::UnknownRelation {
-            name: "r".into(),
-        }
-        .into();
+        let e: DatalogError =
+            rtx_relational::RelationalError::UnknownRelation { name: "r".into() }.into();
         assert!(matches!(e, DatalogError::Relational(_)));
     }
 }

@@ -181,11 +181,7 @@ impl DependencyGraph {
             }
             let only = &component[0];
             // self-loop?
-            if self
-                .edges
-                .get(only)
-                .map_or(false, |m| m.contains_key(only))
-            {
+            if self.edges.get(only).is_some_and(|m| m.contains_key(only)) {
                 return Some(component);
             }
         }
@@ -334,15 +330,13 @@ mod tests {
 
     #[test]
     fn negative_cycle_is_not_stratifiable() {
-        let p = Program::new(vec![
-            rule(
-                atom("win", &["X"]),
-                vec![
-                    BodyLiteral::Positive(atom("move", &["X", "Y"])),
-                    BodyLiteral::Negative(atom("win", &["Y"])),
-                ],
-            ),
-        ]);
+        let p = Program::new(vec![rule(
+            atom("win", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("move", &["X", "Y"])),
+                BodyLiteral::Negative(atom("win", &["Y"])),
+            ],
+        )]);
         let g = DependencyGraph::of(&p);
         assert!(matches!(
             g.stratify(),

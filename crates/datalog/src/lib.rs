@@ -19,10 +19,16 @@
 //!   (negation applied only to EDB relations);
 //! * [`graph`] — the predicate dependency graph, strongly connected
 //!   components, recursion and stratification analysis;
-//! * [`engine`] — evaluation: single-pass evaluation of non-recursive
-//!   programs in topological order (all a Spocus transducer needs), and a
-//!   stratified fixpoint engine with both naive and semi-naive iteration for
-//!   general (recursive) programs, used by the ablation benchmarks.
+//! * [`engine`] — the reference interpreter: single-pass evaluation of
+//!   non-recursive programs in topological order, and a stratified fixpoint
+//!   engine with both naive and semi-naive iteration for general (recursive)
+//!   programs, used as the oracle by the ablation benchmarks and the
+//!   randomized equivalence tests;
+//! * [`compile`] — the production evaluation path: one-time rule compilation
+//!   (safety, stratification, slot-resolved registers, greedy bound-prefix
+//!   join ordering) plus hash-indexed joins, so a transducer that evaluates
+//!   the same program at every step performs zero re-analysis and no
+//!   full-relation scans for selective rules.
 //!
 //! Rules share the [`rtx_logic::Term`] type so the verification crate can
 //! translate rule bodies directly into the ∃\*∀\*FO sentences of §3.2.
@@ -31,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod engine;
 pub mod graph;
 pub mod parser;
@@ -39,7 +46,11 @@ pub mod safety;
 mod error;
 
 pub use ast::{Atom, BodyLiteral, Program, Rule};
-pub use engine::{evaluate_nonrecursive, evaluate_stratified, EvalOptions, EvalStats, FixpointStrategy};
+pub use compile::{CompiledProgram, CompiledRule, PreparedDb};
+pub use engine::{
+    evaluate_nonrecursive, evaluate_stratified, EvalEngine, EvalOptions, EvalStats,
+    FixpointStrategy,
+};
 pub use error::DatalogError;
 pub use parser::{parse_program, parse_rule};
 
@@ -66,8 +77,11 @@ mod tests {
         ])
         .unwrap();
         let mut edb = Instance::empty(&edb_schema);
-        edb.insert("price", Tuple::from_iter(vec![Value::str("time"), Value::int(855)]))
-            .unwrap();
+        edb.insert(
+            "price",
+            Tuple::from_iter(vec![Value::str("time"), Value::int(855)]),
+        )
+        .unwrap();
         edb.insert("order", Tuple::from_iter(vec![Value::str("time")]))
             .unwrap();
 

@@ -294,10 +294,9 @@ mod tests {
 
     #[test]
     fn parses_cumulative_state_rules() {
-        let parsed = parse_program_kinded(
-            "past-order(X) +:- order(X).\npast-pay(X,Y) +:- pay(X,Y).",
-        )
-        .unwrap();
+        let parsed =
+            parse_program_kinded("past-order(X) +:- order(X).\npast-pay(X,Y) +:- pay(X,Y).")
+                .unwrap();
         assert_eq!(parsed.len(), 2);
         assert!(parsed.iter().all(|(_, k)| *k == RuleKind::Cumulative));
         assert_eq!(parsed[0].0.head.relation, RelationName::new("past-order"));
@@ -314,8 +313,7 @@ mod tests {
 
     #[test]
     fn parses_inequalities_and_primed_variables() {
-        let rule =
-            parse_rule("violation-F :- past-R(x,y), past-R(x,y'), y <> y'.").unwrap();
+        let rule = parse_rule("violation-F :- past-R(x,y), past-R(x,y'), y <> y'.").unwrap();
         assert_eq!(rule.body.len(), 3);
         match &rule.body[2] {
             BodyLiteral::NotEqual(a, b) => {
@@ -327,17 +325,14 @@ mod tests {
         // x and y are single lowercase letters: variables
         assert_eq!(
             rule.variables(),
-            ["x", "y", "y'"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect()
+            ["x", "y", "y'"].iter().map(|s| s.to_string()).collect()
         );
     }
 
     #[test]
     fn distinguishes_variables_from_constants() {
-        let rule = parse_rule("vip(X) :- order(X, gold), price(X, 855), tier(X, 'Platinum')")
-            .unwrap();
+        let rule =
+            parse_rule("vip(X) :- order(X, gold), price(X, 855), tier(X, 'Platinum')").unwrap();
         let order_atom = match &rule.body[0] {
             BodyLiteral::Positive(a) => a,
             _ => panic!(),
@@ -356,7 +351,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let program = parse_program(
             "% the short business model\n\
              sendbill(X,Y) :- order(X), price(X,Y). // bill on order\n\
@@ -388,10 +383,9 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        let original = parse_rule(
-            "deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)",
-        )
-        .unwrap();
+        let original =
+            parse_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+                .unwrap();
         let reparsed = parse_rule(&original.to_string()).unwrap();
         assert_eq!(original, reparsed);
     }

@@ -135,9 +135,7 @@ pub fn solve_bs(problem: &BsProblem) -> Result<BsOutcome, LogicError> {
 }
 
 /// Decides satisfiability and reports grounding statistics.
-pub fn solve_bs_with_stats(
-    problem: &BsProblem,
-) -> Result<(BsOutcome, GroundingStats), LogicError> {
+pub fn solve_bs_with_stats(problem: &BsProblem) -> Result<(BsOutcome, GroundingStats), LogicError> {
     let free = problem.sentence.free_variables();
     if !free.is_empty() {
         return Err(LogicError::NotASentence {
@@ -255,11 +253,7 @@ impl<'a> Grounder<'a> {
             .or_insert(Var(next_index))
     }
 
-    fn resolve(
-        &self,
-        term: &Term,
-        env: &BTreeMap<String, Value>,
-    ) -> Result<Value, LogicError> {
+    fn resolve(&self, term: &Term, env: &BTreeMap<String, Value>) -> Result<Value, LogicError> {
         match term {
             Term::Const(v) => Ok(v.clone()),
             Term::Var(name) => env
@@ -396,10 +390,13 @@ mod tests {
 
     #[test]
     fn pure_existential_satisfiable() {
-        let f = Formula::exists(["x", "y"], Formula::and(vec![
-            atom("R", &["x", "y"]),
-            Formula::neq(Term::var("x"), Term::var("y")),
-        ]));
+        let f = Formula::exists(
+            ["x", "y"],
+            Formula::and(vec![
+                atom("R", &["x", "y"]),
+                Formula::neq(Term::var("x"), Term::var("y")),
+            ]),
+        );
         match solve_bs(&BsProblem::new(f)).unwrap() {
             BsOutcome::Satisfiable(model) => {
                 let tuples = model.relation_tuples("R");
@@ -416,7 +413,10 @@ mod tests {
             Formula::exists(["x"], atom("R", &["x"])),
             Formula::forall(["y"], Formula::not(atom("R", &["y"]))),
         ]);
-        assert_eq!(solve_bs(&BsProblem::new(f)).unwrap(), BsOutcome::Unsatisfiable);
+        assert_eq!(
+            solve_bs(&BsProblem::new(f)).unwrap(),
+            BsOutcome::Unsatisfiable
+        );
     }
 
     #[test]
@@ -433,14 +433,20 @@ mod tests {
                 ["x"],
                 Formula::and(vec![
                     Formula::eq(Term::var("x"), Term::constant(Value::str("a"))),
-                    Formula::neq(Term::constant(Value::str("a")), Term::constant(Value::str("b"))),
+                    Formula::neq(
+                        Term::constant(Value::str("a")),
+                        Term::constant(Value::str("b")),
+                    ),
                 ]),
             ),
         ]);
         // note: the inequality of constants a ≠ b is true under the unique
         // name assumption, so the sentence reduces to ∀x∀y x=y over a domain
         // containing both a and b — unsatisfiable.
-        assert_eq!(solve_bs(&BsProblem::new(g)).unwrap(), BsOutcome::Unsatisfiable);
+        assert_eq!(
+            solve_bs(&BsProblem::new(g)).unwrap(),
+            BsOutcome::Unsatisfiable
+        );
     }
 
     #[test]
@@ -484,7 +490,10 @@ mod tests {
         let f = Formula::and(vec![
             Formula::forall(
                 ["x"],
-                Formula::implies(atom("R", &["x"]), Formula::eq(Term::var("x"), Term::constant(a.clone()))),
+                Formula::implies(
+                    atom("R", &["x"]),
+                    Formula::eq(Term::var("x"), Term::constant(a.clone())),
+                ),
             ),
             Formula::exists(["x"], atom("R", &["x"])),
         ]);
@@ -538,10 +547,13 @@ mod tests {
         // Cross-check the SAT-based procedure against Formula::eval on the
         // returned witness.
         let sentence = Formula::and(vec![
-            Formula::exists(["x", "y"], Formula::and(vec![
-                atom("edge", &["x", "y"]),
-                Formula::neq(Term::var("x"), Term::var("y")),
-            ])),
+            Formula::exists(
+                ["x", "y"],
+                Formula::and(vec![
+                    atom("edge", &["x", "y"]),
+                    Formula::neq(Term::var("x"), Term::var("y")),
+                ]),
+            ),
             Formula::forall(["x"], Formula::not(atom("edge", &["x", "x"]))),
         ]);
         let problem = BsProblem::new(sentence.clone());

@@ -42,7 +42,10 @@ impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogicError::NotASentence { free_variables } => {
-                write!(f, "formula is not a sentence; free variables: {free_variables:?}")
+                write!(
+                    f,
+                    "formula is not a sentence; free variables: {free_variables:?}"
+                )
             }
             LogicError::NotBernaysSchonfinkel => write!(
                 f,

@@ -66,6 +66,10 @@ impl Formula {
     }
 
     /// Negation with simple constant folding.
+    ///
+    /// An associated constructor (not `std::ops::Not`): it takes the operand
+    /// by value and folds constants.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Self {
         match f {
             Formula::True => Formula::False,
@@ -215,7 +219,11 @@ impl Formula {
     fn visit_terms<F: FnMut(&Term)>(&self, f: &mut F) {
         match self {
             Formula::True | Formula::False => {}
-            Formula::Atom { args, .. } => args.iter().for_each(|t| f(t)),
+            Formula::Atom { args, .. } => {
+                for t in args {
+                    f(t);
+                }
+            }
             Formula::Eq(a, b) => {
                 f(a);
                 f(b);
@@ -236,8 +244,8 @@ impl Formula {
     pub fn relations(&self) -> Result<BTreeMap<RelationName, usize>, LogicError> {
         let mut out = BTreeMap::new();
         let mut err = None;
-        self.visit_atoms(&mut |relation: &RelationName, args: &[Term]| {
-            match out.get(relation) {
+        self.visit_atoms(
+            &mut |relation: &RelationName, args: &[Term]| match out.get(relation) {
                 Some(&arity) if arity != args.len() => {
                     if err.is_none() {
                         err = Some(LogicError::InconsistentArity {
@@ -250,8 +258,8 @@ impl Formula {
                 _ => {
                     out.insert(relation.clone(), args.len());
                 }
-            }
-        });
+            },
+        );
         match err {
             Some(e) => Err(e),
             None => Ok(out),
@@ -282,16 +290,13 @@ impl Formula {
                 relation: relation.clone(),
                 args: args.iter().map(|t| substitute_term(t, subst)).collect(),
             },
-            Formula::Eq(a, b) => {
-                Formula::Eq(substitute_term(a, subst), substitute_term(b, subst))
-            }
+            Formula::Eq(a, b) => Formula::Eq(substitute_term(a, subst), substitute_term(b, subst)),
             Formula::Not(f) => Formula::Not(Box::new(f.substitute(subst))),
             Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(subst)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(subst)).collect()),
-            Formula::Implies(a, b) => Formula::Implies(
-                Box::new(a.substitute(subst)),
-                Box::new(b.substitute(subst)),
-            ),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.substitute(subst)), Box::new(b.substitute(subst)))
+            }
             Formula::Exists(vars, body) => {
                 let inner = shadowed_subst(subst, vars);
                 Formula::Exists(vars.clone(), Box::new(body.substitute(&inner)))
@@ -352,10 +357,7 @@ impl Formula {
             }
             Formula::Implies(a, b) => {
                 // a → b  ≡  ¬a ∨ b
-                let expanded = Formula::Or(vec![
-                    Formula::Not(a.clone()),
-                    (**b).clone(),
-                ]);
+                let expanded = Formula::Or(vec![Formula::Not(a.clone()), (**b).clone()]);
                 expanded.nnf_with_polarity(positive)
             }
             Formula::Exists(vars, body) => {
@@ -446,12 +448,8 @@ impl Formula {
                 Ok(false)
             }
             Formula::Implies(a, b) => Ok(!a.eval(structure, env)? || b.eval(structure, env)?),
-            Formula::Exists(vars, body) => {
-                eval_quantified(structure, env, vars, body, true)
-            }
-            Formula::Forall(vars, body) => {
-                eval_quantified(structure, env, vars, body, false)
-            }
+            Formula::Exists(vars, body) => eval_quantified(structure, env, vars, body, true),
+            Formula::Forall(vars, body) => eval_quantified(structure, env, vars, body, false),
         }
     }
 }
@@ -562,7 +560,10 @@ mod tests {
     fn free_variables_respect_binding() {
         let f = Formula::exists(
             ["x"],
-            Formula::and(vec![r("R", &["x", "y"]), Formula::neq(Term::var("x"), Term::var("z"))]),
+            Formula::and(vec![
+                r("R", &["x", "y"]),
+                Formula::neq(Term::var("x"), Term::var("z")),
+            ]),
         );
         let free = f.free_variables();
         assert_eq!(
@@ -575,10 +576,7 @@ mod tests {
 
     #[test]
     fn constants_collected() {
-        let f = Formula::atom(
-            "price",
-            [Term::var("x"), Term::constant(Value::int(855))],
-        );
+        let f = Formula::atom("price", [Term::var("x"), Term::constant(Value::int(855))]);
         assert!(f.constants().contains(&Value::int(855)));
     }
 
@@ -618,7 +616,10 @@ mod tests {
 
     #[test]
     fn nnf_pushes_negation() {
-        let f = Formula::not(Formula::and(vec![r("R", &["x"]), Formula::not(r("S", &["x"]))]));
+        let f = Formula::not(Formula::and(vec![
+            r("R", &["x"]),
+            Formula::not(r("S", &["x"])),
+        ]));
         let nnf = f.nnf();
         assert_eq!(
             nnf,
@@ -629,7 +630,10 @@ mod tests {
     #[test]
     fn nnf_flips_quantifiers() {
         let f = Formula::not(Formula::forall(["x"], r("R", &["x"])));
-        assert_eq!(f.nnf(), Formula::exists(["x"], Formula::not(r("R", &["x"]))));
+        assert_eq!(
+            f.nnf(),
+            Formula::exists(["x"], Formula::not(r("R", &["x"])))
+        );
     }
 
     #[test]
@@ -677,7 +681,10 @@ mod tests {
         assert!(!g.eval(&s, &BTreeMap::new()).unwrap());
         let h = Formula::forall(
             ["x"],
-            Formula::implies(r("R", &["x"]), Formula::eq(Term::var("x"), Term::constant(Value::str("a")))),
+            Formula::implies(
+                r("R", &["x"]),
+                Formula::eq(Term::var("x"), Term::constant(Value::str("a"))),
+            ),
         );
         assert!(h.eval(&s, &BTreeMap::new()).unwrap());
     }
@@ -694,7 +701,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let f = Formula::exists(["x"], Formula::implies(r("R", &["x"]), Formula::eq(Term::var("x"), Term::var("x"))));
+        let f = Formula::exists(
+            ["x"],
+            Formula::implies(r("R", &["x"]), Formula::eq(Term::var("x"), Term::var("x"))),
+        );
         let text = f.to_string();
         assert!(text.contains("∃x") && text.contains("R(x)") && text.contains("→"));
     }

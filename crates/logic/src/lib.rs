@@ -85,11 +85,7 @@ mod tests {
             ["x"],
             Formula::atom("price", [Term::var("x"), Term::constant(Value::int(845))]),
         ));
-        problem.fix_relation(
-            "price",
-            2,
-            [vec![Value::str("time"), Value::int(855)]],
-        );
+        problem.fix_relation("price", 2, [vec![Value::str("time"), Value::int(855)]]);
         assert!(matches!(
             solve_bs(&problem).unwrap(),
             BsOutcome::Unsatisfiable

@@ -76,7 +76,7 @@ impl FiniteStructure {
     pub fn holds(&self, relation: &RelationName, values: &[Value]) -> bool {
         self.relations
             .get(relation)
-            .map_or(false, |set| set.contains(values))
+            .is_some_and(|set| set.contains(values))
     }
 
     /// The tuples of a relation (empty if the relation is unknown).

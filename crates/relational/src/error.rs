@@ -89,9 +89,8 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> = Box::new(RelationalError::UnknownRelation {
-            name: "x".into(),
-        });
+        let e: Box<dyn std::error::Error> =
+            Box::new(RelationalError::UnknownRelation { name: "x".into() });
         assert!(e.to_string().contains('x'));
     }
 }

@@ -1,0 +1,138 @@
+//! Hash indexes over tuple sets.
+//!
+//! A [`TupleIndex`] groups the tuples of a relation by their values on a
+//! fixed column subset, so an equality probe on those columns returns exactly
+//! the matching tuples in O(1) expected time instead of a full scan.  This is
+//! the access path the datalog engine's compiled-indexed evaluation uses: each
+//! join level probes the index keyed on the columns that are already bound
+//! (by constants in the rule or by variables bound at earlier join levels).
+//!
+//! Indexes are sidecar structures: they copy the tuples they cover and never
+//! observe later mutations of the relation they were built from.  Callers that
+//! mutate a relation must rebuild (or discard) its indexes — the engine's
+//! evaluation contexts handle that by versioning.
+
+use crate::{Relation, Tuple, Value};
+use std::collections::HashMap;
+
+/// A hash index over a set of tuples, keyed on a subset of columns.
+#[derive(Debug, Clone, Default)]
+pub struct TupleIndex {
+    cols: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<Tuple>>,
+    len: usize,
+}
+
+impl TupleIndex {
+    /// Builds an index over `tuples`, keyed on the given columns.
+    ///
+    /// Tuples too short for some key column are skipped (a well-formed
+    /// [`Relation`] never contains such tuples, so this only matters for
+    /// indexes built over raw tuple iterators).
+    pub fn build<'a, I>(cols: Vec<usize>, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        let mut buckets: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let mut len = 0;
+        for tuple in tuples {
+            let values = tuple.values();
+            let Some(key) = cols
+                .iter()
+                .map(|&c| values.get(c).cloned())
+                .collect::<Option<Vec<Value>>>()
+            else {
+                continue;
+            };
+            buckets.entry(key).or_default().push(tuple.clone());
+            len += 1;
+        }
+        TupleIndex { cols, buckets, len }
+    }
+
+    /// Builds an index over a whole relation.
+    pub fn of_relation(cols: Vec<usize>, relation: &Relation) -> Self {
+        TupleIndex::build(cols, relation.iter())
+    }
+
+    /// The key columns, in probe order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The tuples whose key columns equal `key` (in the order of
+    /// [`TupleIndex::cols`]).  Unknown keys return the empty slice.
+    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        self.buckets.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[&str]) -> Tuple {
+        Tuple::from_iter(vals.iter().copied())
+    }
+
+    #[test]
+    fn probe_returns_matching_tuples() {
+        let tuples = [t(&["a", "1"]), t(&["a", "2"]), t(&["b", "1"])];
+        let idx = TupleIndex::build(vec![0], tuples.iter());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.bucket_count(), 2);
+        assert_eq!(idx.probe(&[Value::str("a")]).len(), 2);
+        assert_eq!(idx.probe(&[Value::str("b")]).len(), 1);
+        assert!(idx.probe(&[Value::str("c")]).is_empty());
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let tuples = [
+            t(&["a", "1", "x"]),
+            t(&["a", "2", "x"]),
+            t(&["a", "1", "y"]),
+        ];
+        let idx = TupleIndex::build(vec![0, 1], tuples.iter());
+        let hits = idx.probe(&[Value::str("a"), Value::str("1")]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|t| t.get(1) == Some(&Value::str("1"))));
+    }
+
+    #[test]
+    fn empty_key_buckets_everything_together() {
+        let tuples = [t(&["a"]), t(&["b"])];
+        let idx = TupleIndex::build(Vec::new(), tuples.iter());
+        assert_eq!(idx.probe(&[]).len(), 2);
+    }
+
+    #[test]
+    fn of_relation_matches_build() {
+        let rel = Relation::from_tuples(2, vec![t(&["a", "1"]), t(&["b", "2"])]).unwrap();
+        let idx = TupleIndex::of_relation(vec![1], &rel);
+        assert_eq!(idx.probe(&[Value::str("2")]).len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn short_tuples_are_skipped() {
+        let tuples = [t(&["a"]), t(&["b", "2"])];
+        let idx = TupleIndex::build(vec![1], tuples.iter());
+        assert_eq!(idx.len(), 1);
+    }
+}

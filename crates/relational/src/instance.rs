@@ -1,18 +1,23 @@
 //! Relations (sets of tuples) and instances of a schema.
 
-use crate::{RelationName, RelationalError, Schema, Tuple};
+use crate::{RelationName, RelationalError, Schema, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A relation instance: a finite set of tuples, all of the same arity.
 ///
 /// The arity is fixed at construction time; inserting a tuple of a different
 /// arity is an error.  A 0-ary relation behaves as a proposition: it is either
 /// empty (false) or contains the unit tuple (true).
+///
+/// The tuple set is shared copy-on-write: cloning a relation (and therefore a
+/// whole [`Instance`], e.g. the database recorded in every transducer run) is
+/// O(1), and the set is only deep-copied when a shared relation is mutated.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    tuples: Arc<BTreeSet<Tuple>>,
 }
 
 impl Relation {
@@ -20,7 +25,7 @@ impl Relation {
     pub fn empty(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: BTreeSet::new(),
+            tuples: Arc::new(BTreeSet::new()),
         }
     }
 
@@ -60,7 +65,10 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
-        Ok(self.tuples.insert(tuple))
+        if self.tuples.contains(&tuple) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.tuples).insert(tuple))
     }
 
     /// Membership test.
@@ -71,6 +79,20 @@ impl Relation {
     /// Iterates over tuples in order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
+    }
+
+    /// Iterates over the tuples whose leading components equal `prefix`, in
+    /// order.
+    ///
+    /// Tuples are ordered lexicographically, so the matching tuples form a
+    /// contiguous range: this is an O(log n + matches) sorted-index lookup —
+    /// the zero-build access path the datalog engine uses when a join probes
+    /// a prefix of a relation's columns.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let start = Tuple::new(prefix.to_vec());
+        self.tuples
+            .range(start..)
+            .take_while(move |t| t.values().get(..prefix.len()) == Some(prefix))
     }
 
     /// Set union with another relation of the same arity.
@@ -84,7 +106,7 @@ impl Relation {
             });
         }
         let mut out = self.clone();
-        out.tuples.extend(other.tuples.iter().cloned());
+        out.absorb(other)?;
         Ok(out)
     }
 
@@ -98,7 +120,17 @@ impl Relation {
                 ),
             });
         }
-        self.tuples.extend(other.tuples.iter().cloned());
+        if other.tuples.is_empty() {
+            return Ok(());
+        }
+        if self.tuples.is_empty() {
+            // Share the other side's set instead of copying it.
+            self.tuples = Arc::clone(&other.tuples);
+            return Ok(());
+        }
+        if !other.tuples.is_subset(&self.tuples) {
+            Arc::make_mut(&mut self.tuples).extend(other.tuples.iter().cloned());
+        }
         Ok(())
     }
 
@@ -164,12 +196,8 @@ impl Instance {
 
     /// The set of relation names materialised in this instance.
     pub fn schema(&self) -> Schema {
-        Schema::from_pairs(
-            self.relations
-                .iter()
-                .map(|(n, r)| (n.clone(), r.arity())),
-        )
-        .expect("an instance never holds conflicting relations")
+        Schema::from_pairs(self.relations.iter().map(|(n, r)| (n.clone(), r.arity())))
+            .expect("an instance never holds conflicting relations")
     }
 
     /// Inserts a tuple into a relation.  Returns whether the tuple was new.
@@ -179,12 +207,12 @@ impl Instance {
         tuple: Tuple,
     ) -> Result<bool, RelationalError> {
         let name = name.into();
-        let rel = self
-            .relations
-            .get_mut(&name)
-            .ok_or_else(|| RelationalError::UnknownRelation {
-                name: name.as_str().to_string(),
-            })?;
+        let rel =
+            self.relations
+                .get_mut(&name)
+                .ok_or_else(|| RelationalError::UnknownRelation {
+                    name: name.as_str().to_string(),
+                })?;
         rel.insert(tuple).map_err(|e| match e {
             RelationalError::ArityMismatch {
                 expected, actual, ..
@@ -202,6 +230,14 @@ impl Instance {
         self.relations.get(&name.into())
     }
 
+    /// Looks up a relation by reference, without cloning the name.
+    ///
+    /// This is the hot-path form used by the datalog engine, where the same
+    /// name is resolved once per join level per evaluation.
+    pub fn get(&self, name: &RelationName) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
     /// Looks up a relation by name, returning an error for unknown names.
     pub fn relation_checked(
         &self,
@@ -217,7 +253,7 @@ impl Instance {
 
     /// True if the named relation contains the tuple.
     pub fn holds(&self, name: impl Into<RelationName>, tuple: &Tuple) -> bool {
-        self.relation(name).map_or(false, |r| r.contains(tuple))
+        self.relation(name).is_some_and(|r| r.contains(tuple))
     }
 
     /// Iterates over `(name, relation)` pairs in name order.
@@ -293,7 +329,7 @@ impl Instance {
             rel.is_empty()
                 || other
                     .relation(name.clone())
-                    .map_or(false, |o| rel.is_subset_of(o))
+                    .is_some_and(|o| rel.is_subset_of(o))
         })
     }
 
@@ -443,6 +479,43 @@ mod tests {
         let a = Relation::empty(1);
         let b = Relation::empty(2);
         assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn scan_prefix_returns_the_contiguous_match_range() {
+        let rel = Relation::from_tuples(
+            2,
+            vec![
+                t2("time", 855),
+                t2("time", 900),
+                t2("newsweek", 845),
+                t2("lemonde", 8350),
+            ],
+        )
+        .unwrap();
+        let prefix = [Value::str("time")];
+        let hits: Vec<_> = rel.scan_prefix(&prefix).collect();
+        assert_eq!(hits, vec![&t2("time", 855), &t2("time", 900)]);
+        assert_eq!(rel.scan_prefix(&[Value::str("nope")]).count(), 0);
+        // The empty prefix scans everything; a full-tuple prefix is a lookup.
+        assert_eq!(rel.scan_prefix(&[]).count(), 4);
+        assert_eq!(
+            rel.scan_prefix(&[Value::str("newsweek"), Value::int(845)])
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cloned_relations_share_until_mutated() {
+        let mut a = Relation::from_tuples(1, vec![t1("x")]).unwrap();
+        let b = a.clone();
+        // Inserting a duplicate does not split the sharing or change b.
+        assert!(!a.insert(t1("x")).unwrap());
+        // Inserting a new tuple copies-on-write: b is unaffected.
+        assert!(a.insert(t1("y")).unwrap());
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`Relation`] — a finite set of tuples of one arity;
 //! * [`Instance`] — a finite instance of a [`Schema`] (one [`Relation`] per
 //!   relation name);
+//! * [`TupleIndex`] — sidecar hash indexes keyed on column subsets, the
+//!   access path behind the datalog engine's compiled-indexed join;
 //! * [`InstanceSequence`] — a finite sequence of instances over one schema,
 //!   with the projection ("restriction to the log relations") the paper uses
 //!   to define logs;
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod index;
 mod instance;
 mod schema;
 mod sequence;
@@ -37,6 +40,7 @@ mod tuple;
 mod value;
 
 pub use error::RelationalError;
+pub use index::TupleIndex;
 pub use instance::{Instance, Relation};
 pub use schema::{RelationName, RelationSchema, Schema};
 pub use sequence::InstanceSequence;
@@ -86,11 +90,8 @@ mod tests {
         let mut inst = Instance::empty(&schema);
         inst.insert("order", Tuple::new(vec![Value::str("time")]))
             .unwrap();
-        inst.insert(
-            "pay",
-            Tuple::new(vec![Value::str("time"), Value::int(855)]),
-        )
-        .unwrap();
+        inst.insert("pay", Tuple::new(vec![Value::str("time"), Value::int(855)]))
+            .unwrap();
         let dom = active_domain(&inst);
         assert_eq!(dom.len(), 2);
         assert!(dom.contains(&Value::str("time")));

@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn prefix_truncates() {
-        let seq = InstanceSequence::new(schema(), vec![step(&["a"], &[]), step(&["b"], &[])])
-            .unwrap();
+        let seq =
+            InstanceSequence::new(schema(), vec![step(&["a"], &[]), step(&["b"], &[])]).unwrap();
         assert_eq!(seq.prefix(1).len(), 1);
         assert_eq!(seq.prefix(10).len(), 2);
         assert_eq!(seq.prefix(0).len(), 0);

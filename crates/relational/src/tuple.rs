@@ -26,6 +26,10 @@ impl Tuple {
     }
 
     /// Builds a tuple from anything convertible into values.
+    ///
+    /// Deliberately not the `FromIterator` trait method: this form converts
+    /// items through `Into<Value>`, which the trait signature cannot.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, V>(iter: I) -> Self
     where
         I: IntoIterator<Item = V>,

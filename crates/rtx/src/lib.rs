@@ -52,8 +52,8 @@ pub use rtx_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use rtx_core::{
-        models, parse_transducer, ControlDiscipline, PropositionalTransducer,
-        RelationalTransducer, Run, SpocusBuilder, SpocusTransducer, TransducerSchema,
+        models, parse_transducer, ControlDiscipline, PropositionalTransducer, RelationalTransducer,
+        Run, SpocusBuilder, SpocusTransducer, TransducerSchema,
     };
     pub use rtx_datalog::{parse_program, parse_rule, Program, Rule};
     pub use rtx_logic::{Formula, Term};

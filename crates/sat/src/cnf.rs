@@ -191,7 +191,7 @@ impl Cnf {
         self.clauses.iter().all(|c| {
             c.literals()
                 .iter()
-                .any(|l| assignment.get(l.var().index()).map_or(false, |&v| l.eval(v)))
+                .any(|l| assignment.get(l.var().index()).is_some_and(|&v| l.eval(v)))
         })
     }
 }

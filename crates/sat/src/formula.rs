@@ -32,6 +32,10 @@ impl PropFormula {
     }
 
     /// Negation, with constant folding.
+    ///
+    /// An associated constructor (not `std::ops::Not`): it takes the operand
+    /// by value and folds constants.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: PropFormula) -> Self {
         match f {
             PropFormula::True => PropFormula::False,
@@ -114,11 +118,7 @@ impl PropFormula {
 
     /// The largest variable index occurring in the formula, plus one.
     pub fn num_vars(&self) -> u32 {
-        self.variables()
-            .iter()
-            .map(|v| v.0 + 1)
-            .max()
-            .unwrap_or(0)
+        self.variables().iter().map(|v| v.0 + 1).max().unwrap_or(0)
     }
 
     /// Evaluates the formula under an assignment function.
@@ -247,13 +247,19 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let f = PropFormula::and(vec![PropFormula::var(0), PropFormula::not(PropFormula::var(1))]);
+        let f = PropFormula::and(vec![
+            PropFormula::var(0),
+            PropFormula::not(PropFormula::var(1)),
+        ]);
         assert_eq!(f.size(), 4);
     }
 
     #[test]
     fn display_is_readable() {
-        let f = PropFormula::or(vec![PropFormula::var(0), PropFormula::not(PropFormula::var(1))]);
+        let f = PropFormula::or(vec![
+            PropFormula::var(0),
+            PropFormula::not(PropFormula::var(1)),
+        ]);
         assert_eq!(f.to_string(), "(v0 ∨ ¬v1)");
     }
 }

@@ -350,7 +350,7 @@ mod tests {
             let lits: Vec<Lit> = clause
                 .iter()
                 .map(|&l| {
-                    let v = Var((l.unsigned_abs() - 1) as u32);
+                    let v = Var(l.unsigned_abs() - 1);
                     if l > 0 {
                         Lit::pos(v)
                     } else {
@@ -406,7 +406,7 @@ mod tests {
         // var index = (i-1)*2 + j
         let mut clauses: Vec<Vec<i32>> = Vec::new();
         for i in 0..3 {
-            clauses.push(vec![(i * 2 + 1) as i32, (i * 2 + 2) as i32]);
+            clauses.push(vec![i * 2 + 1, i * 2 + 2]);
         }
         for j in 1..=2i32 {
             for a in 0..3i32 {
@@ -432,8 +432,9 @@ mod tests {
         let cnf = cnf_from(clauses);
         match Solver::new(cnf.clone()).solve() {
             SatResult::Sat(m) => {
-                let assignment: Vec<bool> =
-                    (0..cnf.num_vars()).map(|i| m.value_or_false(Var(i))).collect();
+                let assignment: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| m.value_or_false(Var(i)))
+                    .collect();
                 assert!(cnf.eval(&assignment));
             }
             SatResult::Unsat => panic!("expected sat"),
@@ -487,8 +488,7 @@ mod tests {
                 cnf.add_clause(Clause::new(lits));
             }
             let brute = (0..(1u32 << num_vars)).any(|bits| {
-                let assignment: Vec<bool> =
-                    (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
+                let assignment: Vec<bool> = (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
                 cnf.eval(&assignment)
             });
             let solved = Solver::new(cnf).solve().is_sat();

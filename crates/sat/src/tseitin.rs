@@ -101,11 +101,9 @@ fn clausify(formula: &PropFormula, polarity: bool) -> Option<Vec<Vec<Lit>>> {
     match (formula, polarity) {
         (PropFormula::True, true) | (PropFormula::False, false) => None,
         (PropFormula::True, false) | (PropFormula::False, true) => Some(vec![vec![]]),
-        (PropFormula::Atom(v), pol) => Some(vec![vec![if pol {
-            Lit::pos(*v)
-        } else {
-            Lit::neg(*v)
-        }]]),
+        (PropFormula::Atom(v), pol) => {
+            Some(vec![vec![if pol { Lit::pos(*v) } else { Lit::neg(*v) }]])
+        }
         (PropFormula::Not(inner), pol) => clausify(inner, !pol),
         (PropFormula::And(parts), true) | (PropFormula::Or(parts), false) => {
             // Conjunctive case (And under positive polarity, Or under negative
@@ -185,8 +183,16 @@ mod tests {
                 PropFormula::and(vec![x.clone(), y.clone()]),
                 PropFormula::and(vec![PropFormula::not(x.clone()), z.clone()]),
                 PropFormula::and(vec![y.clone(), PropFormula::not(z.clone())]),
-                PropFormula::and(vec![PropFormula::not(y.clone()), PropFormula::not(z.clone()), x.clone()]),
-                PropFormula::and(vec![PropFormula::not(x.clone()), PropFormula::not(y.clone()), PropFormula::not(z.clone())]),
+                PropFormula::and(vec![
+                    PropFormula::not(y.clone()),
+                    PropFormula::not(z.clone()),
+                    x.clone(),
+                ]),
+                PropFormula::and(vec![
+                    PropFormula::not(x.clone()),
+                    PropFormula::not(y.clone()),
+                    PropFormula::not(z.clone()),
+                ]),
             ])),
         ]
     }

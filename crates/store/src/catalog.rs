@@ -208,8 +208,11 @@ mod tests {
         s.create_table("price", 2, None).unwrap();
         s.create_table("available", 1, None).unwrap();
         for (p, amt) in [("time", 855), ("newsweek", 845), ("lemonde", 8350)] {
-            s.insert("price", Tuple::from_iter(vec![Value::str(p), Value::int(amt)]))
-                .unwrap();
+            s.insert(
+                "price",
+                Tuple::from_iter(vec![Value::str(p), Value::int(amt)]),
+            )
+            .unwrap();
         }
         s.insert("available", Tuple::from_iter(vec![Value::str("time")]))
             .unwrap();

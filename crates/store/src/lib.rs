@@ -100,7 +100,10 @@ mod tests {
             .create_table("price", 2, Some(vec!["product".into(), "amount".into()]))
             .unwrap();
         store
-            .insert("price", Tuple::from_iter(vec![Value::str("time"), Value::int(855)]))
+            .insert(
+                "price",
+                Tuple::from_iter(vec![Value::str("time"), Value::int(855)]),
+            )
             .unwrap();
         store
             .insert(
@@ -108,9 +111,7 @@ mod tests {
                 Tuple::from_iter(vec![Value::str("newsweek"), Value::int(845)]),
             )
             .unwrap();
-        let rows = store
-            .select_eq("price", 0, &Value::str("time"))
-            .unwrap();
+        let rows = store.select_eq("price", 0, &Value::str("time")).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(1), Some(&Value::int(855)));
 
@@ -120,7 +121,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(StoreError::UnknownTable("x".into()).to_string().contains('x'));
-        assert!(StoreError::DuplicateTable("x".into()).to_string().contains("exists"));
+        assert!(StoreError::UnknownTable("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(StoreError::DuplicateTable("x".into())
+            .to_string()
+            .contains("exists"));
     }
 }

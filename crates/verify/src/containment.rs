@@ -104,7 +104,10 @@ pub fn customization_preserves_logs(
             }
             // XOR: one holds and the other does not.
             let xor = Formula::or(vec![
-                Formula::and(vec![in_customized.clone(), Formula::not(in_original.clone())]),
+                Formula::and(vec![
+                    in_customized.clone(),
+                    Formula::not(in_original.clone()),
+                ]),
                 Formula::and(vec![in_original, Formula::not(in_customized)]),
             ]);
             differences.push(Formula::exists(vars.clone(), xor));
@@ -196,9 +199,7 @@ pub fn syntactically_safe_customization(
         .collect();
     for logged in s1.log() {
         for new_input in &new_inputs {
-            if graph.depends_on(logged, new_input)
-                || graph.depends_on(logged, &new_input.past())
-            {
+            if graph.depends_on(logged, new_input) || graph.depends_on(logged, &new_input.past()) {
                 return false;
             }
         }

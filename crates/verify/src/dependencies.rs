@@ -141,9 +141,8 @@ impl DependencyGadget {
             step1.insert("R", t.clone()).map_err(CoreError::from)?;
         }
         let step2 = Instance::empty(self.schema.input());
-        let inputs =
-            InstanceSequence::new(self.schema.input().clone(), vec![step1, step2])
-                .map_err(CoreError::from)?;
+        let inputs = InstanceSequence::new(self.schema.input().clone(), vec![step1, step2])
+            .map_err(CoreError::from)?;
         let run = self.run(&Instance::empty(&Schema::empty()), &inputs)?;
         Ok(run.log().clone())
     }
@@ -159,8 +158,8 @@ impl DependencyGadget {
         let first = log.get(0).expect("length checked");
         let second = log.get(1).expect("length checked");
         Ok(first.is_empty()
-            && second.relation("violG").map_or(false, Relation::holds)
-            && !second.relation("violF").map_or(false, Relation::holds))
+            && second.relation("violG").is_some_and(Relation::holds)
+            && !second.relation("violF").is_some_and(Relation::holds))
     }
 }
 

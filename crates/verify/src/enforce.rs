@@ -138,8 +138,9 @@ impl SdiConstraint {
         input: &Instance,
     ) -> Result<bool, VerifyError> {
         let combined = state.union(db)?.union(input)?;
-        let mut domain: Vec<rtx_relational::Value> =
-            rtx_relational::active_domain(&combined).into_iter().collect();
+        let mut domain: Vec<rtx_relational::Value> = rtx_relational::active_domain(&combined)
+            .into_iter()
+            .collect();
         let formula = self.to_formula();
         for c in formula.constants() {
             if !domain.contains(&c) {
@@ -376,7 +377,7 @@ mod tests {
         // error-free iff every step satisfies the constraint (Theorem 4.1).
         let t = models::short();
         let policy = payment_policy();
-        let enforced = add_enforcement(&t, &[policy.clone()]).unwrap();
+        let enforced = add_enforcement(&t, std::slice::from_ref(&policy)).unwrap();
         let db = models::figure1_database();
         let input_schema = models::short_input_schema();
 

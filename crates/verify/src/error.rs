@@ -89,7 +89,10 @@ mod tests {
         assert!(matches!(e, VerifyError::Relational(_)));
         let e: VerifyError = rtx_core::CoreError::Parse { detail: "p".into() }.into();
         assert!(matches!(e, VerifyError::Core(_)));
-        let e: VerifyError = rtx_datalog::DatalogError::NegatedIdb { relation: "d".into() }.into();
+        let e: VerifyError = rtx_datalog::DatalogError::NegatedIdb {
+            relation: "d".into(),
+        }
+        .into();
         assert!(matches!(e, VerifyError::Datalog(_)));
     }
 }

@@ -217,10 +217,7 @@ fn translate_positive(
 
 /// "`error` is not generated at any of the first `steps` steps": for every
 /// error rule and step, the universally quantified negation of the rule body.
-fn error_free_formula(
-    transducer: &SpocusTransducer,
-    steps: usize,
-) -> Result<Formula, VerifyError> {
+fn error_free_formula(transducer: &SpocusTransducer, steps: usize) -> Result<Formula, VerifyError> {
     let mut conjuncts = Vec::new();
     for rule in error_rules(transducer) {
         for step in 1..=steps {
@@ -229,10 +226,7 @@ fn error_free_formula(
             for lit in &rule.body {
                 body.push(literal_formula(transducer, lit, step)?);
             }
-            conjuncts.push(Formula::forall(
-                vars,
-                Formula::not(Formula::and(body)),
-            ));
+            conjuncts.push(Formula::forall(vars, Formula::not(Formula::and(body))));
         }
     }
     Ok(Formula::and(conjuncts))
@@ -296,8 +290,8 @@ mod tests {
             } => {
                 // the counterexample really is an error-free run violating the
                 // policy
-                let run = rtx_core::RelationalTransducer::run(&t, &db, &counterexample_inputs)
-                    .unwrap();
+                let run =
+                    rtx_core::RelationalTransducer::run(&t, &db, &counterexample_inputs).unwrap();
                 assert!(run.is_error_free());
                 assert!(!payment_policy().satisfied_on_run(&run, &db).unwrap());
             }
@@ -326,9 +320,11 @@ mod tests {
         let t = models::short();
         let enforced = add_enforcement(&t, &[availability_policy()]).unwrap();
         let db = models::figure1_database();
-        assert!(error_free_runs_satisfy(&enforced, &db, &availability_policy())
-            .unwrap()
-            .holds());
+        assert!(
+            error_free_runs_satisfy(&enforced, &db, &availability_policy())
+                .unwrap()
+                .holds()
+        );
     }
 
     #[test]
@@ -342,8 +338,9 @@ mod tests {
             ErrorFreeVerdict::Violated {
                 counterexample_inputs,
             } => {
-                let run = rtx_core::RelationalTransducer::run(&enforced, &db, &counterexample_inputs)
-                    .unwrap();
+                let run =
+                    rtx_core::RelationalTransducer::run(&enforced, &db, &counterexample_inputs)
+                        .unwrap();
                 assert!(run.is_error_free());
                 assert!(!price_policy().satisfied_on_run(&run, &db).unwrap());
             }

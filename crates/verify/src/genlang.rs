@@ -26,17 +26,17 @@ pub fn gen_language_dfa(transducer: &PropositionalTransducer) -> Result<Dfa, Ver
     let mut closure: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
     loop {
         let mut changed = false;
-        for i in 0..n {
+        for reachable in closure.iter_mut() {
             let mut additions = BTreeSet::new();
-            for &j in &closure[i] {
+            for &j in reachable.iter() {
                 for &k in &silent[j] {
-                    if !closure[i].contains(&k) {
+                    if !reachable.contains(&k) {
                         additions.insert(k);
                     }
                 }
             }
             if !additions.is_empty() {
-                closure[i].extend(additions);
+                reachable.extend(additions);
                 changed = true;
             }
         }
@@ -47,7 +47,11 @@ pub fn gen_language_dfa(transducer: &PropositionalTransducer) -> Result<Dfa, Ver
 
     // NFA: a labelled transition u --o--> v contributes edges from every state
     // whose closure contains u, into the closure of v.
-    let mut nfa = Nfa::new(n.max(1), closure[0].iter().copied().collect(), (0..n).collect());
+    let mut nfa = Nfa::new(
+        n.max(1),
+        closure[0].iter().copied().collect(),
+        (0..n).collect(),
+    );
     for u in 0..n {
         for &cu in &closure[u] {
             for (symbol, targets) in &labelled[cu] {

@@ -38,7 +38,9 @@ pub mod temporal;
 
 mod error;
 
-pub use containment::{customization_preserves_logs, syntactically_safe_customization, ContainmentVerdict};
+pub use containment::{
+    customization_preserves_logs, syntactically_safe_customization, ContainmentVerdict,
+};
 pub use enforce::SdiConstraint;
 pub use error::VerifyError;
 pub use error_free::{error_free_containment, error_free_runs_satisfy, ErrorFreeVerdict};

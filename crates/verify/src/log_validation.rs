@@ -100,7 +100,10 @@ pub fn validate_log(
                                 .iter()
                                 .enumerate()
                                 .map(|(i, v)| {
-                                    Formula::eq(Term::var(vars[i].clone()), Term::constant(v.clone()))
+                                    Formula::eq(
+                                        Term::var(vars[i].clone()),
+                                        Term::constant(v.clone()),
+                                    )
                                 })
                                 .collect(),
                         )
@@ -145,10 +148,12 @@ pub fn log_matches(
         for name in transducer.schema().log() {
             let produced_rel = produced.relation(name.clone());
             let expected_rel = expected.relation(name.clone());
-            let produced_tuples: Vec<_> =
-                produced_rel.map(|r| r.iter().cloned().collect()).unwrap_or_default();
-            let expected_tuples: Vec<_> =
-                expected_rel.map(|r| r.iter().cloned().collect()).unwrap_or_default();
+            let produced_tuples: Vec<_> = produced_rel
+                .map(|r| r.iter().cloned().collect())
+                .unwrap_or_default();
+            let expected_tuples: Vec<_> = expected_rel
+                .map(|r| r.iter().cloned().collect())
+                .unwrap_or_default();
             if produced_tuples != expected_tuples {
                 return Ok(false);
             }
@@ -221,11 +226,9 @@ mod tests {
         let t = models::short();
         let db = models::figure1_database();
         let schema = short_log_schema();
-        let log = InstanceSequence::new(
-            schema.clone(),
-            vec![log_step(&schema, &[], &[], &["time"])],
-        )
-        .unwrap();
+        let log =
+            InstanceSequence::new(schema.clone(), vec![log_step(&schema, &[], &[], &["time"])])
+                .unwrap();
         assert_eq!(validate_log(&t, &db, &log).unwrap(), LogValidity::Invalid);
     }
 

@@ -178,12 +178,8 @@ pub fn is_goal_reachable(
     // Two-step collapse: express the goal against the outputs of step 2.
     let mut conjuncts = Vec::new();
     for literal in goal.literals() {
-        let formula = output_atom_formula(
-            transducer,
-            &literal.atom.relation,
-            &literal.atom.args,
-            2,
-        )?;
+        let formula =
+            output_atom_formula(transducer, &literal.atom.relation, &literal.atom.args, 2)?;
         conjuncts.push(if literal.positive {
             formula
         } else {
@@ -291,10 +287,7 @@ mod tests {
     use rtx_logic::Term;
 
     fn deliver_goal(product: &str) -> Goal {
-        Goal::atom(Atom::new(
-            "deliver",
-            [Term::constant(Value::str(product))],
-        ))
+        Goal::atom(Atom::new("deliver", [Term::constant(Value::str(product))]))
     }
 
     #[test]
@@ -387,7 +380,10 @@ mod tests {
             deliver_goal("time"),
             Goal::atom(Atom::new(
                 "sendbill",
-                [Term::constant(Value::str("time")), Term::constant(Value::int(855))],
+                [
+                    Term::constant(Value::str("time")),
+                    Term::constant(Value::int(855)),
+                ],
             )),
             deliver_goal("economist"),
         ] {
@@ -395,8 +391,7 @@ mod tests {
             // Two brute-force steps suffice here because the goals only need
             // an order followed by a payment; longer horizons multiply the
             // search space by 64 per extra step.
-            let brute =
-                is_goal_reachable_bruteforce(&t, &db, &goal, &domain, 2).unwrap();
+            let brute = is_goal_reachable_bruteforce(&t, &db, &goal, &domain, 2).unwrap();
             assert_eq!(symbolic, brute, "goal {goal:?}");
         }
     }

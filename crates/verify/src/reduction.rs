@@ -234,26 +234,14 @@ mod tests {
     #[test]
     fn state_atom_at_first_step_is_false() {
         let t = models::short();
-        let f = atom_formula(
-            &t,
-            &RelationName::new("past-order"),
-            &[Term::var("x")],
-            1,
-        )
-        .unwrap();
+        let f = atom_formula(&t, &RelationName::new("past-order"), &[Term::var("x")], 1).unwrap();
         assert_eq!(f, Formula::False);
     }
 
     #[test]
     fn state_atom_unfolds_into_earlier_steps() {
         let t = models::short();
-        let f = atom_formula(
-            &t,
-            &RelationName::new("past-order"),
-            &[Term::var("x")],
-            3,
-        )
-        .unwrap();
+        let f = atom_formula(&t, &RelationName::new("past-order"), &[Term::var("x")], 3).unwrap();
         assert_eq!(
             f,
             Formula::or(vec![

@@ -162,11 +162,7 @@ fn translate_atom(
 /// evaluated at every step over the step's output, the database and the state
 /// before the step.  Used to cross-check counterexamples returned by
 /// [`holds_in_all_runs`].
-pub fn run_satisfies(
-    property: &Formula,
-    run: &Run,
-    db: &Instance,
-) -> Result<bool, VerifyError> {
+pub fn run_satisfies(property: &Formula, run: &Run, db: &Instance) -> Result<bool, VerifyError> {
     let schema = run.schema();
     let empty_state = Instance::empty(schema.state());
     for (index, output) in run.outputs().iter().enumerate() {
@@ -176,8 +172,9 @@ pub fn run_satisfies(
             run.states().get(index - 1).expect("aligned sequences")
         };
         let combined = output.union(state_before)?.union(db)?;
-        let mut domain: Vec<rtx_relational::Value> =
-            rtx_relational::active_domain(&combined).into_iter().collect();
+        let mut domain: Vec<rtx_relational::Value> = rtx_relational::active_domain(&combined)
+            .into_iter()
+            .collect();
         for c in property.constants() {
             if !domain.contains(&c) {
                 domain.push(c);
@@ -329,7 +326,10 @@ mod tests {
             Err(VerifyError::UnsupportedProperty { .. })
         ));
         // input relations are also not part of T_past-input
-        let bad = Formula::forall(["x"], Formula::not(Formula::atom("order", [Term::var("x")])));
+        let bad = Formula::forall(
+            ["x"],
+            Formula::not(Formula::atom("order", [Term::var("x")])),
+        );
         assert!(matches!(
             holds_in_all_runs(&t, &db, &bad),
             Err(VerifyError::UnsupportedProperty { .. })

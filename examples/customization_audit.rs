@@ -30,15 +30,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     for candidate in [&friendly, &rogue] {
-        println!("auditing customization `{}` against `short`…", candidate.name());
+        println!(
+            "auditing customization `{}` against `short`…",
+            candidate.name()
+        );
         let syntactic = syntactically_safe_customization(&short, candidate);
-        println!("  syntactic sufficient condition: {}", if syntactic { "passes" } else { "fails" });
+        println!(
+            "  syntactic sufficient condition: {}",
+            if syntactic { "passes" } else { "fails" }
+        );
         let verdict = customization_preserves_logs(&short, candidate, &db)?;
         match verdict {
             rtx::verify::ContainmentVerdict::Contained => {
                 println!("  semantic check (Theorem 3.5): accepted — logs are preserved\n");
             }
-            rtx::verify::ContainmentVerdict::NotContained { counterexample_inputs } => {
+            rtx::verify::ContainmentVerdict::NotContained {
+                counterexample_inputs,
+            } => {
                 println!("  semantic check (Theorem 3.5): REJECTED");
                 println!("  counterexample inputs:\n{counterexample_inputs}");
                 let run_orig = short.run(&db, &restrict(&counterexample_inputs, &short)?)?;

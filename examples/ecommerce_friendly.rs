@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = customization_preserves_logs(&short, &friendly, &db)?;
     println!(
         "\ncustomization check (short ⊒ friendly): {}",
-        if verdict.is_contained() { "sound" } else { "REJECTED" }
+        if verdict.is_contained() {
+            "sound"
+        } else {
+            "REJECTED"
+        }
     );
     Ok(())
 }

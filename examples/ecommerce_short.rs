@@ -28,14 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The supplier-side audit of §2.1 (log checking / fraud detection).
     let verdict = validate_log(&short, &db, run.log())?;
-    println!("\nsupplier audit of the log: {}", if verdict.is_valid() { "valid" } else { "INVALID" });
+    println!(
+        "\nsupplier audit of the log: {}",
+        if verdict.is_valid() {
+            "valid"
+        } else {
+            "INVALID"
+        }
+    );
 
     // A tampered log — a delivery with no payment — is rejected.
     let tampered = rtx::workloads::tamper_log(run.log(), "lemonde");
     let verdict = validate_log(&short, &db, &tampered)?;
     println!(
         "supplier audit of a tampered log (free Le Monde delivery): {}",
-        if verdict.is_valid() { "valid" } else { "INVALID" }
+        if verdict.is_valid() {
+            "valid"
+        } else {
+            "INVALID"
+        }
     );
     Ok(())
 }

@@ -47,12 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Proposition 3.1 in action: with projection state rules, the audit
     // encodes FD/IncD implication, which is undecidable.
     let f = DependencySet {
-        fds: vec![FunctionalDependency { lhs: vec![0], rhs: 1 }],
+        fds: vec![FunctionalDependency {
+            lhs: vec![0],
+            rhs: 1,
+        }],
         inds: vec![],
     };
     let g = DependencySet {
         fds: vec![],
-        inds: vec![InclusionDependency { lhs: vec![0], rhs: vec![1] }],
+        inds: vec![InclusionDependency {
+            lhs: vec![0],
+            rhs: vec![1],
+        }],
     };
     let gadget = DependencyGadget::new(2, f, g)?;
     let witness = Relation::from_tuples(

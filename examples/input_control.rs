@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("compiled error rule: {rule}");
     }
 
-    let policed = add_enforcement(&short, &[availability.clone()])?;
+    let policed = add_enforcement(&short, std::slice::from_ref(&availability))?;
 
     // A compliant customer and a non-compliant one.
     let schema = models::short_input_schema();

@@ -11,10 +11,12 @@ use rtx::verify::{syntactically_safe_customization, ContainmentVerdict};
 #[test]
 fn friendly_preserves_short_logs() {
     let db = models::figure1_database();
-    let verdict =
-        customization_preserves_logs(&models::short(), &models::friendly(), &db).unwrap();
+    let verdict = customization_preserves_logs(&models::short(), &models::friendly(), &db).unwrap();
     assert!(verdict.is_contained());
-    assert!(syntactically_safe_customization(&models::short(), &models::friendly()));
+    assert!(syntactically_safe_customization(
+        &models::short(),
+        &models::friendly()
+    ));
 }
 
 #[test]
@@ -64,7 +66,9 @@ fn adding_an_unlogged_reporting_output_is_sound() {
         .log(["sendbill", "pay", "deliver"])
         .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
         .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
-        .output_rule("outstanding(X,Y) :- report-request, past-order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule(
+            "outstanding(X,Y) :- report-request, past-order(X), price(X,Y), NOT past-pay(X,Y)",
+        )
         .build()
         .unwrap();
     assert!(syntactically_safe_customization(&short, &reporting));
@@ -78,12 +82,18 @@ fn proposition_31_gadget_tracks_dependency_implication() {
     // F = {1 → 2}, G = {R[1] ⊆ R[2]}: F does not imply G, and the gadget's
     // witness log is reachable.
     let f = DependencySet {
-        fds: vec![FunctionalDependency { lhs: vec![0], rhs: 1 }],
+        fds: vec![FunctionalDependency {
+            lhs: vec![0],
+            rhs: 1,
+        }],
         inds: vec![],
     };
     let g = DependencySet {
         fds: vec![],
-        inds: vec![InclusionDependency { lhs: vec![0], rhs: vec![1] }],
+        inds: vec![InclusionDependency {
+            lhs: vec![0],
+            rhs: vec![1],
+        }],
     };
     let gadget = DependencyGadget::new(2, f.clone(), g.clone()).unwrap();
 

@@ -117,7 +117,7 @@ fn paper_example_policies_compile_and_enforce() {
         Formula::atom("past-order", [Term::var("x")]),
     )
     .unwrap();
-    let policed = add_enforcement(&cancellable, &[policy.clone()]).unwrap();
+    let policed = add_enforcement(&cancellable, std::slice::from_ref(&policy)).unwrap();
 
     let db = models::figure1_database();
     let schema = policed.schema().input().clone();

@@ -1,8 +1,8 @@
 //! Integration tests spanning the whole stack: the paper's worked runs
 //! (Figures 1 and 2), the DSL, the store substrate, and the log machinery.
 
-use rtx::prelude::*;
 use rtx::core::models;
+use rtx::prelude::*;
 use rtx::store::Store;
 
 #[test]
@@ -14,13 +14,29 @@ fn figure1_exchange_end_to_end() {
     // The shape of Figure 1: bills at step 1, delivery of Time at step 2,
     // a bill for Le Monde at step 3, delivery of Newsweek at step 4.
     assert_eq!(run.len(), 4);
-    assert_eq!(run.outputs().get(0).unwrap().relation("sendbill").unwrap().len(), 2);
-    assert!(run.outputs().get(1).unwrap().holds("deliver", &Tuple::from_iter(["time"])));
+    assert_eq!(
+        run.outputs()
+            .get(0)
+            .unwrap()
+            .relation("sendbill")
+            .unwrap()
+            .len(),
+        2
+    );
+    assert!(run
+        .outputs()
+        .get(1)
+        .unwrap()
+        .holds("deliver", &Tuple::from_iter(["time"])));
     assert!(run.outputs().get(2).unwrap().holds(
         "sendbill",
         &Tuple::new(vec![Value::str("lemonde"), Value::int(8350)])
     ));
-    assert!(run.outputs().get(3).unwrap().holds("deliver", &Tuple::from_iter(["newsweek"])));
+    assert!(run
+        .outputs()
+        .get(3)
+        .unwrap()
+        .holds("deliver", &Tuple::from_iter(["newsweek"])));
 
     // The log only contains the three designated relations.
     assert_eq!(run.log().schema().len(), 3);
@@ -44,7 +60,14 @@ fn figure2_warnings_end_to_end() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    for expected in ["sendbill", "deliver", "unavailable", "rejectpay", "alreadypaid", "rebill"] {
+    for expected in [
+        "sendbill",
+        "deliver",
+        "unavailable",
+        "rejectpay",
+        "alreadypaid",
+        "rebill",
+    ] {
         assert!(
             all_outputs.iter().any(|o| o == expected),
             "{expected} never produced in the Figure 2 run"
@@ -87,7 +110,7 @@ fn propositional_example_generates_prefixes_of_abstar_c() {
     // prefix closed
     for w in &words {
         for cut in 0..w.len() {
-            assert!(words.contains(&w[..cut].to_vec()));
+            assert!(words.contains(&w[..cut]));
         }
     }
 }
