@@ -27,6 +27,55 @@ fn benches(c: &mut Criterion) {
     }
     group.finish();
 
+    // String-heavy workload: 64-character SKU keys make every register bind,
+    // index key and derived tuple pay for string handling — the workload the
+    // symbol-interning work targets.  `short-run` is the whole-transducer
+    // path; `compiled-join` evaluates a fresh three-way join whose non-prefix
+    // index over `category` is rebuilt (rehashing every key) per evaluation.
+    let mut group = c.benchmark_group("string_heavy_sku");
+    for products in [2_000usize, 10_000] {
+        let db = rtx::workloads::sku_catalog(products, 1);
+        let inputs = rtx::workloads::sku_customer_session(&db, 4, products, 0.9, 3);
+        group.bench_function(format!("short-run/products={products}"), |b| {
+            b.iter(|| short.run(&db, &inputs).unwrap());
+        });
+    }
+    {
+        let products = 10_000usize;
+        let enrich =
+            parse_program("enriched(X,P,C) :- order(X), price(X,P), category(C,X).").unwrap();
+        let compiled = CompiledProgram::compile(&enrich).unwrap();
+        let schema = Schema::from_pairs([("price", 2), ("category", 2)]).unwrap();
+        let mut db = Instance::empty(&schema);
+        for i in 0..products {
+            let sku = rtx::workloads::sku_name(i);
+            db.insert(
+                "price",
+                Tuple::new(vec![Value::str(&sku), Value::int(i as i64 + 1)]),
+            )
+            .unwrap();
+            db.insert(
+                "category",
+                Tuple::new(vec![Value::str(format!("cat-{}", i % 50)), Value::str(sku)]),
+            )
+            .unwrap();
+        }
+        let order_schema = Schema::from_pairs([("order", 1)]).unwrap();
+        let mut orders = Instance::empty(&order_schema);
+        for i in (0..products).step_by(10) {
+            orders
+                .insert(
+                    "order",
+                    Tuple::new(vec![Value::str(rtx::workloads::sku_name(i))]),
+                )
+                .unwrap();
+        }
+        group.bench_function(format!("compiled-join/products={products}"), |b| {
+            b.iter(|| compiled.evaluate(&[&orders, &db]).unwrap());
+        });
+    }
+    group.finish();
+
     // In-repo ablation of the same step: the reference interpreter
     // (re-analysis + nested scans over the unioned EDB, the pre-compilation
     // evaluation path) versus the cached compiled program.

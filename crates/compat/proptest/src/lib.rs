@@ -7,10 +7,30 @@
 //! and `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Generation is deterministic: each test case derives its seed from the test
-//! name and case index, so failures are reproducible without shrinking
-//! support (the generated values are small enough to debug directly).
+//! name and case index, so failures are reproducible.
+//!
+//! # Shrinking
+//!
+//! Unlike the original stand-in, failures are **greedily minimized** before
+//! being reported.  Every strategy generates through an intermediate *seed*
+//! representation ([`Strategy::Seed`]) that it knows how to simplify:
+//!
+//! * [`collection::vec`] drops elements one at a time (never below the
+//!   strategy's minimum length) and recursively shrinks the survivors —
+//!   for the randomized datalog tests this is what deletes whole rules,
+//!   body atoms and database facts while the failure still reproduces;
+//! * integer ranges step their value toward the range start;
+//! * tuples and [`Strategy::prop_map`] shrink through their components.
+//!
+//! On a failing case the harness re-runs the test body on candidate
+//! simplifications (panics silenced while probing), keeps any candidate that
+//! still fails, repeats to a fixed point (with an attempt budget), and then
+//! panics with the *minimized* inputs rendered via `Debug` alongside the
+//! original failure message.
 
+use std::fmt;
 use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Deterministic SplitMix64 word source used by strategies.
 #[derive(Debug, Clone)]
@@ -49,13 +69,29 @@ pub fn case_seed(name: &str, case: u64) -> u64 {
     h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// A value generator.
+/// A value generator with a shrinkable intermediate representation.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
-    /// Generates one value.
-    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// The shrinkable pre-image of a value (what the random draws produced
+    /// before any `prop_map`).
+    type Seed: Clone;
+
+    /// Draws a fresh seed.
+    fn generate_seed(&self, rng: &mut TestRng) -> Self::Seed;
+
+    /// Converts a seed into the value handed to the test body.
+    fn materialize(&self, seed: &Self::Seed) -> Self::Value;
+
+    /// Candidate one-step simplifications of `seed`, each strictly smaller in
+    /// some well-founded sense (so greedy shrinking terminates).
+    fn shrink_seed(&self, seed: &Self::Seed) -> Vec<Self::Seed>;
+
+    /// Generates one value (seed and materialization in one step).
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.materialize(&self.generate_seed(rng))
+    }
 
     /// Maps generated values through a function.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -79,9 +115,18 @@ where
     F: Fn(S::Value) -> O,
 {
     type Value = O;
+    type Seed = S::Seed;
 
-    fn generate(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.generate(rng))
+    fn generate_seed(&self, rng: &mut TestRng) -> S::Seed {
+        self.inner.generate_seed(rng)
+    }
+
+    fn materialize(&self, seed: &S::Seed) -> O {
+        (self.f)(self.inner.materialize(seed))
+    }
+
+    fn shrink_seed(&self, seed: &S::Seed) -> Vec<S::Seed> {
+        self.inner.shrink_seed(seed)
     }
 }
 
@@ -91,9 +136,16 @@ pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    type Seed = ();
 
-    fn generate(&self, _rng: &mut TestRng) -> T {
+    fn generate_seed(&self, _rng: &mut TestRng) -> Self::Seed {}
+
+    fn materialize(&self, _seed: &Self::Seed) -> T {
         self.0.clone()
+    }
+
+    fn shrink_seed(&self, _seed: &Self::Seed) -> Vec<Self::Seed> {
+        Vec::new()
     }
 }
 
@@ -101,21 +153,41 @@ macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            type Seed = $t;
+            fn generate_seed(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "cannot sample an empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let offset = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + offset) as $t
             }
+            fn materialize(&self, seed: &$t) -> $t {
+                *seed
+            }
+            fn shrink_seed(&self, seed: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *seed as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            type Seed = $t;
+            fn generate_seed(&self, rng: &mut TestRng) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample an empty range");
                 let span = (end as i128 - start as i128) as u128 + 1;
                 let offset = (rng.next_u64() as u128 % span) as i128;
                 (start as i128 + offset) as $t
+            }
+            fn materialize(&self, seed: &$t) -> $t {
+                *seed
+            }
+            fn shrink_seed(&self, seed: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *seed as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -123,12 +195,45 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(i64, u64, i32, u32, usize);
 
+/// Integer shrink candidates: the range start, the midpoint between start
+/// and the current value, and the predecessor — jumping as far as possible
+/// first, but still able to creep up on the exact failure boundary.
+fn shrink_toward(start: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value != start {
+        out.push(start);
+        let mid = start + (value - start) / 2;
+        if mid != start && mid != value {
+            out.push(mid);
+        }
+        if value - 1 != start && value - 1 != mid {
+            out.push(value - 1);
+        }
+    }
+    out
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
             type Value = ($($s::Value,)+);
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+            type Seed = ($($s::Seed,)+);
+            fn generate_seed(&self, rng: &mut TestRng) -> Self::Seed {
+                ($(self.$idx.generate_seed(rng),)+)
+            }
+            fn materialize(&self, seed: &Self::Seed) -> Self::Value {
+                ($(self.$idx.materialize(&seed.$idx),)+)
+            }
+            fn shrink_seed(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_seed(&seed.$idx) {
+                        let mut next = seed.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -155,7 +260,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,
@@ -163,11 +268,38 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
+        type Seed = Vec<S::Seed>;
 
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn generate_seed(&self, rng: &mut TestRng) -> Vec<S::Seed> {
             let span = self.size.end - self.size.start;
             let len = self.size.start + rng.index(span);
-            (0..len).map(|_| self.elem.generate(rng)).collect()
+            (0..len).map(|_| self.elem.generate_seed(rng)).collect()
+        }
+
+        fn materialize(&self, seed: &Vec<S::Seed>) -> Vec<S::Value> {
+            seed.iter().map(|s| self.elem.materialize(s)).collect()
+        }
+
+        fn shrink_seed(&self, seed: &Vec<S::Seed>) -> Vec<Vec<S::Seed>> {
+            let mut out = Vec::new();
+            // Drop one element (rules, atoms, facts, …) while staying at or
+            // above the strategy's minimum length.
+            if seed.len() > self.size.start {
+                for drop in 0..seed.len() {
+                    let mut next = seed.clone();
+                    next.remove(drop);
+                    out.push(next);
+                }
+            }
+            // Shrink one element in place.
+            for (i, elem_seed) in seed.iter().enumerate() {
+                for candidate in self.elem.shrink_seed(elem_seed) {
+                    let mut next = seed.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -190,6 +322,110 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+}
+
+/// Upper bound on shrink probes per failing case: shrinking is greedy and
+/// each accepted candidate strictly simplifies the seed, so this only matters
+/// for pathological cases with huge seeds.
+const SHRINK_ATTEMPT_BUDGET: usize = 4096;
+
+fn run_silently<V>(body: &mut dyn FnMut(V), value: V) -> Result<(), Box<dyn std::any::Any + Send>> {
+    catch_unwind(AssertUnwindSafe(|| body(value)))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+}
+
+/// Runs every deterministic case of a property test — the engine behind the
+/// [`proptest!`] macro.  `body` receives the materialized strategy value (for
+/// multiple macro arguments, a tuple); failures are greedily shrunk by
+/// [`run_case`].
+pub fn run_cases<S, F>(test_name: &str, cases: u32, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: FnMut(S::Value),
+{
+    for case in 0..cases as u64 {
+        run_case(test_name, case, strategy, &mut body);
+    }
+}
+
+/// Runs one deterministic case of a property test, greedily shrinking the
+/// inputs on failure before reporting (see the [crate docs](crate)).
+pub fn run_case<S>(test_name: &str, case: u64, strategy: &S, body: &mut dyn FnMut(S::Value))
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+{
+    let mut rng = TestRng::new(case_seed(test_name, case));
+    let seed = strategy.generate_seed(&mut rng);
+    let original = strategy.materialize(&seed);
+    let original_rendered = format!("{original:#?}");
+    let Err(payload) = run_silently(body, original) else {
+        return;
+    };
+    let message = panic_message(payload.as_ref());
+
+    // Probe candidates with the panic hook silenced so shrinking does not
+    // spray panic reports; the hook is global, so concurrent failing tests
+    // may briefly lose their backtraces — an acceptable trade for a test
+    // stand-in.  The guard restores the hook even if this scope unwinds
+    // (e.g. a `prop_map` closure that panics on a shrunk seed).
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct HookGuard(Option<PanicHook>);
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            if let Some(hook) = self.0.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+    let _guard = HookGuard(Some(std::panic::take_hook()));
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut current = seed;
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+    'shrinking: loop {
+        for candidate in strategy.shrink_seed(&current) {
+            if attempts >= SHRINK_ATTEMPT_BUDGET {
+                break 'shrinking;
+            }
+            attempts += 1;
+            // Materialize inside the catch as well: a candidate whose
+            // `prop_map` panics is simply not a valid simplification and is
+            // skipped (it would be accepted as "still failing" otherwise,
+            // steering shrinking toward materialization crashes instead of
+            // the property failure being minimized).
+            let Ok(candidate_value) =
+                catch_unwind(AssertUnwindSafe(|| strategy.materialize(&candidate)))
+            else {
+                continue;
+            };
+            if run_silently(body, candidate_value).is_err() {
+                current = candidate;
+                steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    drop(_guard);
+
+    let minimized = strategy.materialize(&current);
+    panic!(
+        "proptest {test_name} failed at case {case}: {message}\n\
+         minimized input ({steps} shrink steps, {attempts} probes):\n{minimized:#?}\n\
+         original input:\n{original_rendered}"
+    );
 }
 
 /// Asserts a condition inside a proptest body.
@@ -215,7 +451,8 @@ macro_rules! prop_assert_eq {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ..) { body }`
-/// becomes a `#[test]` running `cases` deterministic cases.
+/// becomes a `#[test]` running `cases` deterministic cases, with greedy
+/// shrinking of failures (see the [crate docs](crate)).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -229,12 +466,13 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                for case in 0..config.cases as u64 {
-                    let mut rng =
-                        $crate::TestRng::new($crate::case_seed(stringify!($name), case));
-                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
-                    $body
-                }
+                let strategy = ($($strat,)+);
+                $crate::run_cases(
+                    stringify!($name),
+                    config.cases,
+                    &strategy,
+                    |($($arg,)+)| $body,
+                );
             }
         )*
     };
@@ -292,6 +530,76 @@ mod tests {
         let a = strat.generate(&mut TestRng::new(11));
         let b = strat.generate(&mut TestRng::new(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_shrinking_drops_elements_and_respects_min_len() {
+        let strat = collection::vec(0usize..100, 2..10);
+        let seed = vec![5usize, 90, 7];
+        let candidates = strat.shrink_seed(&seed);
+        // Three drop-one candidates (len 3 > min 2) …
+        assert!(candidates.contains(&vec![90, 7]));
+        assert!(candidates.contains(&vec![5, 7]));
+        assert!(candidates.contains(&vec![5, 90]));
+        // … plus per-element shrinks toward the range start.
+        assert!(candidates.contains(&vec![0, 90, 7]));
+        // At the minimum length no drops are offered.
+        let at_min = strat.shrink_seed(&vec![1, 2]);
+        assert!(at_min.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn failing_cases_are_minimized_before_reporting() {
+        // The property "no element is ≥ 7" fails for generated vectors that
+        // contain a large element; greedy shrinking must reduce the reported
+        // counterexample to the single smallest failing element.
+        let strategy = (collection::vec(0usize..10, 1..6),);
+        let mut body = |(v,): (Vec<usize>,)| {
+            assert!(v.iter().all(|&x| x < 7), "saw an element ≥ 7");
+        };
+        // Find a case that actually fails, then check its minimized report.
+        let failing_case = (0..200u64).find(|&case| {
+            let mut rng = TestRng::new(crate::case_seed("minimize_demo", case));
+            let seed = crate::Strategy::generate_seed(&strategy, &mut rng);
+            let value = crate::Strategy::materialize(&strategy, &seed);
+            value.0.iter().any(|&x| x >= 7)
+        });
+        let Some(case) = failing_case else {
+            panic!("expected some generated vector to contain an element ≥ 7");
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_case("minimize_demo", case, &strategy, &mut body);
+        }))
+        .expect_err("the failing case must still fail through run_case");
+        let report = err
+            .downcast_ref::<String>()
+            .expect("run_case panics with a formatted String");
+        // The minimized counterexample is exactly one offending element,
+        // shrunk as far as the property allows (7 is the smallest failure).
+        assert!(
+            report.contains("minimized input"),
+            "report missing the minimized section: {report}"
+        );
+        let minimized = report
+            .split("minimized input")
+            .nth(1)
+            .and_then(|s| s.split("original input").next())
+            .expect("report has minimized and original sections");
+        assert!(
+            minimized.contains('7') && !minimized.contains('8') && !minimized.contains('9'),
+            "minimized counterexample should be [7]: {report}"
+        );
+    }
+
+    #[test]
+    fn shrinking_is_not_entered_for_passing_cases() {
+        let strategy = (0i64..100,);
+        let mut calls = 0usize;
+        let mut body = |(_x,): (i64,)| {
+            calls += 1;
+        };
+        crate::run_case("passing_case", 0, &strategy, &mut body);
+        assert_eq!(calls, 1);
     }
 
     proptest! {

@@ -46,9 +46,11 @@ use crate::graph::DependencyGraph;
 use crate::safety::check_program_safety;
 use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
 use rtx_logic::Term;
-use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple, TupleIndex, Value};
+use rtx_relational::{
+    FxHashMap, Instance, Relation, RelationName, Schema, Tuple, TupleIndex, Value, ValueVec,
+};
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 thread_local! {
     static ANALYSES: Cell<u64> = const { Cell::new(0) };
@@ -320,7 +322,7 @@ impl CompiledProgram {
     /// relation's own sorted tuple set, so only non-prefix key shapes need an
     /// index built here.
     pub fn prepare<'a>(&self, db: &'a Instance) -> PreparedDb<'a> {
-        let mut indexes: HashMap<(RelationName, Vec<usize>), TupleIndex> = HashMap::new();
+        let mut indexes: FxHashMap<(RelationName, Vec<usize>), TupleIndex> = FxHashMap::default();
         for rule in &self.rules {
             for atom in &rule.atoms {
                 if atom.key_cols.is_empty() || atom.prefix_key {
@@ -481,7 +483,7 @@ impl CompiledProgram {
 #[derive(Debug, Clone)]
 pub struct PreparedDb<'a> {
     instance: &'a Instance,
-    indexes: HashMap<(RelationName, Vec<usize>), TupleIndex>,
+    indexes: FxHashMap<(RelationName, Vec<usize>), TupleIndex>,
 }
 
 impl PreparedDb<'_> {
@@ -552,7 +554,7 @@ struct EvalContext<'x> {
     sources: Vec<&'x Instance>,
     prepared: Option<&'x PreparedDb<'x>>,
     derived: Instance,
-    cache: HashMap<(Space, RelationName, Vec<usize>), TupleIndex>,
+    cache: FxHashMap<(Space, RelationName, Vec<usize>), TupleIndex>,
 }
 
 impl<'x> EvalContext<'x> {
@@ -565,7 +567,7 @@ impl<'x> EvalContext<'x> {
             sources: sources.to_vec(),
             prepared,
             derived: Instance::empty(&program.out_schema),
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
         }
     }
 
@@ -839,16 +841,16 @@ fn join(
 
     let (atom, tuples): (&CompiledAtom, &[Tuple]) = match &plans[level] {
         AtomPlan::Probe { index, atom } => {
-            let mut key = Vec::with_capacity(atom.key_terms.len());
+            let mut key = ValueVec::with_capacity(atom.key_terms.len());
             for term in &atom.key_terms {
-                key.push(value_of(rule, term, regs)?.clone());
+                key.push(*value_of(rule, term, regs)?);
             }
             (atom, index.probe(&key))
         }
         AtomPlan::PrefixScan { relation, atom } => {
-            let mut key = Vec::with_capacity(atom.key_terms.len());
+            let mut key = ValueVec::with_capacity(atom.key_terms.len());
             for term in &atom.key_terms {
-                key.push(value_of(rule, term, regs)?.clone());
+                key.push(*value_of(rule, term, regs)?);
             }
             for tuple in relation.scan_prefix(&key) {
                 step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
@@ -856,16 +858,16 @@ fn join(
             return Ok(());
         }
         AtomPlan::CheckedScan { relation, atom } => {
-            let mut key = Vec::with_capacity(atom.key_terms.len());
+            let mut key = ValueVec::with_capacity(atom.key_terms.len());
             for term in &atom.key_terms {
-                key.push(value_of(rule, term, regs)?.clone());
+                key.push(*value_of(rule, term, regs)?);
             }
             for tuple in relation.iter() {
                 let matches = tuple.arity() == atom.arity
                     && atom
                         .key_cols
                         .iter()
-                        .zip(&key)
+                        .zip(key.iter())
                         .all(|(&col, want)| tuple.values()[col] == *want);
                 if matches {
                     step_tuple(rule, plans, negations, level, atom, tuple, regs, sink)?;
@@ -907,7 +909,7 @@ fn step_tuple(
     }
     let values = tuple.values();
     for &(col, slot) in &atom.writes {
-        regs[slot] = Some(values[col].clone());
+        regs[slot] = Some(values[col]);
     }
     let ok = atom
         .checks
@@ -945,11 +947,11 @@ fn materialize(
     terms: &[SlotTerm],
     regs: &[Option<Value>],
 ) -> Result<Tuple, DatalogError> {
-    let mut values = Vec::with_capacity(terms.len());
+    let mut values = ValueVec::with_capacity(terms.len());
     for term in terms {
-        values.push(value_of(rule, term, regs)?.clone());
+        values.push(*value_of(rule, term, regs)?);
     }
-    Ok(Tuple::new(values))
+    Ok(Tuple::from(values))
 }
 
 /// Compiles one rule: slot assignment, greedy bound-prefix join ordering and
@@ -986,7 +988,7 @@ fn compile_rule(
 
     let slot_of = |term: &Term| -> Result<SlotTerm, DatalogError> {
         match term {
-            Term::Const(value) => Ok(SlotTerm::Const(value.clone())),
+            Term::Const(value) => Ok(SlotTerm::Const(*value)),
             Term::Var(name) => slots
                 .get(name.as_str())
                 .map(|&s| SlotTerm::Slot(s))
@@ -1051,7 +1053,7 @@ fn compile_rule(
             match term {
                 Term::Const(value) => {
                     key_cols.push(col);
-                    key_terms.push(SlotTerm::Const(value.clone()));
+                    key_terms.push(SlotTerm::Const(*value));
                 }
                 Term::Var(name) => {
                     let slot = slots[name.as_str()];

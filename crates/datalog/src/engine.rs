@@ -22,7 +22,7 @@ use crate::graph::DependencyGraph;
 use crate::safety::check_program_safety;
 use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
 use rtx_logic::Term;
-use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple, Value};
+use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple, Value, ValueVec};
 use std::collections::BTreeMap;
 
 /// Fixpoint iteration strategy for recursive strata.
@@ -346,7 +346,7 @@ fn join_positive(
                     }
                     Some(_) => {}
                     None => {
-                        bindings.insert(name.clone(), value.clone());
+                        bindings.insert(name.clone(), *value);
                         added.push(name);
                     }
                 },
@@ -428,11 +428,11 @@ fn instantiate(
     atom: &Atom,
     bindings: &BTreeMap<String, Value>,
 ) -> Result<Tuple, DatalogError> {
-    let mut values = Vec::with_capacity(atom.args.len());
+    let mut values = ValueVec::with_capacity(atom.args.len());
     for term in &atom.args {
-        values.push(resolve(rule, term, bindings)?.clone());
+        values.push(*resolve(rule, term, bindings)?);
     }
-    Ok(Tuple::new(values))
+    Ok(Tuple::from(values))
 }
 
 fn lookup<'a>(databases: &[&'a Instance], relation: &RelationName) -> Option<&'a Relation> {

@@ -54,7 +54,7 @@ pub fn parse_program(text: &str) -> Result<Program, DatalogError> {
 pub fn parse_program_kinded(text: &str) -> Result<Vec<(Rule, RuleKind)>, DatalogError> {
     let cleaned = strip_comments(text);
     let mut out = Vec::new();
-    for statement in cleaned.split('.') {
+    for statement in split_top_level(&cleaned, '.', false, false) {
         let statement = statement.trim();
         if statement.is_empty() {
             continue;
@@ -62,6 +62,112 @@ pub fn parse_program_kinded(text: &str) -> Result<Vec<(Rule, RuleKind)>, Datalog
         out.push(parse_rule_kinded(statement)?);
     }
     Ok(out)
+}
+
+/// Tokenizer quote state: rule punctuation (`.`, `,`, `:-`, comments, …)
+/// only counts when it occurs *outside* a quoted constant, so displayed
+/// rules whose symbols contain such characters re-parse correctly.
+///
+/// A `'` opens a quoted constant only at a token boundary; after an
+/// identifier character it is the paper's *prime* suffix on a variable
+/// (`y'`), not a quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QuoteState {
+    Outside,
+    Single,
+    Double,
+    /// Inside a double-quoted literal, immediately after a backslash.
+    DoubleEscape,
+}
+
+/// Character-level scanner tracking [`QuoteState`] plus the previous
+/// character (to tell a quote-open from a variable prime).
+#[derive(Debug, Clone, Copy)]
+struct QuoteScanner {
+    state: QuoteState,
+    prev: Option<char>,
+}
+
+impl QuoteScanner {
+    fn new() -> Self {
+        QuoteScanner {
+            state: QuoteState::Outside,
+            prev: None,
+        }
+    }
+
+    /// True while the *next* character read lies outside any quoted constant.
+    fn outside(&self) -> bool {
+        self.state == QuoteState::Outside
+    }
+
+    fn step(&mut self, c: char) {
+        self.state = match (self.state, c) {
+            (QuoteState::Outside, '\'') if self.at_token_boundary() => QuoteState::Single,
+            (QuoteState::Outside, '"') => QuoteState::Double,
+            (QuoteState::Outside, _) => QuoteState::Outside,
+            (QuoteState::Single, '\'') => QuoteState::Outside,
+            (QuoteState::Single, _) => QuoteState::Single,
+            (QuoteState::Double, '"') => QuoteState::Outside,
+            (QuoteState::Double, '\\') => QuoteState::DoubleEscape,
+            (QuoteState::Double, _) => QuoteState::Double,
+            (QuoteState::DoubleEscape, _) => QuoteState::Double,
+        };
+        self.prev = Some(c);
+    }
+
+    /// A `'` after an identifier character is a prime (`y'`), not a quote.
+    fn at_token_boundary(&self) -> bool {
+        !self
+            .prev
+            .is_some_and(|p| p.is_alphanumeric() || matches!(p, '_' | '-' | '@' | '\''))
+    }
+}
+
+/// Splits `text` on `sep` characters that lie outside quoted constants and
+/// (when `track_parens`) outside parentheses.  `keep_empty` retains empty
+/// segments (the argument splitter needs `q(X,)` to surface its empty arg as
+/// a parse error); otherwise empty interior segments are kept for callers to
+/// skip but an empty tail is dropped.
+fn split_top_level(text: &str, sep: char, keep_empty: bool, track_parens: bool) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut scanner = QuoteScanner::new();
+    let mut depth = 0usize;
+    for c in text.chars() {
+        let outside = scanner.outside();
+        if outside && track_parens {
+            match c {
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if outside && depth == 0 && c == sep {
+            parts.push(current.trim().to_string());
+            current.clear();
+            scanner = QuoteScanner::new();
+        } else {
+            current.push(c);
+            scanner.step(c);
+        }
+    }
+    if keep_empty || !current.trim().is_empty() {
+        parts.push(current.trim().to_string());
+    }
+    parts
+}
+
+/// The first occurrence of `pattern` outside quoted constants.
+fn find_top_level(text: &str, pattern: &str) -> Option<usize> {
+    let mut scanner = QuoteScanner::new();
+    for (i, c) in text.char_indices() {
+        if scanner.outside() && text[i..].starts_with(pattern) {
+            return Some(i);
+        }
+        scanner.step(c);
+    }
+    None
 }
 
 /// Parses a single rule (the trailing `.` is optional).
@@ -79,9 +185,9 @@ pub fn parse_rule_kinded(text: &str) -> Result<(Rule, RuleKind), DatalogError> {
             fragment: String::new(),
         });
     }
-    let (head_text, body_text, kind) = if let Some(pos) = text.find("+:-") {
+    let (head_text, body_text, kind) = if let Some(pos) = find_top_level(text, "+:-") {
         (&text[..pos], Some(&text[pos + 3..]), RuleKind::Cumulative)
-    } else if let Some(pos) = text.find(":-") {
+    } else if let Some(pos) = find_top_level(text, ":-") {
         (&text[..pos], Some(&text[pos + 2..]), RuleKind::Plain)
     } else {
         (text, None, RuleKind::Plain)
@@ -95,42 +201,34 @@ pub fn parse_rule_kinded(text: &str) -> Result<(Rule, RuleKind), DatalogError> {
     Ok((Rule::new(head, body), kind))
 }
 
+/// Removes `%` and `//` line comments, ignoring comment markers that occur
+/// inside quoted constants.  Quote state carries across lines only through
+/// escaped newlines, so an unterminated quote cannot comment-proof the rest
+/// of the file: state resets at each raw newline.
 fn strip_comments(text: &str) -> String {
-    text.lines()
-        .map(|line| {
-            let without_percent = line.split('%').next().unwrap_or("");
-            without_percent.split("//").next().unwrap_or("").to_string()
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let mut scanner = QuoteScanner::new();
+        let mut cut = line.len();
+        let mut chars = line.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if scanner.outside()
+                && (c == '%' || (c == '/' && chars.peek().map(|&(_, n)| n) == Some('/')))
+            {
+                cut = i;
+                break;
+            }
+            scanner.step(c);
+        }
+        out.push_str(&line[..cut]);
+        out.push('\n');
+    }
+    out
 }
 
-/// Splits a body on commas that are not inside parentheses.
+/// Splits a body on commas that are not inside parentheses or quotes.
 fn split_body(text: &str) -> Vec<String> {
-    let mut parts = Vec::new();
-    let mut depth = 0usize;
-    let mut current = String::new();
-    for c in text.chars() {
-        match c {
-            '(' => {
-                depth += 1;
-                current.push(c);
-            }
-            ')' => {
-                depth = depth.saturating_sub(1);
-                current.push(c);
-            }
-            ',' if depth == 0 => {
-                parts.push(current.trim().to_string());
-                current.clear();
-            }
-            _ => current.push(c),
-        }
-    }
-    if !current.trim().is_empty() {
-        parts.push(current.trim().to_string());
-    }
-    parts
+    split_top_level(text, ',', false, true)
 }
 
 fn parse_body(text: &str) -> Result<Vec<BodyLiteral>, DatalogError> {
@@ -148,7 +246,7 @@ fn parse_literal(text: &str) -> Result<BodyLiteral, DatalogError> {
     let trimmed = text.trim();
     // Inequality t1 <> t2 (also accepts ≠ and !=)
     for sep in ["<>", "!=", "≠"] {
-        if let Some(pos) = trimmed.find(sep) {
+        if let Some(pos) = find_top_level(trimmed, sep) {
             // make sure it's not inside parentheses (atoms can't contain these
             // operators anyway, so a simple check suffices)
             let left = trimmed[..pos].trim();
@@ -199,7 +297,9 @@ pub fn parse_atom(text: &str) -> Result<Atom, DatalogError> {
             let args_text = &trimmed[open + 1..trimmed.len() - 1];
             let mut args = Vec::new();
             if !args_text.trim().is_empty() {
-                for arg in args_text.split(',') {
+                // Quote-aware split, keeping empty segments so `q(X,)`
+                // surfaces its missing argument as an error.
+                for arg in split_top_level(args_text, ',', true, false) {
                     args.push(parse_term(arg.trim())?);
                 }
             }
@@ -232,11 +332,18 @@ pub fn parse_term(text: &str) -> Result<Term, DatalogError> {
             fragment: text.to_string(),
         });
     }
-    // Quoted constants
-    if (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
-        || (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
-    {
-        return Ok(Term::constant(Value::str(&t[1..t.len() - 1])));
+    // Quoted constants: `'gold'` (no escapes, body free of `'` and `\`) or
+    // `"…"` with `\\`, `\"`, `\n`, `\r`, `\t` escapes.  A token that *starts*
+    // like a quoted literal but is malformed (unterminated, stray interior
+    // quote, unknown escape) is a hard parse error, never silently read as a
+    // symbol containing quote characters.
+    if t.starts_with('\'') || t.starts_with('"') {
+        return Value::parse_quoted(t)
+            .map(Term::constant)
+            .ok_or_else(|| DatalogError::Parse {
+                message: "malformed quoted constant".into(),
+                fragment: t.to_string(),
+            });
     }
     // Integers
     if t.parse::<i64>().is_ok() {
@@ -379,6 +486,104 @@ mod tests {
         assert!(parse_rule("p(X) :- q(X,)").is_err());
         assert!(parse_rule("p$(X) :- q(X)").is_err());
         assert!(parse_rule("p(X) :- X <>").is_err());
+    }
+
+    #[test]
+    fn malformed_quoted_constants_are_hard_errors() {
+        // Unterminated, interior quote, unknown escape, single-quoted body
+        // with a quote: all rejected rather than silently read as symbols.
+        for bad in [
+            "p(X) :- q(X, 'unterminated)",
+            "p(X) :- q(X, \"a\"b\")",
+            "p(X) :- q(X, \"bad\\qescape\")",
+            "p(X) :- q(X, 'it's')",
+        ] {
+            assert!(
+                matches!(parse_rule(bad), Err(DatalogError::Parse { .. })),
+                "{bad} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_constants_with_escapes_roundtrip() {
+        let rule = parse_rule("p(X) :- q(X, \"has space\"), r(X, \"a\\\"b\\\\c\")").unwrap();
+        let q_atom = match &rule.body[0] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(q_atom.args[1], Term::constant(Value::str("has space")));
+        let r_atom = match &rule.body[1] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(r_atom.args[1], Term::constant(Value::str("a\"b\\c")));
+        // And the whole rule survives display → parse.
+        assert_eq!(parse_rule(&rule.to_string()).unwrap(), rule);
+    }
+
+    #[test]
+    fn delimiter_symbols_survive_tokenization() {
+        // Symbols containing rule punctuation — commas, dots, parens,
+        // `:-`, comment markers — must pass through the quote-aware
+        // tokenizer intact, at program scope as well as rule scope.
+        let program = parse_program(
+            "a(X) :- q(X, 'v1.0, beta (rc)').\n\
+             b(X) :- q(X, 'see :- here'), r(X, 'not % a // comment').",
+        )
+        .unwrap();
+        assert_eq!(program.len(), 2);
+        let a_body = match &program.rules()[0].body[0] {
+            BodyLiteral::Positive(atom) => atom,
+            _ => panic!(),
+        };
+        assert_eq!(
+            a_body.args[1],
+            Term::constant(Value::str("v1.0, beta (rc)"))
+        );
+        let b_last = match &program.rules()[1].body[1] {
+            BodyLiteral::Positive(atom) => atom,
+            _ => panic!(),
+        };
+        assert_eq!(
+            b_last.args[1],
+            Term::constant(Value::str("not % a // comment"))
+        );
+        // The displayed program re-parses to the same AST.
+        let reparsed = parse_program(&program.to_string()).unwrap();
+        assert_eq!(program, reparsed);
+        // Inequalities still split outside quotes only.
+        let rule = parse_rule("p(X) :- q(X, Y), Y <> 'a <> b'").unwrap();
+        match &rule.body[1] {
+            BodyLiteral::NotEqual(_, b) => {
+                assert_eq!(b, &Term::constant(Value::str("a <> b")));
+            }
+            other => panic!("expected inequality, got {other:?}"),
+        }
+        assert_eq!(parse_rule(&rule.to_string()).unwrap(), rule);
+    }
+
+    #[test]
+    fn awkward_constants_roundtrip_through_rule_display() {
+        // Uppercase-initial symbols, integer constants, spaces, embedded
+        // quotes: displaying a rule and re-parsing it must reproduce the same
+        // AST (symbols are always quoted on display, integers never are).
+        let rule = parse_rule(
+            "vip(X) :- tier(X, 'Platinum'), price(X, 855), note(X, \"it's \\\"quoted\\\"\")",
+        )
+        .unwrap();
+        let tier = match &rule.body[0] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(tier.args[1], Term::constant(Value::str("Platinum")));
+        let price = match &rule.body[1] {
+            BodyLiteral::Positive(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(price.args[1], Term::constant(Value::int(855)));
+        let reparsed = parse_rule(&rule.to_string()).unwrap();
+        assert_eq!(reparsed, rule);
     }
 
     #[test]

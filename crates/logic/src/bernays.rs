@@ -2,7 +2,7 @@
 //!
 //! This is the computational heart of every decidability theorem in the
 //! paper.  The decision procedure follows the classical argument the paper
-//! cites ([Ram30], [Lew80], [BGG97]): a satisfiable ∃^k∀\* sentence over a
+//! cites (\[Ram30\], \[Lew80\], \[BGG97\]): a satisfiable ∃^k∀\* sentence over a
 //! relational vocabulary with constants has a model whose domain consists of
 //! (at most) the constants plus `max(1, k)` additional elements.  Under the
 //! unique-name assumption of the relational setting we therefore:
@@ -255,7 +255,7 @@ impl<'a> Grounder<'a> {
 
     fn resolve(&self, term: &Term, env: &BTreeMap<String, Value>) -> Result<Value, LogicError> {
         match term {
-            Term::Const(v) => Ok(v.clone()),
+            Term::Const(v) => Ok(*v),
             Term::Var(name) => env
                 .get(name)
                 .cloned()
@@ -346,7 +346,7 @@ impl<'a> Grounder<'a> {
         let mut parts = Vec::with_capacity(self.domain.len());
         for value in self.domain.iter() {
             let mut inner = env.clone();
-            inner.insert(first.clone(), value.clone());
+            inner.insert(first.clone(), *value);
             let grounded = if rest.is_empty() {
                 self.ground(body, &inner)?
             } else {
@@ -492,7 +492,7 @@ mod tests {
                 ["x"],
                 Formula::implies(
                     atom("R", &["x"]),
-                    Formula::eq(Term::var("x"), Term::constant(a.clone())),
+                    Formula::eq(Term::var("x"), Term::constant(a)),
                 ),
             ),
             Formula::exists(["x"], atom("R", &["x"])),

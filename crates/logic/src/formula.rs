@@ -210,7 +210,7 @@ impl Formula {
         let mut out = BTreeSet::new();
         self.visit_terms(&mut |t| {
             if let Term::Const(v) = t {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         });
         out
@@ -397,7 +397,7 @@ impl Formula {
     }
 
     /// Counts existential-quantifier variables in the NNF (the `k` of the
-    /// small-model bound `max(1, k)` from [Ram30] as used in §3.2).
+    /// small-model bound `max(1, k)` from \[Ram30\] as used in §3.2).
     pub fn existential_width(&self) -> usize {
         fn count(f: &Formula) -> usize {
             match f {
@@ -467,7 +467,7 @@ fn eval_quantified(
     let (first, rest) = vars.split_first().expect("non-empty checked");
     for value in structure.domain() {
         let mut inner = env.clone();
-        inner.insert(first.clone(), value.clone());
+        inner.insert(first.clone(), *value);
         let result = eval_quantified(structure, &inner, rest, body, existential)?;
         if existential && result {
             return Ok(true);
@@ -481,7 +481,7 @@ fn eval_quantified(
 
 fn resolve(term: &Term, env: &BTreeMap<String, Value>) -> Result<Value, LogicError> {
     match term {
-        Term::Const(v) => Ok(v.clone()),
+        Term::Const(v) => Ok(*v),
         Term::Var(name) => env
             .get(name)
             .cloned()

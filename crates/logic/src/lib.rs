@@ -18,7 +18,7 @@
 //!   implementations in tests and for witness models);
 //! * negation normal form, free-variable analysis, and the ∃\*∀\* class check;
 //! * [`bernays`] — the small-model grounding of ∃\*∀\* sentences
-//!   ([Ram30]/[Lew80] as cited in the paper) into propositional formulas,
+//!   (\[Ram30\]/\[Lew80\] as cited in the paper) into propositional formulas,
 //!   solved with `rtx-sat`, with witness-model extraction for the free
 //!   (uninterpreted) relation symbols.
 //!

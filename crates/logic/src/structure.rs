@@ -64,7 +64,7 @@ impl FiniteStructure {
     /// Adds a fact `R(values)`.  Values outside the domain are added to it.
     pub fn add_fact(&mut self, relation: impl Into<RelationName>, values: Vec<Value>) {
         for v in &values {
-            self.add_domain_value(v.clone());
+            self.add_domain_value(*v);
         }
         self.relations
             .entry(relation.into())

@@ -51,7 +51,19 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
-            Term::Const(c) => write!(f, "'{c}'"),
+            // Integers render bare so they re-parse as integers; symbols are
+            // always quoted so they can never be mistaken for variables
+            // (single-quoted in the paper's `'gold'` style when the text
+            // permits, double-quoted with escapes otherwise).
+            Term::Const(Value::Int(i)) => write!(f, "{i}"),
+            Term::Const(Value::Sym(s)) => {
+                let text = s.as_str();
+                if text.contains('\'') || text.contains('\\') {
+                    f.write_str(&Value::quote(text))
+                } else {
+                    write!(f, "'{text}'")
+                }
+            }
         }
     }
 }
@@ -83,6 +95,17 @@ mod tests {
     fn display_quotes_constants() {
         assert_eq!(Term::var("x").to_string(), "x");
         assert_eq!(Term::constant(Value::str("time")).to_string(), "'time'");
+        // Integers are bare (so they re-parse as integers, not symbols);
+        // symbols that cannot use the simple quoting escape instead.
+        assert_eq!(Term::constant(Value::int(855)).to_string(), "855");
+        assert_eq!(Term::constant(Value::str("it's")).to_string(), "\"it's\"");
+        assert_eq!(Term::constant(Value::str("a\\b")).to_string(), "\"a\\\\b\"");
+        // Uppercase-initial symbols stay quoted, so they can never be read
+        // back as variables.
+        assert_eq!(
+            Term::constant(Value::str("Platinum")).to_string(),
+            "'Platinum'"
+        );
     }
 
     #[test]

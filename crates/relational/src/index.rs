@@ -12,14 +12,17 @@
 //! mutate a relation must rebuild (or discard) its indexes — the engine's
 //! evaluation contexts handle that by versioning.
 
-use crate::{Relation, Tuple, Value};
-use std::collections::HashMap;
+use crate::{FxHashMap, Relation, Tuple, Value, ValueVec};
 
 /// A hash index over a set of tuples, keyed on a subset of columns.
+///
+/// Keys are inline [`ValueVec`]s of interned values hashed with
+/// [`crate::FxHasher`]: building and probing hash a few machine words per
+/// key, never string bytes.
 #[derive(Debug, Clone, Default)]
 pub struct TupleIndex {
     cols: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<Tuple>>,
+    buckets: FxHashMap<ValueVec, Vec<Tuple>>,
     len: usize,
 }
 
@@ -33,17 +36,17 @@ impl TupleIndex {
     where
         I: IntoIterator<Item = &'a Tuple>,
     {
-        let mut buckets: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let mut buckets: FxHashMap<ValueVec, Vec<Tuple>> = FxHashMap::default();
         let mut len = 0;
-        for tuple in tuples {
+        'tuples: for tuple in tuples {
             let values = tuple.values();
-            let Some(key) = cols
-                .iter()
-                .map(|&c| values.get(c).cloned())
-                .collect::<Option<Vec<Value>>>()
-            else {
-                continue;
-            };
+            let mut key = ValueVec::with_capacity(cols.len());
+            for &c in &cols {
+                match values.get(c) {
+                    Some(&v) => key.push(v),
+                    None => continue 'tuples,
+                }
+            }
             buckets.entry(key).or_default().push(tuple.clone());
             len += 1;
         }
@@ -63,6 +66,8 @@ impl TupleIndex {
     /// The tuples whose key columns equal `key` (in the order of
     /// [`TupleIndex::cols`]).  Unknown keys return the empty slice.
     pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        // `ValueVec: Borrow<[Value]>` with slice-compatible Hash/Eq lets a
+        // borrowed slice probe the owned keys with no allocation.
         self.buckets.get(key).map_or(&[], Vec::as_slice)
     }
 

@@ -89,7 +89,7 @@ impl Relation {
     /// the zero-build access path the datalog engine uses when a join probes
     /// a prefix of a relation's columns.
     pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> impl Iterator<Item = &'a Tuple> + 'a {
-        let start = Tuple::new(prefix.to_vec());
+        let start = Tuple::from_slice(prefix);
         self.tuples
             .range(start..)
             .take_while(move |t| t.values().get(..prefix.len()) == Some(prefix))

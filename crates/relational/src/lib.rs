@@ -11,7 +11,10 @@
 //!
 //! * [`Value`] — constants of the (unordered, infinite) underlying domain,
 //!   plus integers for prices and quantities;
-//! * [`Tuple`] — fixed-arity vectors of values;
+//! * [`Symbol`] / [`SymbolTable`] — the engine-wide interning dictionary
+//!   behind symbolic values (see below);
+//! * [`Tuple`] — fixed-arity vectors of values, stored inline up to
+//!   [`INLINE_VALUES`] columns ([`ValueVec`]);
 //! * [`RelationName`], [`RelationSchema`], [`Schema`] — named relations of a
 //!   fixed arity and sets thereof;
 //! * [`Relation`] — a finite set of tuples of one arity;
@@ -19,6 +22,7 @@
 //!   relation name);
 //! * [`TupleIndex`] — sidecar hash indexes keyed on column subsets, the
 //!   access path behind the datalog engine's compiled-indexed join;
+//! * [`FxHashMap`] — the fast integer hasher those indexes key with;
 //! * [`InstanceSequence`] — a finite sequence of instances over one schema,
 //!   with the projection ("restriction to the log relations") the paper uses
 //!   to define logs;
@@ -27,24 +31,45 @@
 //!
 //! Everything is ordered ([`std::collections::BTreeMap`]/[`BTreeSet`]) so that
 //! iteration, `Debug` output and test expectations are deterministic.
+//!
+//! # Interned symbols and the display boundary
+//!
+//! Symbolic constants are dictionary-encoded: [`Value`] is a 16-byte
+//! [`Copy`] enum of `Int(i64) | Sym(Symbol)`, where a [`Symbol`] is a `u32`
+//! handle into the process-global, append-only [`SymbolTable`].  The working
+//! rule for every layer above this crate:
+//!
+//! * **create** values through [`Value::str`] / `From<&str>` (which intern);
+//! * **compute** (join, bind, hash, compare) on [`Value`]s directly — these
+//!   are machine-word operations that never touch the table;
+//! * **resolve** back to text ([`Symbol::as_str`]) only at display or
+//!   serialization boundaries: `Display` impls, error messages, logs.
+//!
+//! Symbols order lexicographically by their text, so interning is invisible
+//! to sorted containers, prefix scans and rendered output.  Symbols are never
+//! freed; memory is bounded by the number of distinct strings ever interned.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod fxhash;
 mod index;
 mod instance;
 mod schema;
 mod sequence;
+mod symbol;
 mod tuple;
 mod value;
 
 pub use error::RelationalError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use index::TupleIndex;
 pub use instance::{Instance, Relation};
 pub use schema::{RelationName, RelationSchema, Schema};
 pub use sequence::InstanceSequence;
-pub use tuple::Tuple;
+pub use symbol::{Symbol, SymbolTable};
+pub use tuple::{Tuple, ValueVec, INLINE_VALUES};
 pub use value::Value;
 
 use std::collections::BTreeSet;

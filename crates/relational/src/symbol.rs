@@ -1,0 +1,271 @@
+//! Interned symbolic constants.
+//!
+//! The paper's transducers do relational algebra over uninterpreted symbolic
+//! constants: the *only* operations the rule language applies to them are
+//! equality, inequality and (in this implementation) an ordering used by the
+//! sorted tuple sets.  Nothing ever computes on the characters, so carrying a
+//! heap `String` through every register bind, index key and derived tuple is
+//! pure overhead.
+//!
+//! [`SymbolTable`] is the engine-wide string ↔ `u32` dictionary behind
+//! [`Symbol`]: interning a string returns a [`Copy`] 4-byte handle, and the
+//! same string always interns to the same id for the lifetime of the process
+//! (the table is append-only and never garbage-collected; each distinct
+//! string is stored exactly once, leaked into `&'static str`).
+//!
+//! # Lifecycle and the display boundary
+//!
+//! * **Creation** — anything that makes a symbolic [`crate::Value`]
+//!   ([`crate::Value::str`], `From<&str>`, the datalog parser, the DSL)
+//!   interns through the global table.
+//! * **Hot paths** — joins, binds, hashing and equality work on the `u32` id
+//!   alone; no string is touched.
+//! * **Display/serialization boundary** — only code that renders values
+//!   ([`std::fmt::Display`], error messages, logs) resolves a [`Symbol`] back
+//!   to its text via [`Symbol::as_str`].
+//!
+//! Resolution is safe from any number of threads concurrently with interning
+//! from other threads, and lock-free (two atomic loads into append-only
+//! chunked storage); the returned `&'static str` stays valid forever.
+//!
+//! # Ordering
+//!
+//! [`Symbol`]s order **lexicographically by their text**, not by id, so the
+//! sorted containers of this crate (`BTreeSet<Tuple>` relations, instance
+//! display, [`crate::Relation::scan_prefix`]) behave exactly as they would
+//! over plain strings.  Equal ids short-circuit without resolving, so the
+//! common equality comparisons never touch the table.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Chunked, append-only id → text storage with lock-free reads.
+///
+/// Chunk `k` holds `64 << k` slots, so slot addresses never move and a plain
+/// `u32` id maps to `(chunk, offset)` with bit arithmetic.  Every slot is a
+/// [`OnceLock`]: the interner (holding the table's write lock, so each slot
+/// is set exactly once) publishes with a release store, readers resolve with
+/// two acquire loads and no lock at all — which keeps [`Symbol`]'s
+/// lexicographic `Ord` cheap enough for the `BTreeSet`-backed relations.
+const CHUNK_COUNT: usize = 27;
+const FIRST_CHUNK_LOG2: u32 = 6;
+static CHUNKS: [OnceLock<Box<[OnceLock<&'static str>]>>; CHUNK_COUNT] =
+    [const { OnceLock::new() }; CHUNK_COUNT];
+
+/// Splits an id into its chunk index, offset within the chunk, and chunk size.
+fn locate(id: u32) -> (usize, usize, usize) {
+    let n = id as u64 + (1 << FIRST_CHUNK_LOG2);
+    let log2 = 63 - n.leading_zeros() as u64;
+    let chunk = (log2 - FIRST_CHUNK_LOG2 as u64) as usize;
+    let offset = (n - (1 << log2)) as usize;
+    (chunk, offset, 1usize << log2)
+}
+
+/// An interned symbolic constant: a 4-byte [`Copy`] handle into the global
+/// [`SymbolTable`].
+///
+/// Equality and hashing use the id only (two symbols are equal iff their
+/// texts are equal, because each distinct string is interned once); ordering
+/// is lexicographic on the text — see the module-level docs above.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `text`, returning its stable handle.
+    pub fn new(text: &str) -> Self {
+        SymbolTable::intern(text)
+    }
+
+    /// The interned text.  The reference is `'static`: interned strings live
+    /// for the rest of the process.
+    pub fn as_str(self) -> &'static str {
+        SymbolTable::resolve(self)
+    }
+
+    /// The raw dictionary id (dense, starting at 0, in interning order).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+#[derive(Default)]
+struct TableInner {
+    /// text → id.  The id → text direction lives in [`CHUNKS`] so resolution
+    /// needs no lock; this map is only consulted when *creating* values.
+    ids: HashMap<&'static str, u32>,
+}
+
+/// The process-global string ↔ `u32` dictionary behind [`Symbol`].
+///
+/// There is exactly one table per process (symbols are [`Copy`] and cross
+/// every crate boundary, so per-engine tables would need every value to carry
+/// a table reference).  Memory grows with the number of *distinct* symbols
+/// ever interned and is never reclaimed — the right trade-off for a resident
+/// service evaluating transducers over a stable vocabulary, and the shared
+/// substrate the ROADMAP's parallel-strata and cross-run `PreparedDb` items
+/// build on (a `Symbol` is meaningful across threads and runs with no
+/// re-encoding or invalidation).
+pub struct SymbolTable;
+
+impl SymbolTable {
+    fn global() -> &'static RwLock<TableInner> {
+        static GLOBAL: OnceLock<RwLock<TableInner>> = OnceLock::new();
+        GLOBAL.get_or_init(|| RwLock::new(TableInner::default()))
+    }
+
+    /// Interns `text`: returns the existing handle if the string was seen
+    /// before, otherwise assigns the next id.  Ids are stable for the process
+    /// lifetime.
+    pub fn intern(text: &str) -> Symbol {
+        let table = Self::global();
+        // Fast path: shared lock for the (overwhelmingly common) hit.
+        if let Some(&id) = table.read().expect("symbol table poisoned").ids.get(text) {
+            return Symbol(id);
+        }
+        let mut inner = table.write().expect("symbol table poisoned");
+        if let Some(&id) = inner.ids.get(text) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(inner.ids.len()).expect("symbol table overflow (2^32 symbols)");
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let (chunk, offset, size) = locate(id);
+        let slots = CHUNKS[chunk].get_or_init(|| (0..size).map(|_| OnceLock::new()).collect());
+        slots[offset]
+            .set(leaked)
+            .expect("slot assigned once under the write lock");
+        inner.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The text of an interned symbol.  Lock-free: two atomic loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle that did not come from this table (only possible by
+    /// transmuting; [`Symbol`] has no public raw constructor).
+    pub fn resolve(symbol: Symbol) -> &'static str {
+        let (chunk, offset, _) = locate(symbol.0);
+        CHUNKS[chunk]
+            .get()
+            .and_then(|slots| slots[offset].get())
+            .copied()
+            .expect("symbol id out of range")
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len() -> usize {
+        Self::global()
+            .read()
+            .expect("symbol table poisoned")
+            .ids
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn interning_is_idempotent_and_ids_are_stable() {
+        let a = Symbol::new("stable-id-probe");
+        let b = Symbol::new("stable-id-probe");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "stable-id-probe");
+        // Interning other strings does not disturb the original mapping.
+        for i in 0..100 {
+            Symbol::new(&format!("stable-id-filler-{i}"));
+        }
+        assert_eq!(Symbol::new("stable-id-probe").id(), a.id());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::new("sym-x"), Symbol::new("sym-y"));
+        assert_ne!(Symbol::new("sym-x").id(), Symbol::new("sym-y").id());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order: ids ascend while the text
+        // ordering descends, so this fails if ordering ever falls back to ids.
+        let z = Symbol::new("lex-z");
+        let a = Symbol::new("lex-a");
+        assert!(a.id() > z.id());
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning_and_resolution_agree() {
+        // Hammer the table from many threads: interleaved interning of a
+        // shared vocabulary plus per-thread strings, with every resolution
+        // checked against the expected text.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for i in 0..200 {
+                        let shared = Symbol::new(&format!("conc-shared-{}", i % 17));
+                        let private = Symbol::new(&format!("conc-t{t}-{i}"));
+                        assert_eq!(shared.as_str(), format!("conc-shared-{}", i % 17));
+                        assert_eq!(private.as_str(), format!("conc-t{t}-{i}"));
+                        seen.push((shared, i % 17));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Shared strings interned from different threads got identical ids.
+        for window in results.windows(2) {
+            for (a, b) in window[0].iter().zip(window[1].iter()) {
+                assert_eq!(a.1, b.1);
+                assert_eq!(a.0, b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_static() {
+        let s = Symbol::new("static-life");
+        let text: &'static str = s.as_str();
+        assert_eq!(text, "static-life");
+    }
+}

@@ -1,28 +1,219 @@
-//! Fixed-arity tuples of values.
+//! Fixed-arity tuples of values, stored inline.
 
 use crate::Value;
 use std::fmt;
+use std::ops::Deref;
+
+/// Number of values a [`ValueVec`] (and therefore a [`Tuple`]) stores inline
+/// before spilling to the heap.  The paper's relations are narrow (arity ≤ 4
+/// throughout the examples), so the common case allocates nothing.
+pub const INLINE_VALUES: usize = 4;
+
+const FILL: Value = Value::Int(0);
+
+/// A small vector of [`Value`]s with inline capacity [`INLINE_VALUES`].
+///
+/// `Value` is [`Copy`], so pushing, cloning and comparing inline buffers is
+/// pure register/stack traffic; only relations wider than [`INLINE_VALUES`]
+/// columns touch the allocator.  This is both the backing storage of
+/// [`Tuple`] and the scratch key buffer of the datalog engine's index probes
+/// (equality and hashing match `[Value]`, so a `ValueVec` key can be probed
+/// with a borrowed slice).
+#[derive(Clone)]
+pub enum ValueVec {
+    /// Up to [`INLINE_VALUES`] values, stored inline.
+    Inline {
+        /// Number of live values in `buf`.
+        len: u8,
+        /// The inline buffer; slots at index ≥ `len` are padding.
+        buf: [Value; INLINE_VALUES],
+    },
+    /// More than [`INLINE_VALUES`] values, spilled to the heap.
+    Heap(Vec<Value>),
+}
+
+impl ValueVec {
+    /// The empty vector.
+    pub fn new() -> Self {
+        ValueVec::Inline {
+            len: 0,
+            buf: [FILL; INLINE_VALUES],
+        }
+    }
+
+    /// An empty vector that will hold `n` values without reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= INLINE_VALUES {
+            ValueVec::new()
+        } else {
+            ValueVec::Heap(Vec::with_capacity(n))
+        }
+    }
+
+    /// Copies a slice.
+    pub fn from_slice(values: &[Value]) -> Self {
+        if values.len() <= INLINE_VALUES {
+            let mut buf = [FILL; INLINE_VALUES];
+            buf[..values.len()].copy_from_slice(values);
+            ValueVec::Inline {
+                len: values.len() as u8,
+                buf,
+            }
+        } else {
+            ValueVec::Heap(values.to_vec())
+        }
+    }
+
+    /// Appends a value, spilling to the heap if the inline buffer is full.
+    pub fn push(&mut self, value: Value) {
+        match self {
+            ValueVec::Inline { len, buf } => {
+                if (*len as usize) < INLINE_VALUES {
+                    buf[*len as usize] = value;
+                    *len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(INLINE_VALUES * 2);
+                    vec.extend_from_slice(&buf[..]);
+                    vec.push(value);
+                    *self = ValueVec::Heap(vec);
+                }
+            }
+            ValueVec::Heap(vec) => vec.push(value),
+        }
+    }
+
+    /// Removes all values (the inline capacity is retained).
+    pub fn clear(&mut self) {
+        match self {
+            ValueVec::Inline { len, .. } => *len = 0,
+            ValueVec::Heap(vec) => vec.clear(),
+        }
+    }
+
+    /// The live values as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        match self {
+            ValueVec::Inline { len, buf } => &buf[..*len as usize],
+            ValueVec::Heap(vec) => vec,
+        }
+    }
+
+    /// Consumes the vector into a `Vec<Value>` (allocates iff inline).
+    pub fn into_vec(self) -> Vec<Value> {
+        match self {
+            ValueVec::Inline { len, buf } => buf[..len as usize].to_vec(),
+            ValueVec::Heap(vec) => vec,
+        }
+    }
+}
+
+impl Default for ValueVec {
+    fn default() -> Self {
+        ValueVec::new()
+    }
+}
+
+impl Deref for ValueVec {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for ValueVec {
+    fn borrow(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<Value>> for ValueVec {
+    fn from(values: Vec<Value>) -> Self {
+        if values.len() <= INLINE_VALUES {
+            ValueVec::from_slice(&values)
+        } else {
+            ValueVec::Heap(values)
+        }
+    }
+}
+
+impl FromIterator<Value> for ValueVec {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        let mut out = ValueVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl PartialEq for ValueVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ValueVec {}
+
+impl PartialOrd for ValueVec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueVec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for ValueVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with `<[Value]>::hash` so `Borrow<[Value]>`-keyed maps
+        // can be probed with plain slices.
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for ValueVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
 
 /// A tuple of domain [`Value`]s.
 ///
 /// Tuples are immutable once constructed; their arity is the length of the
 /// underlying vector and must match the arity of the relation they are
-/// inserted into (enforced by [`crate::Instance::insert`]).
+/// inserted into (enforced by [`crate::Instance::insert`]).  Values are
+/// stored inline for arities up to [`INLINE_VALUES`] — see [`ValueVec`].
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: ValueVec,
 }
 
 impl Tuple {
     /// Creates a tuple from a vector of values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple {
+            values: ValueVec::from(values),
+        }
+    }
+
+    /// Creates a tuple by copying a slice of values (no heap allocation for
+    /// arities up to [`INLINE_VALUES`]).
+    pub fn from_slice(values: &[Value]) -> Self {
+        Tuple {
+            values: ValueVec::from_slice(values),
+        }
     }
 
     /// The empty (0-ary) tuple, the single possible tuple of a propositional
     /// relation.
     pub fn unit() -> Self {
-        Tuple { values: Vec::new() }
+        Tuple {
+            values: ValueVec::new(),
+        }
     }
 
     /// Builds a tuple from anything convertible into values.
@@ -47,12 +238,12 @@ impl Tuple {
 
     /// Component access.
     pub fn get(&self, i: usize) -> Option<&Value> {
-        self.values.get(i)
+        self.values.as_slice().get(i)
     }
 
     /// All components, in order.
     pub fn values(&self) -> &[Value] {
-        &self.values
+        self.values.as_slice()
     }
 
     /// Projects the tuple onto the given positions (0-based).
@@ -62,30 +253,36 @@ impl Tuple {
     /// undecidability, and is also used by the FD/IncD gadgets in the
     /// verification crate.
     pub fn project(&self, positions: &[usize]) -> Option<Tuple> {
-        let mut out = Vec::with_capacity(positions.len());
+        let values = self.values.as_slice();
+        let mut out = ValueVec::with_capacity(positions.len());
         for &p in positions {
-            out.push(self.values.get(p)?.clone());
+            out.push(*values.get(p)?);
         }
-        Some(Tuple::new(out))
+        Some(Tuple { values: out })
     }
 
     /// Concatenates two tuples.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut values = self.values.clone();
-        values.extend(other.values.iter().cloned());
+        let mut values = ValueVec::with_capacity(self.arity() + other.arity());
+        for &v in self.values() {
+            values.push(v);
+        }
+        for &v in other.values() {
+            values.push(v);
+        }
         Tuple { values }
     }
 
     /// Consumes the tuple and returns its values.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.into_vec()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -98,6 +295,12 @@ impl fmt::Display for Tuple {
 impl From<Vec<Value>> for Tuple {
     fn from(values: Vec<Value>) -> Self {
         Tuple::new(values)
+    }
+}
+
+impl From<ValueVec> for Tuple {
+    fn from(values: ValueVec) -> Self {
+        Tuple { values }
     }
 }
 
@@ -150,5 +353,52 @@ mod tests {
         let mut ts = vec![t(&["b"]), t(&["a", "z"]), t(&["a"])];
         ts.sort();
         assert_eq!(ts, vec![t(&["a"]), t(&["a", "z"]), t(&["b"])]);
+    }
+
+    #[test]
+    fn inline_and_heap_tuples_compare_equal_by_content() {
+        // Five values spill to the heap; four stay inline.  Equality, order
+        // and hashing must be representation-independent.
+        let wide_inline = Tuple::from_slice(&[Value::int(1); 4]);
+        let also_inline = Tuple::new(vec![Value::int(1); 4]);
+        assert_eq!(wide_inline, also_inline);
+
+        let spilled = Tuple::new(vec![Value::int(1); 5]);
+        assert_eq!(spilled.arity(), 5);
+        assert_eq!(spilled.values(), &[Value::int(1); 5]);
+
+        // Growing an inline ValueVec across the spill boundary keeps content.
+        let mut vv = ValueVec::new();
+        for i in 0..7 {
+            vv.push(Value::int(i));
+        }
+        assert_eq!(vv.len(), 7);
+        let expected: Vec<Value> = (0..7).map(Value::int).collect();
+        assert_eq!(vv.as_slice(), expected.as_slice());
+        assert_eq!(ValueVec::from(expected.clone()).into_vec(), expected);
+    }
+
+    #[test]
+    fn value_vec_hash_matches_slice_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let vv = ValueVec::from_slice(&[Value::int(3), Value::str("x")]);
+        let mut a = DefaultHasher::new();
+        vv.hash(&mut a);
+        let mut b = DefaultHasher::new();
+        vv.as_slice().hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn round_trip_into_values() {
+        let tup = t(&["a", "b"]);
+        assert_eq!(
+            tup.clone().into_values(),
+            vec![Value::str("a"), Value::str("b")]
+        );
+        let wide = Tuple::new((0..6).map(Value::int).collect());
+        assert_eq!(wide.clone().into_values().len(), 6);
+        assert_eq!(Tuple::from(wide.clone().into_values()), wide);
     }
 }

@@ -1,5 +1,6 @@
 //! Constants of the underlying domain.
 
+use crate::Symbol;
 use std::fmt;
 
 /// A constant of the underlying domain.
@@ -8,23 +9,31 @@ use std::fmt;
 /// (product names, customers, …) together with the values used for prices.
 /// We model both with a single ordered value type:
 ///
-/// * [`Value::Str`] — uninterpreted symbolic constants (`"time"`, `"newsweek"`);
+/// * [`Value::Sym`] — uninterpreted symbolic constants (`"time"`,
+///   `"newsweek"`), interned through the global [`crate::SymbolTable`];
 /// * [`Value::Int`] — integers (prices such as `855`).
 ///
-/// The only predicates available on values in the paper's rule language are
-/// equality and inequality (`x ≠ y`), so no arithmetic is exposed here.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// `Value` is [`Copy`]: binding a register, building an index key or deriving
+/// a tuple moves 16 bytes, never a heap allocation, and equality/hashing on
+/// symbols compare machine words.  The only predicates available on values in
+/// the paper's rule language are equality and inequality (`x ≠ y`), so no
+/// arithmetic is exposed here.
+///
+/// Ordering is the same as it was for string-backed values: integers first,
+/// then symbols lexicographically by text (see [`Symbol`]'s `Ord`), so sorted
+/// relations, instance display and prefix scans are unchanged by interning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer constant (prices, quantities, indexes).
     Int(i64),
-    /// A symbolic constant.
-    Str(String),
+    /// An interned symbolic constant.
+    Sym(Symbol),
 }
 
 impl Value {
-    /// Creates a symbolic constant.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    /// Creates (interning if new) a symbolic constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Sym(Symbol::new(s.as_ref()))
     }
 
     /// Creates an integer constant.
@@ -32,10 +41,18 @@ impl Value {
         Value::Int(i)
     }
 
-    /// Returns the symbolic content if this is a [`Value::Str`].
-    pub fn as_str(&self) -> Option<&str> {
+    /// Returns the symbolic content if this is a [`Value::Sym`].
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the symbol handle if this is a [`Value::Sym`].
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(*s),
             Value::Int(_) => None,
         }
     }
@@ -44,17 +61,99 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
-            Value::Str(_) => None,
+            Value::Sym(_) => None,
         }
     }
 
     /// Parses a constant literal as written in the transducer DSL: a bare
-    /// integer becomes [`Value::Int`], anything else a [`Value::Str`].
+    /// integer becomes [`Value::Int`], a well-formed quoted literal (see
+    /// [`Value::parse_quoted`]) becomes the symbol it quotes, and anything
+    /// else is taken verbatim as a symbolic constant.
+    ///
+    /// Together with [`fmt::Display`] (which quotes exactly the symbols that
+    /// would otherwise not re-parse — integers-in-disguise, empty strings,
+    /// whitespace, quotes and rule-syntax punctuation) this round-trips every
+    /// value: `Value::parse_literal(&v.to_string()) == v`.
     pub fn parse_literal(text: &str) -> Self {
-        match text.parse::<i64>() {
-            Ok(i) => Value::Int(i),
-            Err(_) => Value::Str(text.to_string()),
+        if let Ok(i) = text.parse::<i64>() {
+            return Value::Int(i);
         }
+        if let Some(v) = Value::parse_quoted(text) {
+            return v;
+        }
+        Value::str(text)
+    }
+
+    /// Parses a quoted symbolic literal: `"…"` with `\\`, `\"`, `\n`, `\r`,
+    /// `\t` escapes, or `'…'` with no escapes (the paper's `'gold'` style,
+    /// whose body may not contain `'` or `\`).  Returns `None` for anything
+    /// that is not a *well-formed* quoted literal — callers decide whether
+    /// that is a hard error (the datalog parser) or plain-symbol fallback
+    /// ([`Value::parse_literal`]).
+    pub fn parse_quoted(text: &str) -> Option<Self> {
+        let mut chars = text.chars();
+        match chars.next()? {
+            '"' => {
+                let mut out = String::new();
+                loop {
+                    match chars.next()? {
+                        '"' => {
+                            // Must be the final character.
+                            return chars.next().is_none().then(|| Value::str(out));
+                        }
+                        '\\' => out.push(match chars.next()? {
+                            '\\' => '\\',
+                            '"' => '"',
+                            'n' => '\n',
+                            'r' => '\r',
+                            't' => '\t',
+                            _ => return None,
+                        }),
+                        c => out.push(c),
+                    }
+                }
+            }
+            '\'' => {
+                let body = chars.as_str();
+                let inner = body.strip_suffix('\'')?;
+                (!inner.contains('\'') && !inner.contains('\\')).then(|| Value::str(inner))
+            }
+            _ => None,
+        }
+    }
+
+    /// The double-quoted, escaped rendering of a symbol text — the inverse of
+    /// [`Value::parse_quoted`]'s `"…"` branch, usable for any string.
+    pub fn quote(symbol: &str) -> String {
+        let mut out = String::with_capacity(symbol.len() + 2);
+        out.push('"');
+        for c in symbol.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// True if `symbol` can be displayed bare and still re-parse as the same
+    /// symbol: non-empty, not an integer literal, no leading quote, and none
+    /// of whitespace/controls/escapes or the rule-syntax punctuation that the
+    /// atom/tuple renderings use as delimiters.
+    pub(crate) fn symbol_displays_bare(symbol: &str) -> bool {
+        !symbol.is_empty()
+            && symbol.parse::<i64>().is_err()
+            && !symbol.starts_with('\'')
+            && !symbol.chars().any(|c| {
+                c.is_whitespace()
+                    || c.is_control()
+                    || matches!(c, '"' | '\\' | '(' | ')' | '{' | '}' | ',' | ';')
+            })
     }
 }
 
@@ -62,7 +161,14 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{s}"),
+            Value::Sym(s) => {
+                let text = s.as_str();
+                if Value::symbol_displays_bare(text) {
+                    f.write_str(text)
+                } else {
+                    f.write_str(&Value::quote(text))
+                }
+            }
         }
     }
 }
@@ -75,13 +181,19 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
     }
 }
 
@@ -128,6 +240,8 @@ mod tests {
         assert_eq!(Value::int(5).as_str(), None);
         assert_eq!(Value::str("x").as_str(), Some("x"));
         assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::str("x").as_symbol().unwrap().as_str(), "x");
+        assert_eq!(Value::int(5).as_symbol(), None);
     }
 
     #[test]
@@ -138,5 +252,96 @@ mod tests {
         assert_eq!(v, Value::str("abc"));
         let v: Value = String::from("abc").into();
         assert_eq!(v, Value::str("abc"));
+        let v: Value = crate::Symbol::new("abc").into();
+        assert_eq!(v, Value::str("abc"));
+    }
+
+    #[test]
+    fn values_are_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+    }
+
+    #[test]
+    fn awkward_symbols_display_quoted_and_reparse() {
+        for text in [
+            "",
+            "42",
+            "-7",
+            "has space",
+            "tab\there",
+            "new\nline",
+            "quote\"inside",
+            "back\\slash",
+            "'single'",
+            "paren(s)",
+            "comma,separated",
+            "{braces}",
+            "semi;colon",
+            "ümlaut and 日本語", // non-ASCII is fine bare — but spaces force quoting
+        ] {
+            let v = Value::str(text);
+            let shown = v.to_string();
+            assert_eq!(
+                Value::parse_literal(&shown),
+                v,
+                "symbol {text:?} failed to round-trip through {shown:?}"
+            );
+        }
+        // And symbols that *should* display bare still do.
+        assert_eq!(Value::str("past-R").to_string(), "past-R");
+        assert_eq!(Value::str("order@1").to_string(), "order@1");
+        assert_eq!(Value::str("y'").to_string(), "y'");
+    }
+
+    #[test]
+    fn display_parse_roundtrip_fuzz() {
+        // Deterministic mini-fuzz over byte soup including quotes, escapes,
+        // whitespace and digits: every generated symbol must round-trip
+        // through its display form, and so must every integer.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let alphabet: Vec<char> = "ab\"'\\ \t\n(){};,0123456789-xyZ".chars().collect();
+        for _ in 0..500 {
+            let len = (next() % 12) as usize;
+            let text: String = (0..len)
+                .map(|_| alphabet[(next() % alphabet.len() as u64) as usize])
+                .collect();
+            let v = Value::parse_literal(&text.clone());
+            let reparsed = Value::parse_literal(&v.to_string());
+            assert_eq!(
+                reparsed, v,
+                "value {v:?} (from {text:?}) did not round-trip"
+            );
+            let s = Value::str(&text);
+            assert_eq!(
+                Value::parse_literal(&s.to_string()),
+                s,
+                "symbol {text:?} did not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_parsing_accepts_escapes_and_rejects_malformed() {
+        assert_eq!(Value::parse_quoted("\"a b\""), Some(Value::str("a b")));
+        assert_eq!(
+            Value::parse_quoted("\"a\\\"b\\\\c\\n\""),
+            Some(Value::str("a\"b\\c\n"))
+        );
+        assert_eq!(Value::parse_quoted("'gold'"), Some(Value::str("gold")));
+        assert_eq!(Value::parse_quoted("\"\""), Some(Value::str("")));
+        // Malformed: unterminated, stray interior quote, bad escape, or a
+        // single-quoted body containing a quote.
+        assert_eq!(Value::parse_quoted("\"abc"), None);
+        assert_eq!(Value::parse_quoted("\"a\"b\""), None);
+        assert_eq!(Value::parse_quoted("\"a\\qb\""), None);
+        assert_eq!(Value::parse_quoted("'it's'"), None);
+        assert_eq!(Value::parse_quoted("bare"), None);
     }
 }

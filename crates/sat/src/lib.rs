@@ -9,7 +9,7 @@
 //! 1. `rtx-logic` grounds an ∃*∀* sentence over its small model domain,
 //!    producing a [`PropFormula`] whose atoms are ground relational facts;
 //! 2. the formula is converted to CNF — either directly for small formulas or
-//!    via the Tseitin transformation ([`tseitin`]) for large ones;
+//!    via the Tseitin transformation ([`tseitin_cnf`]) for large ones;
 //! 3. the [`Solver`] (iterative DPLL with unit propagation, pure-literal
 //!    elimination and conflict-directed backjumping) decides satisfiability
 //!    and, when satisfiable, returns a [`Model`] from which the verification

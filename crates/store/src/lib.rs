@@ -3,7 +3,7 @@
 //! An in-memory relational store — the substrate standing in for the external
 //! database the paper assumes behind the `db` relations of a transducer
 //! schema ("the db relations represent a database used by the system,
-//! possibly very large and external", §2.2; the prototype of [FAY97] used
+//! possibly very large and external", §2.2; the prototype of \[FAY97\] used
 //! Postgres).
 //!
 //! The store provides what the transducer runtime and the datalog engine
@@ -15,9 +15,9 @@
 //!   secondary indexes for selection;
 //! * selection / projection / equijoin primitives used by the workload
 //!   generators and benchmarks;
-//! * conversion to and from the `rtx-relational` [`Instance`] type, which is
+//! * conversion to and from the `rtx-relational` [`Instance`](rtx_relational::Instance) type, which is
 //!   what the transducer runtime consumes at each step;
-//! * a write-ahead [`journal`] (append-only operation log) with replay, which
+//! * a write-ahead [`Journal`] (append-only operation log) with replay, which
 //!   is the minimal durability story an electronic-commerce deployment needs
 //!   for its catalog updates.
 

@@ -1,8 +1,8 @@
 //! Hash-indexed tables.
 
 use crate::StoreError;
-use rtx_relational::{Tuple, Value};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use rtx_relational::{FxHashMap, Tuple, Value};
+use std::collections::{BTreeMap, HashSet};
 
 /// A single table: rows of a fixed arity with a primary hash index (for O(1)
 /// duplicate detection) and lazily maintained per-column secondary indexes.
@@ -14,7 +14,7 @@ pub struct Table {
     rows: Vec<Tuple>,
     primary: HashSet<Tuple>,
     /// column → (value → row indexes)
-    secondary: BTreeMap<usize, HashMap<Value, Vec<usize>>>,
+    secondary: BTreeMap<usize, FxHashMap<Value, Vec<usize>>>,
 }
 
 impl Table {
@@ -70,7 +70,7 @@ impl Table {
         }
         let row_index = self.rows.len();
         for (column, index) in self.secondary.iter_mut() {
-            let value = row.get(*column).expect("arity checked").clone();
+            let value = *row.get(*column).expect("arity checked");
             index.entry(value).or_default().push(row_index);
         }
         self.primary.insert(row.clone());
@@ -99,10 +99,10 @@ impl Table {
         if self.secondary.contains_key(&column) {
             return Ok(());
         }
-        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        let mut index: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
         for (i, row) in self.rows.iter().enumerate() {
             index
-                .entry(row.get(column).expect("arity checked").clone())
+                .entry(*row.get(column).expect("arity checked"))
                 .or_default()
                 .push(i);
         }
@@ -176,7 +176,7 @@ impl Table {
             });
         }
         // Build a hash map on the smaller side.
-        let mut by_value: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+        let mut by_value: FxHashMap<&Value, Vec<&Tuple>> = FxHashMap::default();
         for row in &other.rows {
             by_value
                 .entry(row.get(other_column).expect("arity checked"))

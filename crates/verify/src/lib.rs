@@ -16,7 +16,7 @@
 //! | Theorem 4.4 — `T_sdi` over error-free runs | [`error_free`] | [`error_free_runs_satisfy`] |
 //! | Theorem 4.6 — error-free-run containment | [`error_free`] | [`error_free_containment`] |
 //! | §3.1 — `Gen(T)` of propositional transducers | [`genlang`] | [`gen_language_dfa`] |
-//! | Proposition 3.1 / Theorem 3.4 — FD/IncD reductions (undecidability witnesses) | [`dependencies`] | [`DependencyGadget`] |
+//! | Proposition 3.1 / Theorem 3.4 — FD/IncD reductions (undecidability witnesses) | [`dependencies`] | [`dependencies::DependencyGadget`] |
 //!
 //! Every satisfiability-based procedure can also return a *witness* (an input
 //! sequence, a counterexample run prefix), and the test suite cross-checks

@@ -100,10 +100,7 @@ pub fn validate_log(
                                 .iter()
                                 .enumerate()
                                 .map(|(i, v)| {
-                                    Formula::eq(
-                                        Term::var(vars[i].clone()),
-                                        Term::constant(v.clone()),
-                                    )
+                                    Formula::eq(Term::var(vars[i].clone()), Term::constant(*v))
                                 })
                                 .collect(),
                         )

@@ -88,7 +88,7 @@ impl Goal {
             for term in &lit.atom.args {
                 if let rtx_logic::Term::Const(v) = term {
                     if !domain.contains(v) {
-                        domain.push(v.clone());
+                        domain.push(*v);
                     }
                 }
             }
@@ -102,7 +102,7 @@ impl Goal {
         }
         let mut indexes = vec![0usize; vars.len()];
         loop {
-            let assignment: Vec<Value> = indexes.iter().map(|&i| domain[i].clone()).collect();
+            let assignment: Vec<Value> = indexes.iter().map(|&i| domain[i]).collect();
             if self.check_assignment(output, &vars, &assignment) {
                 return true;
             }
@@ -129,10 +129,10 @@ impl Goal {
                 .args
                 .iter()
                 .map(|t| match t {
-                    rtx_logic::Term::Const(v) => v.clone(),
+                    rtx_logic::Term::Const(v) => *v,
                     rtx_logic::Term::Var(name) => {
                         let index = vars.iter().position(|v| v == name).expect("goal variable");
-                        values[index].clone()
+                        values[index]
                     }
                 })
                 .collect();
@@ -226,7 +226,7 @@ pub fn is_goal_reachable_bruteforce(
             for t in &tuples {
                 for v in domain {
                     let mut e = t.clone();
-                    e.push(v.clone());
+                    e.push(*v);
                     next.push(e);
                 }
             }
