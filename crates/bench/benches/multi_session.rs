@@ -1,0 +1,73 @@
+//! PERF-MS: multi-session throughput over one shared catalog — the
+//! resident-service claim.  N customer sessions run against the same
+//! catalog; the per-run variant re-prepares the database for every run
+//! (rebuilding the non-prefix `category` hash index N times), the resident
+//! variants prepare once and share the version-stamped `ResidentDb` across
+//! every run/session.
+
+use criterion::Criterion;
+use rtx::core::Runtime;
+use rtx::prelude::*;
+use std::sync::Arc;
+
+fn benches(c: &mut Criterion) {
+    let model = Arc::new(rtx::workloads::category_model());
+    let mut group = c.benchmark_group("multi_session_throughput");
+    for (sessions, products) in [(8usize, 1_000usize), (100, 10_000)] {
+        let db = rtx::workloads::category_catalog(products, 50, 1);
+        let fleet = rtx::workloads::session_fleet(&db, sessions, 4, products, 0.9, 3);
+
+        // Baseline: every run prepares the catalog from scratch.
+        group.bench_function(
+            format!("per-run/sessions={sessions},products={products}"),
+            |b| {
+                b.iter(|| {
+                    for inputs in &fleet {
+                        model.run(&db, inputs).unwrap();
+                    }
+                });
+            },
+        );
+
+        // Resident: one shared ResidentDb; indexes prepared once, reused by
+        // every run (identical Run objects to the baseline).
+        let resident = Arc::new(model.compiled_output_program().prepare(&db));
+        group.bench_function(
+            format!("resident/sessions={sessions},products={products}"),
+            |b| {
+                b.iter(|| {
+                    for inputs in &fleet {
+                        model.run_resident(&resident, inputs).unwrap();
+                    }
+                });
+            },
+        );
+
+        // Session layer: the same work through the named-session runtime API
+        // (open, step one input at a time, render the run).
+        group.bench_function(
+            format!("sessions/sessions={sessions},products={products}"),
+            |b| {
+                b.iter(|| {
+                    let runtime = Runtime::shared(Arc::clone(&resident));
+                    for (i, inputs) in fleet.iter().enumerate() {
+                        let mut session = runtime
+                            .open_session(format!("s{i}"), Arc::clone(&model))
+                            .unwrap();
+                        for input in inputs.iter() {
+                            session.step(input).unwrap();
+                        }
+                        session.run().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

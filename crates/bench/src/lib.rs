@@ -12,6 +12,8 @@
 //! * `thm44_error_free` — verification over error-free runs;
 //! * `gen_language` — `Gen(T)` enumeration and DFA construction;
 //! * `datalog_eval` — naive vs. semi-naive datalog evaluation (ablation);
+//! * `multi_session` — resident vs. per-run database preparation across many
+//!   concurrent sessions over one shared catalog;
 //! * `bs_sat` — grounded Bernays–Schönfinkel satisfiability scaling.
 //!
 //! The library itself only hosts shared helpers.

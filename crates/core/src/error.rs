@@ -29,6 +29,11 @@ pub enum CoreError {
         /// Explanation of the problem.
         detail: String,
     },
+    /// A session-runtime error (duplicate session name, …).
+    Runtime {
+        /// Explanation of the problem.
+        detail: String,
+    },
     /// An error bubbled up from the datalog engine.
     Datalog(rtx_datalog::DatalogError),
     /// An error bubbled up from the relational layer.
@@ -42,6 +47,7 @@ impl fmt::Display for CoreError {
             CoreError::NotSpocus { detail } => write!(f, "not a Spocus transducer: {detail}"),
             CoreError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             CoreError::Parse { detail } => write!(f, "transducer parse error: {detail}"),
+            CoreError::Runtime { detail } => write!(f, "runtime error: {detail}"),
             CoreError::Datalog(e) => write!(f, "datalog error: {e}"),
             CoreError::Relational(e) => write!(f, "relational error: {e}"),
         }

@@ -27,7 +27,19 @@
 //!   runs, `ok`-at-every-step, `accept`-at-the-end) and their run validity
 //!   predicates;
 //! * [`PropositionalTransducer`] — propositional Spocus transducers and the
-//!   enumeration of their generated output languages `Gen(T)`.
+//!   enumeration of their generated output languages `Gen(T)`;
+//! * [`runtime`] — the resident-service shape of the same semantics: a
+//!   [`Runtime`] owning one shared version-stamped
+//!   [`ResidentDb`](rtx_datalog::ResidentDb) and serving many named
+//!   concurrent [`Session`]s, each a transducer run fed one input at a time
+//!   and evaluated incrementally against the cumulative-state deltas.
+//!
+//! The prepare/resident lifecycle: a one-shot
+//! [`RelationalTransducer::run`] makes its database resident for the
+//! duration of the run; a service makes it resident **once**
+//! ([`rtx_datalog::ResidentDb`]), shares it across sessions and threads, and
+//! mutates it in place — per-relation version stamps refresh exactly the
+//! indexes and step caches the mutation invalidated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +51,7 @@ mod error;
 pub mod models;
 mod propositional;
 mod run;
+pub mod runtime;
 mod schema;
 mod spocus;
 mod transducer;
@@ -49,6 +62,7 @@ pub use dsl::parse_transducer;
 pub use error::CoreError;
 pub use propositional::PropositionalTransducer;
 pub use run::{Run, RunStep};
+pub use runtime::{Runtime, Session};
 pub use schema::TransducerSchema;
 pub use spocus::SpocusTransducer;
 pub use transducer::RelationalTransducer;

@@ -51,11 +51,10 @@ impl Run {
                 ),
             });
         }
-        let log_names: Vec<RelationName> = schema.log().iter().cloned().collect();
         let mut log = InstanceSequence::empty(schema.log_schema());
         for (input, output) in inputs.iter().zip(outputs.iter()) {
             let combined = input.union(output)?;
-            log.push(combined.restrict_to(log_names.clone()))?;
+            log.push(combined.restrict_to_set(schema.log()))?;
         }
         Ok(Run {
             schema,
@@ -123,7 +122,7 @@ impl Run {
         let relation = relation.into();
         self.outputs
             .iter()
-            .any(|o| o.holds(relation.clone(), tuple))
+            .any(|o| o.get(&relation).is_some_and(|r| r.contains(tuple)))
     }
 
     /// True if no step outputs any `error` fact (§4, mechanism 1).
@@ -149,9 +148,10 @@ impl Run {
     }
 
     fn no_output_in(&self, relation: &str) -> bool {
+        let relation = RelationName::new(relation);
         self.outputs
             .iter()
-            .all(|o| o.relation(relation).is_none_or(|r| r.is_empty()))
+            .all(|o| o.get(&relation).is_none_or(|r| r.is_empty()))
     }
 }
 

@@ -1,0 +1,496 @@
+//! The resident session runtime: one shared database, many concurrent runs.
+//!
+//! The paper's e-commerce setting is many customers against one shared
+//! catalog, but [`RelationalTransducer::run`](crate::RelationalTransducer::run)
+//! is a one-shot API: it takes the whole input sequence up front and
+//! re-prepares the database per call.  This module is the resident-service
+//! shape of the same semantics:
+//!
+//! * a [`Runtime`] owns one [`ResidentDb`] — the catalog made resident once,
+//!   its hash indexes retained across every run and invalidated per relation
+//!   by version stamp;
+//! * each customer interaction is a named [`Session`]: one transducer run in
+//!   progress, fed one input instance at a time through [`Session::step`];
+//! * steps evaluate **incrementally**: cumulative state means `past-R` only
+//!   ever grows by the step's input, so rules without volatile atoms join
+//!   only against the per-step delta (see [`rtx_datalog::incremental`]), and
+//!   cumulation itself is the fixed union `past-R := past-R ∪ R`, computed
+//!   directly on copy-on-write tuple sets;
+//! * sessions are independent and [`Session`] is `Send`: different sessions
+//!   can be stepped from different threads against the same shared catalog,
+//!   and a catalog mutation ([`ResidentDb::insert`]) is observed by every
+//!   session at its next step — staleness is per relation
+//!   ([`ResidentDb::view_is_current`]), so a session reseeds its step caches
+//!   only when a relation its program actually reads changed.  One-shot runs
+//!   ([`RelationalTransducer::run`](crate::RelationalTransducer::run) /
+//!   `run_resident`) instead pin their view for the whole run, so each run
+//!   is consistent with a single catalog state.
+//!
+//! A completed (or in-flight) session converts back into the paper's [`Run`]
+//! object with [`Session::run`], producing bit-identical results to a
+//! one-shot [`RelationalTransducer::run`](crate::RelationalTransducer::run)
+//! over the same inputs and catalog.
+
+use crate::{CoreError, Run, SpocusTransducer};
+use rtx_datalog::{ChangeClass, EvalStats, ResidentDb, ResidentView, StepEvaluator};
+use rtx_relational::{Instance, InstanceSequence, RelationName};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// The incremental per-step engine shared by [`Session`] and the
+/// [`SpocusTransducer::run`]/[`SpocusTransducer::run_resident`] entry points:
+/// a delta-aware [`StepEvaluator`] plus the cumulative-state bookkeeping
+/// (state, pre-delta state, and the delta between them).
+#[derive(Debug)]
+pub(crate) struct IncrementalStepper {
+    evaluator: StepEvaluator,
+    view: ResidentView,
+    /// True for one-shot runs: the view is pinned for the whole run, so the
+    /// produced `Run` is consistent with a single catalog state even while
+    /// other threads mutate the shared database.  Sessions leave this false
+    /// and observe catalog changes at their next step.
+    pin_view: bool,
+    /// State after the last step (`S_{i-1}` when evaluating step `i`).
+    state: Instance,
+    /// State before that (`S_{i-2}`).
+    old_state: Instance,
+    /// `S_{i-1} \ S_{i-2}` — what the previous step added to the state.
+    delta: Instance,
+    last_stats: EvalStats,
+}
+
+impl IncrementalStepper {
+    pub(crate) fn new(transducer: &SpocusTransducer, db: &ResidentDb) -> Result<Self, CoreError> {
+        Self::with_pinning(transducer, db, false)
+    }
+
+    /// A stepper whose view never refreshes: the whole run happens against
+    /// the catalog state observed at construction.
+    pub(crate) fn pinned(
+        transducer: &SpocusTransducer,
+        db: &ResidentDb,
+    ) -> Result<Self, CoreError> {
+        Self::with_pinning(transducer, db, true)
+    }
+
+    fn with_pinning(
+        transducer: &SpocusTransducer,
+        db: &ResidentDb,
+        pin_view: bool,
+    ) -> Result<Self, CoreError> {
+        let schema = transducer.schema();
+        let input = schema.input().clone();
+        let state = schema.state().clone();
+        let classify = move |name: &RelationName| {
+            if input.contains(name.clone()) {
+                ChangeClass::Volatile
+            } else if state.contains(name.clone()) {
+                ChangeClass::GrowOnly
+            } else {
+                ChangeClass::Static
+            }
+        };
+        let compiled = transducer.compiled_output_program();
+        let evaluator = StepEvaluator::new(compiled, classify).map_err(CoreError::Datalog)?;
+        let view = db.view_for(compiled);
+        let empty_state = Instance::empty(schema.state());
+        Ok(IncrementalStepper {
+            evaluator,
+            view,
+            pin_view,
+            state: empty_state.clone(),
+            old_state: empty_state.clone(),
+            delta: empty_state,
+            last_stats: EvalStats::default(),
+        })
+    }
+
+    /// The state after the last step.
+    pub(crate) fn state(&self) -> &Instance {
+        &self.state
+    }
+
+    /// The database snapshot the stepper evaluates against.
+    pub(crate) fn view_instance(&self) -> &Instance {
+        self.view.instance()
+    }
+
+    /// Statistics of the last evaluated step.
+    pub(crate) fn last_stats(&self) -> EvalStats {
+        self.last_stats
+    }
+
+    /// Evaluates one step and cumulates the state, returning the step's
+    /// output and the state after the step.
+    pub(crate) fn step(
+        &mut self,
+        transducer: &SpocusTransducer,
+        db: &ResidentDb,
+        input: &Instance,
+    ) -> Result<(Instance, Instance), CoreError> {
+        // A shared catalog may have changed under us: refresh the view and
+        // reseed the step caches (static-relation assumptions are void).
+        // Staleness is per relation — mutations to relations the program
+        // never reads keep every cache alive.  Pinned (one-shot run)
+        // steppers never refresh, so the produced run is consistent with a
+        // single catalog state.
+        if !self.pin_view && !db.view_is_current(&self.view) {
+            self.view = db.view_for(transducer.compiled_output_program());
+            self.evaluator.reset();
+        }
+
+        let (derived, stats) = self.evaluator.step(
+            transducer.compiled_output_program(),
+            input,
+            &self.state,
+            &self.old_state,
+            &self.delta,
+            &self.view,
+        )?;
+        self.last_stats = stats;
+        let mut output = Instance::empty(transducer.schema().output());
+        output.absorb(&derived)?;
+
+        // Cumulation is the fixed union `past-R := past-R ∪ R`: computed
+        // directly on the copy-on-write tuple sets (no datalog evaluation,
+        // no per-tuple cloning of the previous state), tracking what is new
+        // as the delta the next step joins against.
+        let schema = transducer.schema();
+        let mut next = self.state.clone();
+        let mut delta = Instance::empty(schema.state());
+        for (name, rel) in input.iter() {
+            let past = name.past();
+            if rel.is_empty() || next.get(&past).is_none() {
+                continue;
+            }
+            let prev = self.state.get(&past).expect("state mirrors next");
+            if prev.is_empty() {
+                delta.absorb_relation(past.clone(), rel)?;
+            } else {
+                for tuple in rel.iter() {
+                    if !prev.contains(tuple) {
+                        delta.insert(past.clone(), tuple.clone())?;
+                    }
+                }
+            }
+            next.absorb_relation(past, rel)?;
+        }
+        self.old_state = std::mem::replace(&mut self.state, next);
+        self.delta = delta;
+        Ok((output, self.state.clone()))
+    }
+}
+
+#[derive(Debug)]
+struct RuntimeInner {
+    db: Arc<ResidentDb>,
+    sessions: Mutex<BTreeSet<String>>,
+}
+
+/// A resident transducer runtime: one shared [`ResidentDb`] serving many
+/// named concurrent [`Session`]s.  Cheaply clonable (`Arc` inside); clones
+/// share the database and the session registry.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime owning a resident database.
+    pub fn new(db: ResidentDb) -> Self {
+        Runtime::shared(Arc::new(db))
+    }
+
+    /// Creates a runtime over an already-shared resident database.
+    pub fn shared(db: Arc<ResidentDb>) -> Self {
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                db,
+                sessions: Mutex::new(BTreeSet::new()),
+            }),
+        }
+    }
+
+    /// The shared resident database.
+    pub fn database(&self) -> &Arc<ResidentDb> {
+        &self.inner.db
+    }
+
+    /// Opens a named session running `transducer` against the shared
+    /// database.  Fails if the name is already in use or if the database is
+    /// missing one of the transducer's `db` relations.
+    pub fn open_session(
+        &self,
+        name: impl Into<String>,
+        transducer: impl Into<Arc<SpocusTransducer>>,
+    ) -> Result<Session, CoreError> {
+        let name = name.into();
+        let transducer = transducer.into();
+
+        let resident_schema = self.inner.db.schema();
+        if !transducer.schema().db().is_subschema_of(&resident_schema) {
+            return Err(CoreError::SchemaMismatch {
+                detail: format!(
+                    "resident database schema {resident_schema} does not cover the transducer db schema {}",
+                    transducer.schema().db()
+                ),
+            });
+        }
+
+        {
+            let mut sessions = self
+                .inner
+                .sessions
+                .lock()
+                .expect("session registry poisoned");
+            if !sessions.insert(name.clone()) {
+                return Err(CoreError::Runtime {
+                    detail: format!("session `{name}` is already open"),
+                });
+            }
+        }
+
+        let stepper = match IncrementalStepper::new(&transducer, &self.inner.db) {
+            Ok(stepper) => stepper,
+            Err(e) => {
+                self.release(&name);
+                return Err(e);
+            }
+        };
+        let schema = transducer.schema();
+        Ok(Session {
+            name,
+            runtime: Arc::clone(&self.inner),
+            inputs: InstanceSequence::empty(schema.input().clone()),
+            outputs: InstanceSequence::empty(schema.output().clone()),
+            states: InstanceSequence::empty(schema.state().clone()),
+            transducer,
+            stepper,
+        })
+    }
+
+    /// The names of the currently open sessions.
+    pub fn session_names(&self) -> Vec<String> {
+        self.inner
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    fn release(&self, name: &str) {
+        self.inner
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .remove(name);
+    }
+}
+
+/// One transducer run in progress against a [`Runtime`]'s shared database.
+///
+/// Inputs arrive one step at a time through [`Session::step`]; the session
+/// accumulates the input/state/output sequences and can render them as a
+/// paper-semantics [`Run`] at any point.  Sessions are `Send`: move each to
+/// its own thread and step them concurrently — they share the catalog and
+/// its indexes, nothing else.  The session name is released when the session
+/// is dropped.
+#[derive(Debug)]
+pub struct Session {
+    name: String,
+    runtime: Arc<RuntimeInner>,
+    transducer: Arc<SpocusTransducer>,
+    stepper: IncrementalStepper,
+    inputs: InstanceSequence,
+    outputs: InstanceSequence,
+    states: InstanceSequence,
+}
+
+impl Session {
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transducer this session runs.
+    pub fn transducer(&self) -> &SpocusTransducer {
+        &self.transducer
+    }
+
+    /// Number of steps taken so far.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True if no step has been taken.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The cumulative state after the last step.
+    pub fn state(&self) -> &Instance {
+        self.stepper.state()
+    }
+
+    /// Evaluation statistics of the last step (join derivations only, so a
+    /// caller can observe that a step joined nothing but the delta).
+    pub fn last_stats(&self) -> EvalStats {
+        self.stepper.last_stats()
+    }
+
+    /// Feeds one input instance: evaluates the output program incrementally,
+    /// cumulates the state, and returns the step's output.
+    pub fn step(&mut self, input: &Instance) -> Result<Instance, CoreError> {
+        if &input.schema() != self.transducer.schema().input() {
+            return Err(CoreError::SchemaMismatch {
+                detail: format!(
+                    "step input schema {} does not match the transducer input schema {}",
+                    input.schema(),
+                    self.transducer.schema().input()
+                ),
+            });
+        }
+        let (output, next_state) =
+            self.stepper
+                .step(&self.transducer, self.runtime.db.as_ref(), input)?;
+        self.inputs.push(input.clone())?;
+        self.outputs.push(output.clone())?;
+        self.states.push(next_state)?;
+        Ok(output)
+    }
+
+    /// The run so far, as the paper's run object (inputs, states, outputs and
+    /// the induced log).  The recorded database is the current snapshot of
+    /// the shared catalog, restricted to the transducer's `db` relations.
+    pub fn run(&self) -> Result<Run, CoreError> {
+        let db_names: BTreeSet<RelationName> =
+            self.transducer.schema().db().names().cloned().collect();
+        let db = self.runtime.db.snapshot().restrict_to_set(&db_names);
+        Run::new(
+            self.transducer.schema().clone(),
+            db,
+            self.inputs.clone(),
+            self.states.clone(),
+            self.outputs.clone(),
+        )
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.runtime
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .remove(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::RelationalTransducer;
+    use rtx_relational::{Schema, Tuple, Value};
+
+    fn input_step(orders: &[&str], pays: &[(&str, i64)]) -> Instance {
+        let schema = models::short_input_schema();
+        let mut inst = Instance::empty(&schema);
+        for o in orders {
+            inst.insert("order", Tuple::from_iter([*o])).unwrap();
+        }
+        for (p, amt) in pays {
+            inst.insert("pay", Tuple::new(vec![Value::str(*p), Value::int(*amt)]))
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn session_reproduces_the_one_shot_run() {
+        let transducer = models::short();
+        let db = models::figure1_database();
+        let inputs = models::figure1_inputs();
+        let one_shot = transducer.run(&db, &inputs).unwrap();
+
+        let runtime = Runtime::new(ResidentDb::new(db));
+        let mut session = runtime.open_session("customer-1", transducer).unwrap();
+        for input in inputs.iter() {
+            session.step(input).unwrap();
+        }
+        assert_eq!(session.len(), inputs.len());
+        assert_eq!(session.run().unwrap(), one_shot);
+    }
+
+    #[test]
+    fn sessions_are_registered_and_released() {
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let transducer = Arc::new(models::short());
+        let s1 = runtime.open_session("a", Arc::clone(&transducer)).unwrap();
+        assert!(matches!(
+            runtime.open_session("a", Arc::clone(&transducer)),
+            Err(CoreError::Runtime { .. })
+        ));
+        assert_eq!(runtime.session_names(), vec!["a".to_string()]);
+        drop(s1);
+        assert_eq!(runtime.session_count(), 0);
+        let _s2 = runtime.open_session("a", transducer).unwrap();
+    }
+
+    #[test]
+    fn open_session_requires_the_db_relations() {
+        let runtime = Runtime::new(ResidentDb::new(Instance::empty(&Schema::empty())));
+        assert!(matches!(
+            runtime.open_session("a", models::short()),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn step_rejects_mismatched_input_schemas() {
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let mut session = runtime.open_session("a", models::short()).unwrap();
+        let wrong = Instance::empty(&Schema::from_pairs([("other", 1)]).unwrap());
+        assert!(matches!(
+            session.step(&wrong),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_mutations_are_visible_at_the_next_step() {
+        let transducer = models::short();
+        let db = models::figure1_database();
+        let runtime = Runtime::new(ResidentDb::new(db));
+        let mut session = runtime.open_session("customer", transducer).unwrap();
+
+        // The new product is not priced yet: ordering it bills nothing.
+        let out = session.step(&input_step(&["economist"], &[])).unwrap();
+        assert!(out.relation("sendbill").unwrap().is_empty());
+
+        // Price it mid-session; the next step sees it and bills.
+        runtime
+            .database()
+            .insert(
+                "price",
+                Tuple::new(vec![Value::str("economist"), Value::int(700)]),
+            )
+            .unwrap();
+        let out = session.step(&input_step(&["economist"], &[])).unwrap();
+        assert!(out.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("economist"), Value::int(700)])
+        ));
+    }
+}

@@ -25,9 +25,13 @@ use std::fmt;
 /// Construction also **compiles** the output program once
 /// ([`rtx_datalog::CompiledProgram`]): safety checking, dependency analysis
 /// and stratification never run again, and every step joins through hash
-/// indexes.  [`RelationalTransducer::run`] additionally pre-indexes the
-/// database so the per-step cost is independent of the catalog size for
-/// selective rules.
+/// indexes.  [`RelationalTransducer::run`] additionally makes the database
+/// resident for the run and evaluates steps incrementally against the
+/// cumulative-state deltas, so the per-step cost is driven by what changed,
+/// not by the catalog or accumulated state size; a resident service shares
+/// one prepared catalog across many runs with
+/// [`SpocusTransducer::run_resident`] or the [`crate::runtime`] session
+/// layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpocusTransducer {
     name: String,
@@ -154,18 +158,54 @@ impl SpocusTransducer {
     /// (`input ∪ previous_state ∪ db`, passed separately — the schemas are
     /// disjoint, so no union needs to be materialised) and fills out the full
     /// output schema (the program may not mention every output relation).
-    fn evaluate_output(
-        &self,
-        sources: &[&Instance],
-        prepared: Option<&rtx_datalog::PreparedDb<'_>>,
-    ) -> Result<Instance, CoreError> {
-        let (derived, _) = self.compiled.evaluate_prepared(sources, prepared)?;
+    fn evaluate_output(&self, sources: &[&Instance]) -> Result<Instance, CoreError> {
+        let (derived, _) = self.compiled.evaluate_with_view(sources, None)?;
         let mut output = Instance::empty(self.schema.output());
         // Head relations are validated output relations with matching
         // arities, and absorbing into fresh empty relations shares the
         // derived tuple sets instead of copying them.
         output.absorb(&derived)?;
         Ok(output)
+    }
+
+    /// Runs the transducer against a shared resident database: the catalog's
+    /// retained indexes are reused (and refreshed per relation if stale)
+    /// instead of rebuilt, and steps evaluate incrementally against the
+    /// cumulative-state deltas.
+    ///
+    /// The run is evaluated against one consistent snapshot — the resident
+    /// database's contents at the start of the run (concurrent mutations are
+    /// observed by *later* runs, not mid-run) — and is identical to
+    /// [`RelationalTransducer::run`] over that snapshot.  The resident
+    /// database must carry every relation of the transducer's `db` schema.
+    pub fn run_resident(
+        &self,
+        db: &rtx_datalog::ResidentDb,
+        inputs: &InstanceSequence,
+    ) -> Result<Run, CoreError> {
+        self.run_incremental(db, None, inputs)
+    }
+
+    /// The shared incremental run loop behind [`RelationalTransducer::run`]
+    /// and [`SpocusTransducer::run_resident`].  The recorded database (if
+    /// not supplied) is taken from the stepper's own pinned view, so the
+    /// produced [`Run`] is always consistent with what the steps evaluated
+    /// against.
+    fn run_incremental(
+        &self,
+        db: &rtx_datalog::ResidentDb,
+        recorded: Option<Instance>,
+        inputs: &InstanceSequence,
+    ) -> Result<Run, CoreError> {
+        let mut stepper = crate::runtime::IncrementalStepper::pinned(self, db)?;
+        let recorded = recorded.unwrap_or_else(|| {
+            let db_names: std::collections::BTreeSet<rtx_relational::RelationName> =
+                self.schema.db().names().cloned().collect();
+            stepper.view_instance().restrict_to_set(&db_names)
+        });
+        crate::transducer::drive_run(&self.schema, &recorded, inputs, |input, _previous_state| {
+            stepper.step(self, db, input)
+        })
     }
 }
 
@@ -175,6 +215,11 @@ impl RelationalTransducer for SpocusTransducer {
     }
 
     /// Cumulative state: `past-R := past-R ∪ Iᵢ(R)` for every input `R`.
+    ///
+    /// Cumulation is a fixed set union computed directly on the
+    /// copy-on-write tuple sets — no datalog evaluation, and no per-tuple
+    /// cloning when the previous `past-R` is empty (the union shares the
+    /// input's tuple set).
     fn state_step(
         &self,
         input: &Instance,
@@ -185,9 +230,7 @@ impl RelationalTransducer for SpocusTransducer {
         for (name, relation) in input.iter() {
             let past = name.past();
             if self.schema.state().contains(past.clone()) {
-                for tuple in relation.iter() {
-                    next.insert(past.clone(), tuple.clone())?;
-                }
+                next.absorb_relation(past, relation)?;
             }
         }
         Ok(next)
@@ -203,20 +246,18 @@ impl RelationalTransducer for SpocusTransducer {
         previous_state: &Instance,
         db: &Instance,
     ) -> Result<Instance, CoreError> {
-        self.evaluate_output(&[input, previous_state, db], None)
+        self.evaluate_output(&[input, previous_state, db])
     }
 
-    /// Runs the transducer with the database pre-indexed once for the whole
+    /// Runs the transducer with the database made resident for the whole
     /// run: each step probes the same catalog indexes instead of rebuilding
-    /// them, so the per-step cost is driven by the input and state sizes, not
-    /// the database size.
+    /// them, and steps evaluate incrementally against the cumulative-state
+    /// deltas, so the per-step cost is driven by the step's *changes*, not
+    /// the database or accumulated state size.  For a database shared across
+    /// many runs, use [`SpocusTransducer::run_resident`].
     fn run(&self, db: &Instance, inputs: &InstanceSequence) -> Result<Run, CoreError> {
-        let prepared = self.compiled.prepare(db);
-        crate::transducer::drive_run(&self.schema, db, inputs, |input, previous_state| {
-            let output = self.evaluate_output(&[input, previous_state], Some(&prepared))?;
-            let next_state = self.state_step(input, previous_state, db)?;
-            Ok((output, next_state))
-        })
+        let resident = self.compiled.prepare(db);
+        self.run_incremental(&resident, Some(db.clone()), inputs)
     }
 }
 

@@ -32,9 +32,13 @@
 //! At evaluation time each join level probes a [`TupleIndex`] on the atom's
 //! key columns instead of scanning the relation.  Indexes are built lazily,
 //! only for the `(relation, columns)` pairs the program actually probes, and
-//! cached for the duration of an evaluation (and across evaluations for a
-//! long-lived database prepared with [`CompiledProgram::prepare`] — the
-//! access path a transducer uses for its catalog across an entire run).
+//! cached for the duration of an evaluation.  For a long-lived database the
+//! caching extends across evaluations, sessions and threads: make the
+//! database resident with [`CompiledProgram::prepare`] (or
+//! [`ResidentDb::new`]) and evaluate through
+//! [`CompiledProgram::evaluate_resident`] — the resident database keeps its
+//! indexes across runs and invalidates them per relation by version stamp
+//! (see [`crate::resident`] for the lifecycle).
 //!
 //! The reference interpreter remains available through [`crate::engine`] and
 //! is used as an oracle by the randomized equivalence tests; benchmarks can
@@ -43,6 +47,7 @@
 
 use crate::engine::EvalStats;
 use crate::graph::DependencyGraph;
+use crate::resident::{ResidentDb, ResidentView};
 use crate::safety::check_program_safety;
 use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
 use rtx_logic::Term;
@@ -131,27 +136,43 @@ impl CompiledAtom {
 /// A negated atom with slot-resolved arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledNegation {
-    relation: RelationName,
-    args: Vec<SlotTerm>,
+    pub(crate) relation: RelationName,
+    pub(crate) args: Vec<SlotTerm>,
+}
+
+impl CompiledNegation {
+    /// The negated relation.
+    pub fn relation(&self) -> &RelationName {
+        &self.relation
+    }
+
+    /// The slot-resolved arguments.
+    pub fn args(&self) -> &[SlotTerm] {
+        &self.args
+    }
 }
 
 /// One rule after compilation: reordered atoms, slot-resolved head and
 /// filters, and the size of the register frame.
+///
+/// Fields are crate-visible so the incremental step evaluator
+/// ([`crate::incremental`]) can derive cache-extended variants (head widened
+/// with deferred negation arguments, volatile negations stripped).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledRule {
-    head_relation: RelationName,
-    head: Vec<SlotTerm>,
-    atoms: Vec<CompiledAtom>,
+    pub(crate) head_relation: RelationName,
+    pub(crate) head: Vec<SlotTerm>,
+    pub(crate) atoms: Vec<CompiledAtom>,
     /// Positions (in `atoms`) of same-stratum relations, precomputed for the
     /// semi-naive delta rewriting.
-    recursive_positions: Vec<usize>,
-    negations: Vec<CompiledNegation>,
-    disequalities: Vec<(SlotTerm, SlotTerm)>,
-    n_slots: usize,
+    pub(crate) recursive_positions: Vec<usize>,
+    pub(crate) negations: Vec<CompiledNegation>,
+    pub(crate) disequalities: Vec<(SlotTerm, SlotTerm)>,
+    pub(crate) n_slots: usize,
     /// Slot index → variable name, for diagnostics.
-    slot_names: Vec<String>,
+    pub(crate) slot_names: Vec<String>,
     /// Rendering of the source rule, for diagnostics.
-    source: String,
+    pub(crate) source: String,
 }
 
 impl CompiledRule {
@@ -163,6 +184,11 @@ impl CompiledRule {
     /// The compiled atoms in chosen join order.
     pub fn atoms(&self) -> &[CompiledAtom] {
         &self.atoms
+    }
+
+    /// The compiled negations, in source order.
+    pub fn negations(&self) -> &[CompiledNegation] {
+        &self.negations
     }
 
     /// The chosen join order, as indices into the rule body as written.
@@ -312,35 +338,20 @@ impl CompiledProgram {
         self.recursive
     }
 
-    /// Pre-builds every hash index this program probes against a long-lived
-    /// database instance.
+    /// Makes a database resident with every hash index this program probes
+    /// pre-built.
     ///
     /// A transducer evaluates its output program once per input step against
-    /// `input ∪ state ∪ db`, where `db` does not change across the run;
-    /// preparing `db` once makes the per-step cost independent of the
-    /// database size for selective rules.  Prefix-keyed probes range-scan the
-    /// relation's own sorted tuple set, so only non-prefix key shapes need an
-    /// index built here.
-    pub fn prepare<'a>(&self, db: &'a Instance) -> PreparedDb<'a> {
-        let mut indexes: FxHashMap<(RelationName, Vec<usize>), TupleIndex> = FxHashMap::default();
-        for rule in &self.rules {
-            for atom in &rule.atoms {
-                if atom.key_cols.is_empty() || atom.prefix_key {
-                    continue;
-                }
-                if let Some(relation) = db.get(&atom.relation) {
-                    indexes
-                        .entry((atom.relation.clone(), atom.key_cols.clone()))
-                        .or_insert_with(|| {
-                            TupleIndex::build(atom.key_cols.clone(), relation.iter())
-                        });
-                }
-            }
-        }
-        PreparedDb {
-            instance: db,
-            indexes,
-        }
+    /// `input ∪ state ∪ db`, where `db` rarely changes; preparing `db` once
+    /// makes the per-step cost independent of the database size for
+    /// selective rules, and the returned [`ResidentDb`] keeps those indexes
+    /// across runs and sessions (invalidated per relation by version stamp).
+    /// Prefix-keyed probes range-scan the relation's own sorted tuple set,
+    /// so only non-prefix key shapes need an index built here.
+    pub fn prepare(&self, db: &Instance) -> ResidentDb {
+        let resident = ResidentDb::new(db.clone());
+        resident.prepare_for(self);
+        resident
     }
 
     /// Evaluates the program against a list of extensional sources.
@@ -349,17 +360,30 @@ impl CompiledProgram {
     /// in the derived instance; a relation found nowhere is empty — the same
     /// convention as the reference interpreter.
     pub fn evaluate(&self, sources: &[&Instance]) -> Result<(Instance, EvalStats), DatalogError> {
-        self.evaluate_prepared(sources, None)
+        self.evaluate_with_view(sources, None)
     }
 
-    /// Evaluates with an optional prepared database appended to the source
-    /// list; indexes prepared for it are reused instead of rebuilt.
-    pub fn evaluate_prepared(
+    /// Evaluates with a resident database appended to the source list; its
+    /// retained indexes are reused instead of rebuilt (stale ones are
+    /// refreshed first, per relation).
+    pub fn evaluate_resident(
         &self,
         sources: &[&Instance],
-        prepared: Option<&PreparedDb<'_>>,
+        db: &ResidentDb,
     ) -> Result<(Instance, EvalStats), DatalogError> {
-        let mut ctx = EvalContext::new(self, sources, prepared);
+        let view = db.view_for(self);
+        self.evaluate_with_view(sources, Some(&view))
+    }
+
+    /// Evaluates with an optional pre-assembled resident view (the form the
+    /// transducer runtime uses: one view per step batch, not one lock
+    /// round-trip per evaluation).
+    pub fn evaluate_with_view(
+        &self,
+        sources: &[&Instance],
+        prepared: Option<&ResidentView>,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
+        let mut ctx = EvalContext::new(&self.out_schema, sources, prepared);
         let mut stats = EvalStats::default();
         for stratum in &self.strata {
             if stratum.recursive {
@@ -435,8 +459,10 @@ impl CompiledProgram {
                             rule,
                             Some(SeminaiveView {
                                 delta_pos: pos,
+                                positions: recursive_positions,
                                 delta: &delta,
                                 old: &old,
+                                old_shadows_sources: false,
                             }),
                             &mut sink,
                         )?;
@@ -478,34 +504,25 @@ impl CompiledProgram {
     }
 }
 
-/// A database instance with the program's hash indexes pre-built — see
-/// [`CompiledProgram::prepare`].
-#[derive(Debug, Clone)]
-pub struct PreparedDb<'a> {
-    instance: &'a Instance,
-    indexes: FxHashMap<(RelationName, Vec<usize>), TupleIndex>,
-}
-
-impl PreparedDb<'_> {
-    /// The underlying instance.
-    pub fn instance(&self) -> &Instance {
-        self.instance
-    }
-
-    /// Number of distinct `(relation, columns)` indexes prepared.
-    pub fn index_count(&self) -> usize {
-        self.indexes.len()
-    }
-}
-
-/// Restriction applied to one evaluation pass of a rule in a recursive
-/// stratum: the atom at `delta_pos` reads the delta, recursive atoms at
-/// earlier positions read the pre-delta snapshot, everything else reads the
-/// full database.
-struct SeminaiveView<'v> {
-    delta_pos: usize,
-    delta: &'v BTreeMap<RelationName, Relation>,
-    old: &'v Instance,
+/// Restriction applied to one evaluation pass of a rule over changing
+/// relations: the atom at `delta_pos` reads the delta, atoms at earlier
+/// delta-capable `positions` read the pre-delta snapshot, everything else
+/// reads the full database.
+///
+/// Two callers drive this old/delta/full split: the recursive-stratum
+/// fixpoint (positions = the rule's same-stratum atoms, `old` shadowed by
+/// the external sources) and the incremental step evaluator (positions = the
+/// rule's grow-only atoms, `old` shadowing the sources, which carry the
+/// already-grown state).
+pub(crate) struct SeminaiveView<'v> {
+    pub(crate) delta_pos: usize,
+    /// The delta-capable atom positions of the rule, ascending.
+    pub(crate) positions: &'v [usize],
+    pub(crate) delta: &'v BTreeMap<RelationName, Relation>,
+    pub(crate) old: &'v Instance,
+    /// True if `old` must win over the sources for pre-delta positions (the
+    /// incremental case, where the sources hold the *post*-delta state).
+    pub(crate) old_shadows_sources: bool,
 }
 
 /// Where a positive atom resolves for one evaluation pass.
@@ -550,29 +567,29 @@ enum Space {
     Old,
 }
 
-struct EvalContext<'x> {
+pub(crate) struct EvalContext<'x> {
     sources: Vec<&'x Instance>,
-    prepared: Option<&'x PreparedDb<'x>>,
+    prepared: Option<&'x ResidentView>,
     derived: Instance,
     cache: FxHashMap<(Space, RelationName, Vec<usize>), TupleIndex>,
 }
 
 impl<'x> EvalContext<'x> {
-    fn new(
-        program: &CompiledProgram,
+    pub(crate) fn new(
+        out_schema: &Schema,
         sources: &[&'x Instance],
-        prepared: Option<&'x PreparedDb<'x>>,
+        prepared: Option<&'x ResidentView>,
     ) -> Self {
         EvalContext {
             sources: sources.to_vec(),
             prepared,
-            derived: Instance::empty(&program.out_schema),
+            derived: Instance::empty(out_schema),
             cache: FxHashMap::default(),
         }
     }
 
     /// Resolves a positive atom's relation: external sources in order, then
-    /// the prepared database, then the derived instance.
+    /// the resident view, then the derived instance.
     fn resolve(&self, name: &RelationName) -> Option<(Space, &Relation)> {
         for source in &self.sources {
             if let Some(rel) = source.get(name) {
@@ -580,7 +597,7 @@ impl<'x> EvalContext<'x> {
             }
         }
         if let Some(prepared) = self.prepared {
-            if let Some(rel) = prepared.instance.get(name) {
+            if let Some(rel) = prepared.instance().get(name) {
                 return Some((Space::External, rel));
             }
         }
@@ -650,20 +667,25 @@ impl<'x> EvalContext<'x> {
         }
     }
 
-    /// Resolution for a recursive atom at a pre-delta position: sources
-    /// first (mirroring the interpreter's lookup), then the snapshot.
+    /// Resolution for an atom at a pre-delta position.  For the recursive
+    /// fixpoint, sources win (mirroring the interpreter's lookup) and the
+    /// snapshot is the fallback; for the incremental step evaluator the
+    /// snapshot wins, because the sources already hold the post-delta state.
     fn resolve_old<'s>(
         &'s self,
         view: &'s SeminaiveView<'_>,
         name: &RelationName,
     ) -> Option<&'s Relation> {
+        if view.old_shadows_sources {
+            return view.old.get(name);
+        }
         for source in &self.sources {
             if let Some(rel) = source.get(name) {
                 return Some(rel);
             }
         }
         if let Some(prepared) = self.prepared {
-            if let Some(rel) = prepared.instance.get(name) {
+            if let Some(rel) = prepared.instance().get(name) {
                 return Some(rel);
             }
         }
@@ -672,7 +694,7 @@ impl<'x> EvalContext<'x> {
 
     /// Runs one evaluation pass of a rule, appending derived head tuples
     /// (possibly with duplicates) to `sink`.
-    fn run_pass(
+    pub(crate) fn run_pass(
         &mut self,
         rule: &CompiledRule,
         view: Option<SeminaiveView<'_>>,
@@ -775,21 +797,19 @@ impl<'x> EvalContext<'x> {
     ) -> Option<Space> {
         match view {
             Some(v) if v.delta_pos == pos => Some(Space::Delta),
-            Some(v) if atom.recursive && pos < v.delta_pos => Some(Space::Old),
+            Some(v) if pos < v.delta_pos && v.positions.contains(&pos) => Some(Space::Old),
             _ => self.resolve(&atom.relation).map(|(space, _)| space),
         }
     }
 
-    /// The prepared index for an atom, if the atom's relation resolves to the
-    /// prepared database (sources shadow it, mirroring interpreter lookup).
+    /// The resident index for an atom, if the atom's relation resolves to the
+    /// resident view (sources shadow it, mirroring interpreter lookup).
     fn prepared_index(&self, atom: &CompiledAtom) -> Option<&TupleIndex> {
         let prepared = self.prepared?;
         if self.sources.iter().any(|s| s.get(&atom.relation).is_some()) {
             return None;
         }
-        prepared
-            .indexes
-            .get(&(atom.relation.clone(), atom.key_cols.clone()))
+        prepared.index(&atom.relation, &atom.key_cols)
     }
 
     /// Every source holding the negated relation (negation checks all
@@ -802,7 +822,7 @@ impl<'x> EvalContext<'x> {
             }
         }
         if let Some(prepared) = self.prepared {
-            if let Some(rel) = prepared.instance.get(name) {
+            if let Some(rel) = prepared.instance().get(name) {
                 out.push(rel);
             }
         }
@@ -1326,9 +1346,7 @@ mod tests {
         let prepared = compiled.prepare(&db);
         assert_eq!(prepared.index_count(), 0);
         let orders = edb(&[("order", 1)], &[("order", &["p7"])]);
-        let (out, _) = compiled
-            .evaluate_prepared(&[&orders], Some(&prepared))
-            .unwrap();
+        let (out, _) = compiled.evaluate_resident(&[&orders], &prepared).unwrap();
         assert!(out.holds("bill", &Tuple::from_iter(["p7", "7"])));
         assert_eq!(out.relation("bill").unwrap().len(), 1);
     }
@@ -1357,9 +1375,7 @@ mod tests {
         let prepared = compiled.prepare(&db);
         assert_eq!(prepared.index_count(), 1);
         let items = edb(&[("item", 1)], &[("item", &["widget"])]);
-        let (out, _) = compiled
-            .evaluate_prepared(&[&items], Some(&prepared))
-            .unwrap();
+        let (out, _) = compiled.evaluate_resident(&[&items], &prepared).unwrap();
         assert!(out.holds("sourced", &Tuple::from_iter(["widget"])));
         assert_eq!(out.relation("sourced").unwrap().len(), 1);
     }

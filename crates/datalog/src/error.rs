@@ -57,6 +57,14 @@ pub enum DatalogError {
         /// The unbound variable.
         variable: String,
     },
+    /// A program was required to be *flat* (no derived relation in any rule
+    /// body) but reads one of its own head relations.  Incremental step
+    /// evaluation caches per-rule join results, which is only sound when
+    /// rules do not feed each other.
+    NotFlat {
+        /// The derived relation appearing in a body.
+        relation: String,
+    },
     /// An error bubbled up from the relational layer.
     Relational(rtx_relational::RelationalError),
 }
@@ -92,6 +100,10 @@ impl fmt::Display for DatalogError {
             DatalogError::UnboundVariable { rule, variable } => write!(
                 f,
                 "internal: variable `{variable}` unbound while instantiating `{rule}` (safety checking was bypassed)"
+            ),
+            DatalogError::NotFlat { relation } => write!(
+                f,
+                "program is not flat: derived relation `{relation}` appears in a rule body"
             ),
             DatalogError::Relational(e) => write!(f, "relational error: {e}"),
         }

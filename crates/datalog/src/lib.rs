@@ -28,7 +28,28 @@
 //!   (safety, stratification, slot-resolved registers, greedy bound-prefix
 //!   join ordering) plus hash-indexed joins, so a transducer that evaluates
 //!   the same program at every step performs zero re-analysis and no
-//!   full-relation scans for selective rules.
+//!   full-relation scans for selective rules;
+//! * [`resident`] — the owned, version-stamped [`ResidentDb`]: prepare a
+//!   database once, share it (behind an `Arc`) across runs, sessions and
+//!   threads, and let per-relation version stamps invalidate exactly the
+//!   hash indexes whose relations changed;
+//! * [`incremental`] — delta-aware stepping for flat programs over
+//!   cumulative state: a [`StepEvaluator`] caches each rule's positive-join
+//!   rows and extends them semi-naively from the per-step `past-R` delta, so
+//!   step *i+1* joins only against what changed.
+//!
+//! The prepare/evaluate lifecycle for a resident service is:
+//!
+//! 1. compile each program once ([`CompiledProgram::compile`]);
+//! 2. make the shared database resident once ([`CompiledProgram::prepare`]
+//!    or [`ResidentDb::new`] + [`ResidentDb::prepare_for`]);
+//! 3. evaluate any number of times from any thread
+//!    ([`CompiledProgram::evaluate_resident`], or a [`StepEvaluator`] per
+//!    session for incremental stepping);
+//! 4. mutate the resident database whenever ([`ResidentDb::insert`]); the
+//!    next evaluation's view rebuilds exactly the stale indexes, and
+//!    sessions observe the bumped [`ResidentDb::version`] to reseed their
+//!    step caches.
 //!
 //! Rules share the [`rtx_logic::Term`] type so the verification crate can
 //! translate rule bodies directly into the ∃\*∀\*FO sentences of §3.2.
@@ -40,19 +61,23 @@ pub mod ast;
 pub mod compile;
 pub mod engine;
 pub mod graph;
+pub mod incremental;
 pub mod parser;
+pub mod resident;
 pub mod safety;
 
 mod error;
 
 pub use ast::{Atom, BodyLiteral, Program, Rule};
-pub use compile::{CompiledProgram, CompiledRule, PreparedDb};
+pub use compile::{CompiledProgram, CompiledRule};
 pub use engine::{
     evaluate_nonrecursive, evaluate_stratified, EvalEngine, EvalOptions, EvalStats,
     FixpointStrategy,
 };
 pub use error::DatalogError;
+pub use incremental::{ChangeClass, StepEvaluator};
 pub use parser::{parse_program, parse_rule};
+pub use resident::{ResidentDb, ResidentView};
 
 #[cfg(test)]
 mod tests {

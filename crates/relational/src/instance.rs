@@ -279,10 +279,16 @@ impl Instance {
         N: Into<RelationName>,
     {
         let wanted: BTreeSet<RelationName> = names.into_iter().map(Into::into).collect();
+        self.restrict_to_set(&wanted)
+    }
+
+    /// [`Instance::restrict_to`] against an already-built name set, cloning no
+    /// names for the lookup — the form run assembly uses once per step.
+    pub fn restrict_to_set(&self, names: &BTreeSet<RelationName>) -> Instance {
         let relations = self
             .relations
             .iter()
-            .filter(|(n, _)| wanted.contains(*n))
+            .filter(|(n, _)| names.contains(*n))
             .map(|(n, r)| (n.clone(), r.clone()))
             .collect();
         Instance { relations }
@@ -320,6 +326,51 @@ impl Instance {
             existing.absorb(rel)?;
         }
         Ok(())
+    }
+
+    /// In-place union of one relation of `other` into the same-named relation
+    /// of `self` — the cumulative-state transition `past-R := past-R ∪ R`
+    /// computed directly as a set union (sharing the other side's tuple set
+    /// when the target is empty) instead of tuple-by-tuple insertion.
+    pub fn absorb_relation(
+        &mut self,
+        name: impl Into<RelationName>,
+        relation: &Relation,
+    ) -> Result<(), RelationalError> {
+        let name = name.into();
+        let existing =
+            self.relations
+                .get_mut(&name)
+                .ok_or_else(|| RelationalError::UnknownRelation {
+                    name: name.as_str().to_string(),
+                })?;
+        existing.absorb(relation)
+    }
+
+    /// Materialises an empty relation under `name` if the instance does not
+    /// hold one yet; returns whether the relation was added.  An existing
+    /// relation with a different arity is an error.
+    ///
+    /// This is how a long-lived database grows its schema in place (e.g. a
+    /// resident database replaying `CreateTable` journal entries).
+    pub fn ensure_relation(
+        &mut self,
+        name: impl Into<RelationName>,
+        arity: usize,
+    ) -> Result<bool, RelationalError> {
+        let name = name.into();
+        match self.relations.get(&name) {
+            Some(existing) if existing.arity() != arity => Err(RelationalError::ArityMismatch {
+                relation: name.as_str().to_string(),
+                expected: existing.arity(),
+                actual: arity,
+            }),
+            Some(_) => Ok(false),
+            None => {
+                self.relations.insert(name, Relation::empty(arity));
+                Ok(true)
+            }
+        }
     }
 
     /// True if every tuple of every relation of `self` also appears in `other`.
@@ -440,6 +491,37 @@ mod tests {
 
         a.absorb(&b).unwrap();
         assert_eq!(a.relation("order").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn absorb_relation_unions_in_place() {
+        let mut inst = Instance::empty(&schema());
+        let extra = Relation::from_tuples(1, vec![t1("time"), t1("newsweek")]).unwrap();
+        inst.absorb_relation("order", &extra).unwrap();
+        assert_eq!(inst.relation("order").unwrap().len(), 2);
+        // Absorbing into an unknown relation is an error; a wrong arity too.
+        assert!(inst.absorb_relation("nope", &extra).is_err());
+        let wide = Relation::from_tuples(2, vec![t2("time", 855)]).unwrap();
+        assert!(inst.absorb_relation("order", &wide).is_err());
+    }
+
+    #[test]
+    fn ensure_relation_grows_the_instance() {
+        let mut inst = Instance::empty(&schema());
+        assert!(inst.ensure_relation("category", 2).unwrap());
+        assert!(!inst.ensure_relation("category", 2).unwrap());
+        assert!(inst.ensure_relation("category", 3).is_err());
+        inst.insert("category", t2("news", 1)).unwrap();
+        assert_eq!(inst.relation("category").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn restrict_to_set_matches_restrict_to() {
+        let mut inst = Instance::empty(&schema());
+        inst.insert("order", t1("time")).unwrap();
+        inst.insert("pay", t2("time", 855)).unwrap();
+        let names: BTreeSet<RelationName> = [RelationName::new("pay")].into_iter().collect();
+        assert_eq!(inst.restrict_to_set(&names), inst.restrict_to(["pay"]));
     }
 
     #[test]

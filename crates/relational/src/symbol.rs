@@ -136,9 +136,9 @@ struct TableInner {
 /// a table reference).  Memory grows with the number of *distinct* symbols
 /// ever interned and is never reclaimed — the right trade-off for a resident
 /// service evaluating transducers over a stable vocabulary, and the shared
-/// substrate the ROADMAP's parallel-strata and cross-run `PreparedDb` items
-/// build on (a `Symbol` is meaningful across threads and runs with no
-/// re-encoding or invalidation).
+/// substrate the resident `ResidentDb` (cross-run preparation) and the
+/// ROADMAP's parallel-strata item build on (a `Symbol` is meaningful across
+/// threads and runs with no re-encoding or invalidation).
 pub struct SymbolTable;
 
 impl SymbolTable {

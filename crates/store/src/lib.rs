@@ -19,17 +19,23 @@
 //!   what the transducer runtime consumes at each step;
 //! * a write-ahead [`Journal`] (append-only operation log) with replay, which
 //!   is the minimal durability story an electronic-commerce deployment needs
-//!   for its catalog updates.
+//!   for its catalog updates;
+//! * a bridge to the resident runtime ([`Store::to_resident`] +
+//!   [`ResidentSync`]): the catalog becomes a version-stamped
+//!   [`ResidentDb`](rtx_datalog::ResidentDb) shared by every session, and
+//!   journal replay keeps it current with per-relation version bumps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod catalog;
 mod journal;
+mod resident;
 mod table;
 
 pub use catalog::{Catalog, Store};
 pub use journal::{Journal, Operation};
+pub use resident::ResidentSync;
 pub use table::Table;
 
 /// Errors produced by the store.

@@ -1,0 +1,173 @@
+//! Bridge from the stored catalog to a resident transducer database.
+//!
+//! A deployed transducer runtime does not want to re-materialise the whole
+//! catalog ([`Store::to_instance`]) before every run: it wants the catalog
+//! **resident** — prepared once as a [`ResidentDb`], shared by every session,
+//! with changes flowing through incrementally.  The store's write-ahead
+//! [`Journal`](crate::Journal) is exactly the right change feed: every
+//! mutation is already an append-only operation, so keeping a resident
+//! database current is a matter of replaying the journal suffix it has not
+//! seen yet.  Each replayed insert bumps only the touched relation's version
+//! stamp, which is what lets the resident database invalidate indexes (and
+//! sessions invalidate step caches) per relation instead of wholesale.
+//!
+//! ```
+//! use rtx_store::{ResidentSync, Store};
+//! use rtx_relational::{Tuple, Value};
+//!
+//! let mut store = Store::new();
+//! store.create_table("price", 2, None).unwrap();
+//! store
+//!     .insert("price", Tuple::new(vec![Value::str("time"), Value::int(855)]))
+//!     .unwrap();
+//!
+//! // Make the catalog resident once…
+//! let (resident, mut sync) = store.to_resident().unwrap();
+//! let v0 = resident.version();
+//!
+//! // …keep writing to the store…
+//! store
+//!     .insert("price", Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]))
+//!     .unwrap();
+//!
+//! // …and drive the journal suffix into the resident database.
+//! assert_eq!(sync.sync(&store, &resident).unwrap(), 1);
+//! assert!(resident.version() > v0);
+//! assert_eq!(resident.snapshot().relation("price").unwrap().len(), 2);
+//! ```
+
+use crate::{Operation, Store, StoreError};
+use rtx_datalog::ResidentDb;
+
+/// A cursor over a store's journal tracking how far a [`ResidentDb`] has
+/// been synchronised — obtained from [`Store::to_resident`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidentSync {
+    applied: usize,
+}
+
+impl ResidentSync {
+    /// A cursor that has applied the first `applied` journal operations.
+    pub fn at(applied: usize) -> Self {
+        ResidentSync { applied }
+    }
+
+    /// Number of journal operations already applied.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Replays the journal suffix this cursor has not seen into `resident`:
+    /// `CreateTable` grows the resident schema, `Insert` adds the row and
+    /// bumps the touched relation's version stamp.  Returns the number of
+    /// operations applied.
+    ///
+    /// The journal never records duplicate inserts, so replay against a
+    /// resident database built from the same store is change-for-change: a
+    /// no-op suffix leaves every version stamp (and therefore every index
+    /// and session cache) untouched.
+    pub fn sync(&mut self, store: &Store, resident: &ResidentDb) -> Result<usize, StoreError> {
+        let operations = store.journal().operations();
+        let pending = &operations[self.applied.min(operations.len())..];
+        for op in pending {
+            match op {
+                Operation::CreateTable { name, arity, .. } => {
+                    resident.ensure_relation(name.as_str(), *arity)?;
+                }
+                Operation::Insert { table, row } => {
+                    resident.insert(table.as_str(), row.clone())?;
+                }
+            }
+        }
+        let applied = pending.len();
+        self.applied = operations.len();
+        Ok(applied)
+    }
+}
+
+impl Store {
+    /// Makes the catalog resident: a [`ResidentDb`] holding every table as a
+    /// copy-on-write relation, plus a [`ResidentSync`] cursor positioned at
+    /// the current journal head so later writes replay incrementally.
+    pub fn to_resident(&self) -> Result<(ResidentDb, ResidentSync), StoreError> {
+        let resident = ResidentDb::new(self.to_instance()?);
+        Ok((resident, ResidentSync::at(self.journal().len())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{RelationName, Tuple, Value};
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.create_table("price", 2, None).unwrap();
+        s.create_table("available", 1, None).unwrap();
+        for (p, amt) in [("time", 855), ("newsweek", 845)] {
+            s.insert("price", Tuple::new(vec![Value::str(p), Value::int(amt)]))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn to_resident_snapshots_the_catalog() {
+        let s = store();
+        let (resident, sync) = s.to_resident().unwrap();
+        assert_eq!(sync.applied(), s.journal().len());
+        assert_eq!(resident.snapshot(), s.to_instance().unwrap());
+    }
+
+    #[test]
+    fn sync_applies_only_the_journal_suffix() {
+        let mut s = store();
+        let (resident, mut sync) = s.to_resident().unwrap();
+
+        // Nothing new: no version churn.
+        let v = resident.version();
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 0);
+        assert_eq!(resident.version(), v);
+
+        // New table + rows arrive through the journal.
+        s.create_table("category", 2, None).unwrap();
+        s.insert("category", Tuple::from_iter(["news", "time"]))
+            .unwrap();
+        s.insert(
+            "price",
+            Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]),
+        )
+        .unwrap();
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 3);
+        assert_eq!(resident.snapshot(), s.to_instance().unwrap());
+        assert_eq!(sync.applied(), s.journal().len());
+    }
+
+    #[test]
+    fn sync_bumps_only_touched_relations() {
+        let mut s = store();
+        let (resident, mut sync) = s.to_resident().unwrap();
+        let available = RelationName::new("available");
+        let price = RelationName::new("price");
+        let available_before = resident.version_of(&available);
+
+        s.insert(
+            "price",
+            Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]),
+        )
+        .unwrap();
+        sync.sync(&s, &resident).unwrap();
+
+        assert_eq!(resident.version_of(&available), available_before);
+        assert!(resident.version_of(&price) > 0);
+    }
+
+    #[test]
+    fn replaying_a_rebuilt_store_from_scratch_matches() {
+        let s = store();
+        let replayed = Store::replay(s.journal()).unwrap();
+        let (resident, _) = s.to_resident().unwrap();
+        let (from_replay, _) = replayed.to_resident().unwrap();
+        assert_eq!(resident.snapshot(), from_replay.snapshot());
+    }
+}
