@@ -124,6 +124,7 @@ fn benches(c: &mut Criterion) {
                 EvalOptions {
                     strategy: FixpointStrategy::Naive,
                     engine: EvalEngine::Interpreted,
+                    ..EvalOptions::default()
                 },
             ),
             (
@@ -131,6 +132,7 @@ fn benches(c: &mut Criterion) {
                 EvalOptions {
                     strategy: FixpointStrategy::SemiNaive,
                     engine: EvalEngine::Interpreted,
+                    ..EvalOptions::default()
                 },
             ),
             (
@@ -138,6 +140,7 @@ fn benches(c: &mut Criterion) {
                 EvalOptions {
                     strategy: FixpointStrategy::SemiNaive,
                     engine: EvalEngine::CompiledIndexed,
+                    ..EvalOptions::default()
                 },
             ),
         ] {

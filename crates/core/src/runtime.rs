@@ -32,7 +32,7 @@
 //! over the same inputs and catalog.
 
 use crate::{CoreError, Run, SpocusTransducer};
-use rtx_datalog::{ChangeClass, EvalStats, ResidentDb, ResidentView, StepEvaluator};
+use rtx_datalog::{ChangeClass, EvalStats, Parallelism, ResidentDb, ResidentView, StepEvaluator};
 use rtx_relational::{Instance, InstanceSequence, RelationName};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
@@ -60,8 +60,12 @@ pub(crate) struct IncrementalStepper {
 }
 
 impl IncrementalStepper {
-    pub(crate) fn new(transducer: &SpocusTransducer, db: &ResidentDb) -> Result<Self, CoreError> {
-        Self::with_pinning(transducer, db, false)
+    pub(crate) fn new(
+        transducer: &SpocusTransducer,
+        db: &ResidentDb,
+        parallelism: Parallelism,
+    ) -> Result<Self, CoreError> {
+        Self::with_pinning(transducer, db, false, parallelism)
     }
 
     /// A stepper whose view never refreshes: the whole run happens against
@@ -69,14 +73,16 @@ impl IncrementalStepper {
     pub(crate) fn pinned(
         transducer: &SpocusTransducer,
         db: &ResidentDb,
+        parallelism: Parallelism,
     ) -> Result<Self, CoreError> {
-        Self::with_pinning(transducer, db, true)
+        Self::with_pinning(transducer, db, true, parallelism)
     }
 
     fn with_pinning(
         transducer: &SpocusTransducer,
         db: &ResidentDb,
         pin_view: bool,
+        parallelism: Parallelism,
     ) -> Result<Self, CoreError> {
         let schema = transducer.schema();
         let input = schema.input().clone();
@@ -91,7 +97,9 @@ impl IncrementalStepper {
             }
         };
         let compiled = transducer.compiled_output_program();
-        let evaluator = StepEvaluator::new(compiled, classify).map_err(CoreError::Datalog)?;
+        let evaluator = StepEvaluator::new(compiled, classify)
+            .map_err(CoreError::Datalog)?
+            .with_parallelism(parallelism);
         let view = db.view_for(compiled);
         let empty_state = Instance::empty(schema.state());
         Ok(IncrementalStepper {
@@ -185,6 +193,7 @@ impl IncrementalStepper {
 struct RuntimeInner {
     db: Arc<ResidentDb>,
     sessions: Mutex<BTreeSet<String>>,
+    parallelism: Parallelism,
 }
 
 /// A resident transducer runtime: one shared [`ResidentDb`] serving many
@@ -203,10 +212,20 @@ impl Runtime {
 
     /// Creates a runtime over an already-shared resident database.
     pub fn shared(db: Arc<ResidentDb>) -> Self {
+        Runtime::shared_with(db, Parallelism::default())
+    }
+
+    /// Creates a runtime over a shared resident database with an explicit
+    /// [`Parallelism`] policy: every session opened on this runtime
+    /// evaluates its steps under it.  Parallel steps are bit-identical to
+    /// sequential ones (the engine merges worker results in a fixed order),
+    /// so the policy is purely a scheduling knob.
+    pub fn shared_with(db: Arc<ResidentDb>, parallelism: Parallelism) -> Self {
         Runtime {
             inner: Arc::new(RuntimeInner {
                 db,
                 sessions: Mutex::new(BTreeSet::new()),
+                parallelism,
             }),
         }
     }
@@ -214,6 +233,11 @@ impl Runtime {
     /// The shared resident database.
     pub fn database(&self) -> &Arc<ResidentDb> {
         &self.inner.db
+    }
+
+    /// The [`Parallelism`] policy sessions of this runtime evaluate under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.inner.parallelism
     }
 
     /// Opens a named session running `transducer` against the shared
@@ -250,13 +274,14 @@ impl Runtime {
             }
         }
 
-        let stepper = match IncrementalStepper::new(&transducer, &self.inner.db) {
-            Ok(stepper) => stepper,
-            Err(e) => {
-                self.release(&name);
-                return Err(e);
-            }
-        };
+        let stepper =
+            match IncrementalStepper::new(&transducer, &self.inner.db, self.inner.parallelism) {
+                Ok(stepper) => stepper,
+                Err(e) => {
+                    self.release(&name);
+                    return Err(e);
+                }
+            };
         let schema = transducer.schema();
         Ok(Session {
             name,

@@ -183,7 +183,20 @@ impl SpocusTransducer {
         db: &rtx_datalog::ResidentDb,
         inputs: &InstanceSequence,
     ) -> Result<Run, CoreError> {
-        self.run_incremental(db, None, inputs)
+        self.run_incremental(db, None, inputs, rtx_datalog::Parallelism::default())
+    }
+
+    /// [`SpocusTransducer::run_resident`] under an explicit
+    /// [`Parallelism`](rtx_datalog::Parallelism) policy: passes whose
+    /// outer-candidate counts clear the policy's threshold fan out to the
+    /// worker pool, with results bit-identical to the sequential run.
+    pub fn run_resident_with(
+        &self,
+        db: &rtx_datalog::ResidentDb,
+        inputs: &InstanceSequence,
+        parallelism: rtx_datalog::Parallelism,
+    ) -> Result<Run, CoreError> {
+        self.run_incremental(db, None, inputs, parallelism)
     }
 
     /// The shared incremental run loop behind [`RelationalTransducer::run`]
@@ -196,8 +209,9 @@ impl SpocusTransducer {
         db: &rtx_datalog::ResidentDb,
         recorded: Option<Instance>,
         inputs: &InstanceSequence,
+        parallelism: rtx_datalog::Parallelism,
     ) -> Result<Run, CoreError> {
-        let mut stepper = crate::runtime::IncrementalStepper::pinned(self, db)?;
+        let mut stepper = crate::runtime::IncrementalStepper::pinned(self, db, parallelism)?;
         let recorded = recorded.unwrap_or_else(|| {
             let db_names: std::collections::BTreeSet<rtx_relational::RelationName> =
                 self.schema.db().names().cloned().collect();
@@ -257,7 +271,12 @@ impl RelationalTransducer for SpocusTransducer {
     /// many runs, use [`SpocusTransducer::run_resident`].
     fn run(&self, db: &Instance, inputs: &InstanceSequence) -> Result<Run, CoreError> {
         let resident = self.compiled.prepare(db);
-        self.run_incremental(&resident, Some(db.clone()), inputs)
+        self.run_incremental(
+            &resident,
+            Some(db.clone()),
+            inputs,
+            rtx_datalog::Parallelism::default(),
+        )
     }
 }
 

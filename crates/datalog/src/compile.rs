@@ -40,6 +40,17 @@
 //! indexes across runs and invalidates them per relation by version stamp
 //! (see [`crate::resident`] for the lifecycle).
 //!
+//! Evaluation is **data-parallel**: the paper's set-at-a-time semantics mean
+//! every rule of a stratum reads the *previous* fixpoint round, so rules of a
+//! recursive round — and waves of head-independent rules in a non-recursive
+//! stratum, and chunks of one rule's outer-atom candidates — fan out to the
+//! scoped worker pool of [`crate::pool`] when the [`Parallelism`] policy and
+//! candidate counts warrant it.
+//! Per-pass sinks are merged in the fixed `(stratum, rule, pass, chunk)`
+//! order, so parallel evaluation is bit-identical to sequential, including
+//! the [`EvalStats`] counters (see the [`crate::pool`] docs for the
+//! determinism contract).
+//!
 //! The reference interpreter remains available through [`crate::engine`] and
 //! is used as an oracle by the randomized equivalence tests; benchmarks can
 //! compare naive, semi-naive and compiled-indexed evaluation through
@@ -47,6 +58,7 @@
 
 use crate::engine::EvalStats;
 use crate::graph::DependencyGraph;
+use crate::pool::{Parallelism, Pool};
 use crate::resident::{ResidentDb, ResidentView};
 use crate::safety::check_program_safety;
 use crate::{Atom, BodyLiteral, DatalogError, Program, Rule};
@@ -363,6 +375,15 @@ impl CompiledProgram {
         self.evaluate_with_view(sources, None)
     }
 
+    /// [`Self::evaluate`] under an explicit [`Parallelism`] policy.
+    pub fn evaluate_par(
+        &self,
+        sources: &[&Instance],
+        parallelism: Parallelism,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
+        self.evaluate_with_view_par(sources, None, parallelism)
+    }
+
     /// Evaluates with a resident database appended to the source list; its
     /// retained indexes are reused instead of rebuilt (stale ones are
     /// refreshed first, per relation).
@@ -371,8 +392,18 @@ impl CompiledProgram {
         sources: &[&Instance],
         db: &ResidentDb,
     ) -> Result<(Instance, EvalStats), DatalogError> {
+        self.evaluate_resident_par(sources, db, Parallelism::default())
+    }
+
+    /// [`Self::evaluate_resident`] under an explicit [`Parallelism`] policy.
+    pub fn evaluate_resident_par(
+        &self,
+        sources: &[&Instance],
+        db: &ResidentDb,
+        parallelism: Parallelism,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
         let view = db.view_for(self);
-        self.evaluate_with_view(sources, Some(&view))
+        self.evaluate_with_view_par(sources, Some(&view), parallelism)
     }
 
     /// Evaluates with an optional pre-assembled resident view (the form the
@@ -383,45 +414,102 @@ impl CompiledProgram {
         sources: &[&Instance],
         prepared: Option<&ResidentView>,
     ) -> Result<(Instance, EvalStats), DatalogError> {
+        self.evaluate_with_view_par(sources, prepared, Parallelism::default())
+    }
+
+    /// [`Self::evaluate_with_view`] under an explicit [`Parallelism`] policy.
+    ///
+    /// The parallel schedule is bit-identical to the sequential one — same
+    /// derived instance, same [`EvalStats`] — because work units are merged
+    /// in the fixed `(stratum, rule, pass, chunk)` order (see
+    /// [`crate::pool`]).
+    pub fn evaluate_with_view_par(
+        &self,
+        sources: &[&Instance],
+        prepared: Option<&ResidentView>,
+        parallelism: Parallelism,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
+        let parallelism = parallelism.resolved();
         let mut ctx = EvalContext::new(&self.out_schema, sources, prepared);
         let mut stats = EvalStats::default();
         for stratum in &self.strata {
             if stratum.recursive {
-                self.run_recursive_stratum(stratum, &mut ctx, &mut stats)?;
+                self.run_recursive_stratum(stratum, &mut ctx, &mut stats, parallelism)?;
             } else {
-                self.run_single_pass_stratum(stratum, &mut ctx, &mut stats)?;
+                self.run_single_pass_stratum(stratum, &mut ctx, &mut stats, parallelism)?;
             }
         }
         Ok((ctx.derived, stats))
     }
 
-    /// Non-recursive stratum: one pass over its rules in topological order.
+    /// Non-recursive stratum: its rules are split into consecutive **waves**
+    /// — maximal runs in which no rule reads a head derived by the same wave
+    /// (topological order makes writers precede readers, so waves are found
+    /// by a single forward scan).  Rules of one wave cannot observe each
+    /// other in the sequential schedule either, so a wave evaluates them
+    /// concurrently and merges their sinks in rule order: bit-identical to
+    /// the one-rule-at-a-time pass.
     fn run_single_pass_stratum(
         &self,
         stratum: &Stratum,
         ctx: &mut EvalContext<'_>,
         stats: &mut EvalStats,
+        parallelism: Parallelism,
     ) -> Result<(), DatalogError> {
         stats.rounds += 1;
-        let mut sink = Vec::new();
-        for &ri in &stratum.rule_indices {
-            let rule = &self.rules[ri];
-            stats.rule_applications += 1;
-            sink.clear();
-            ctx.run_pass(rule, None, &mut sink)?;
-            stats.tuples_derived += sink.len() as u64;
-            ctx.insert_derived(&rule.head_relation, sink.drain(..))?;
+        let indices = &stratum.rule_indices;
+        let mut start = 0;
+        while start < indices.len() {
+            // Wave end: stop before the first rule reading a wave head.
+            let mut wave_heads: BTreeSet<&RelationName> = BTreeSet::new();
+            let mut end = start;
+            while end < indices.len() {
+                let rule = &self.rules[indices[end]];
+                if end > start && rule.atoms.iter().any(|a| wave_heads.contains(&a.relation)) {
+                    break;
+                }
+                wave_heads.insert(&rule.head_relation);
+                end += 1;
+            }
+
+            let wave = &indices[start..end];
+            let mut sinks: Vec<Vec<Tuple>> = vec![Vec::new(); wave.len()];
+            for &ri in wave {
+                ctx.ensure_pass_indexes(&self.rules[ri], None);
+            }
+            {
+                let bound = collect_bound(parallelism, wave.len());
+                let passes = wave
+                    .iter()
+                    .map(|&ri| ctx.prepare_pass(&self.rules[ri], None, bound))
+                    .collect::<Result<Vec<_>, _>>()?;
+                execute_passes(&passes, parallelism, &mut sinks)?;
+            }
+            for (&ri, sink) in wave.iter().zip(sinks.iter_mut()) {
+                let rule = &self.rules[ri];
+                stats.rule_applications += 1;
+                stats.tuples_derived += sink.len() as u64;
+                ctx.insert_derived(&rule.head_relation, sink.drain(..))?;
+            }
+            start = end;
         }
         Ok(())
     }
 
     /// Recursive stratum: semi-naive fixpoint with the standard
     /// old/delta/full split over the recursive atom occurrences.
+    ///
+    /// Within one round every rule reads the previous round's state (the
+    /// derived instance is only merged *after* all rules ran), so all
+    /// `(rule, delta-position)` passes of a round are independent: they fan
+    /// out to the pool together and their sinks are merged in `(rule, pass)`
+    /// order — the exact sequence the sequential loop produces.
     fn run_recursive_stratum(
         &self,
         stratum: &Stratum,
         ctx: &mut EvalContext<'_>,
         stats: &mut EvalStats,
+        parallelism: Parallelism,
     ) -> Result<(), DatalogError> {
         let mut delta: BTreeMap<RelationName, Relation> = stratum
             .heads
@@ -439,44 +527,75 @@ impl CompiledProgram {
             // Deltas are empty exactly on the first round: any later round
             // only starts because the previous one inserted new facts.
             let first_round = delta.values().all(Relation::is_empty);
+
+            // Rules that run this round: a rule with no recursive body atom
+            // saturates in round 1; re-running it would re-derive the same
+            // tuples.
+            let active: Vec<usize> = stratum
+                .rule_indices
+                .iter()
+                .copied()
+                .filter(|&ri| first_round || !self.rules[ri].recursive_positions.is_empty())
+                .collect();
+
+            // One work unit per (rule, delta-position) pass, rule-major so
+            // that concatenating a rule's pass sinks reproduces the
+            // sequential per-rule sink.
+            let mut sinks: Vec<Vec<Tuple>>;
+            let mut pass_rule: Vec<usize> = Vec::new(); // pass index → active slot
+            {
+                let mut specs: Vec<(usize, Option<SeminaiveView<'_>>)> = Vec::new();
+                for (slot, &ri) in active.iter().enumerate() {
+                    let positions = &self.rules[ri].recursive_positions;
+                    if first_round {
+                        pass_rule.push(slot);
+                        specs.push((ri, None));
+                    } else {
+                        for &pos in positions {
+                            pass_rule.push(slot);
+                            specs.push((
+                                ri,
+                                Some(SeminaiveView {
+                                    delta_pos: pos,
+                                    positions,
+                                    delta: &delta,
+                                    old: &old,
+                                    old_shadows_sources: false,
+                                }),
+                            ));
+                        }
+                    }
+                }
+                for (ri, view) in &specs {
+                    ctx.ensure_pass_indexes(&self.rules[*ri], view.as_ref());
+                }
+                sinks = vec![Vec::new(); specs.len()];
+                let bound = collect_bound(parallelism, specs.len());
+                let passes = specs
+                    .iter()
+                    .map(|(ri, view)| ctx.prepare_pass(&self.rules[*ri], view.as_ref(), bound))
+                    .collect::<Result<Vec<_>, _>>()?;
+                execute_passes(&passes, parallelism, &mut sinks)?;
+            }
+
             let mut new_facts: Vec<(RelationName, Tuple)> = Vec::new();
-            let mut sink = Vec::new();
-            for &ri in &stratum.rule_indices {
+            let mut pass_cursor = 0;
+            for (slot, &ri) in active.iter().enumerate() {
                 let rule = &self.rules[ri];
-                let recursive_positions = &rule.recursive_positions;
-                if recursive_positions.is_empty() && !first_round {
-                    // A rule with no recursive body atom saturates in round
-                    // 1; re-running it would re-derive the same tuples.
-                    continue;
-                }
                 stats.rule_applications += 1;
-                sink.clear();
-                if first_round {
-                    ctx.run_pass(rule, None, &mut sink)?;
-                } else {
-                    for &pos in recursive_positions {
-                        ctx.run_pass(
-                            rule,
-                            Some(SeminaiveView {
-                                delta_pos: pos,
-                                positions: recursive_positions,
-                                delta: &delta,
-                                old: &old,
-                                old_shadows_sources: false,
-                            }),
-                            &mut sink,
-                        )?;
+                while pass_cursor < pass_rule.len() && pass_rule[pass_cursor] == slot {
+                    let sink = &mut sinks[pass_cursor];
+                    stats.tuples_derived += sink.len() as u64;
+                    for tuple in sink.drain(..) {
+                        if !ctx
+                            .derived
+                            .get(&rule.head_relation)
+                            .is_some_and(|r| r.contains(&tuple))
+                        {
+                            new_facts.push((rule.head_relation.clone(), tuple));
+                        }
                     }
-                }
-                stats.tuples_derived += sink.len() as u64;
-                for tuple in sink.drain(..) {
-                    if !ctx
-                        .derived
-                        .get(&rule.head_relation)
-                        .is_some_and(|r| r.contains(&tuple))
-                    {
-                        new_facts.push((rule.head_relation.clone(), tuple));
-                    }
+                    pass_cursor += 1;
                 }
             }
 
@@ -692,43 +811,73 @@ impl<'x> EvalContext<'x> {
         view.old.get(name)
     }
 
-    /// Runs one evaluation pass of a rule, appending derived head tuples
-    /// (possibly with duplicates) to `sink`.
-    pub(crate) fn run_pass(
+    /// Runs one evaluation pass of a rule, fanning the outer-atom candidates
+    /// out to the pool when `parallelism` and the candidate count warrant it;
+    /// chunk sinks are merged in candidate order, so the result appended to
+    /// `sink` is bit-identical to the sequential pass.
+    pub(crate) fn run_pass_par(
         &mut self,
         rule: &CompiledRule,
-        view: Option<SeminaiveView<'_>>,
+        view: Option<&SeminaiveView<'_>>,
+        parallelism: Parallelism,
         sink: &mut Vec<Tuple>,
     ) -> Result<(), DatalogError> {
-        // Phase 1 (mutable): make sure every hash index this pass probes
-        // exists.  Prefix-keyed atoms range-scan the sorted tuple set
-        // directly and need nothing built.
+        self.ensure_pass_indexes(rule, view);
+        let Some(pass) = self.prepare_pass(rule, view, collect_bound(parallelism, 1))? else {
+            return Ok(());
+        };
+        if pass.outer.is_none() {
+            // Sequential fast path (one worker, or a pass below the collect
+            // bound): join lazily in place — no scheduling layer.
+            return run_sequential(&pass, sink);
+        }
+        execute_passes(&[Some(pass)], parallelism, std::slice::from_mut(sink))
+    }
+
+    /// Phase 1 (mutable): makes sure every hash index a pass of `rule`
+    /// probes exists.  Prefix-keyed atoms range-scan the sorted tuple set
+    /// directly and need nothing built.
+    fn ensure_pass_indexes(&mut self, rule: &CompiledRule, view: Option<&SeminaiveView<'_>>) {
         for (pos, atom) in rule.atoms.iter().enumerate() {
             if atom.key_cols.is_empty() || atom.prefix_key {
                 continue;
             }
-            let Some(space) = self.probe_space(pos, atom, view.as_ref()) else {
+            let Some(space) = self.probe_space(pos, atom, view) else {
                 continue;
             };
             if space == Space::External && self.prepared_index(atom).is_some() {
                 continue;
             }
-            self.ensure_index(space, &atom.relation, &atom.key_cols, view.as_ref());
+            self.ensure_index(space, &atom.relation, &atom.key_cols, view);
         }
+    }
 
-        // Phase 2 (immutable): assemble the plan and run the join.  The
-        // space decision is shared with phase 1 (`probe_space`), so every
-        // index looked up here was ensured above.
+    /// Phase 2 (immutable): assembles the atom plans, negation sources and —
+    /// when a cheap upper bound on the level-0 candidate count reaches
+    /// `collect_above` — the collected outer candidates for parallel
+    /// chunking (passes under the bound keep `outer: None` and join lazily
+    /// on the calling thread, so the multi-core default never materialises
+    /// candidates for passes the threshold keeps inline).  The space
+    /// decision is shared with phase 1 (`probe_space`), so every index
+    /// looked up here was ensured by [`Self::ensure_pass_indexes`].  Returns
+    /// `None` if some atom resolves to an empty relation (the pass derives
+    /// nothing).
+    fn prepare_pass<'s>(
+        &'s self,
+        rule: &'s CompiledRule,
+        view: Option<&'s SeminaiveView<'s>>,
+        collect_above: usize,
+    ) -> Result<Option<PreparedPass<'s>>, DatalogError> {
         let mut plans = Vec::with_capacity(rule.atoms.len());
         for (pos, atom) in rule.atoms.iter().enumerate() {
-            let plan = match self.probe_space(pos, atom, view.as_ref()) {
+            let plan = match self.probe_space(pos, atom, view) {
                 None => AtomPlan::Empty,
                 Some(Space::Delta) => {
-                    let v = view.as_ref().expect("delta space implies a view");
+                    let v = view.expect("delta space implies a view");
                     self.plan_for(Space::Delta, atom, v.delta.get(&atom.relation))
                 }
                 Some(Space::Old) => {
-                    let v = view.as_ref().expect("old space implies a view");
+                    let v = view.expect("old space implies a view");
                     self.plan_for(Space::Old, atom, self.resolve_old(v, &atom.relation))
                 }
                 Some(space) => {
@@ -737,7 +886,7 @@ impl<'x> EvalContext<'x> {
                 }
             };
             if matches!(plan, AtomPlan::Empty) {
-                return Ok(());
+                return Ok(None);
             }
             plans.push(plan);
         }
@@ -746,9 +895,16 @@ impl<'x> EvalContext<'x> {
             .iter()
             .map(|neg| self.negation_sources(&neg.relation))
             .collect();
-
-        let mut regs: Vec<Option<Value>> = vec![None; rule.n_slots];
-        join(rule, &plans, &negations, 0, &mut regs, sink)
+        let outer = match plans.first() {
+            Some(plan) if outer_estimate(plan) >= collect_above => Some(collect_outer(rule, plan)?),
+            _ => None,
+        };
+        Ok(Some(PreparedPass {
+            rule,
+            plans,
+            negations,
+            outer,
+        }))
     }
 
     fn plan_for<'s>(
@@ -831,6 +987,225 @@ impl<'x> EvalContext<'x> {
         }
         out
     }
+}
+
+/// One rule pass, fully planned against a frozen [`EvalContext`]: the atom
+/// plans, the resolved negation sources, and the level-0 (outer-atom)
+/// candidate tuples in iteration order.  Everything is borrowed immutably,
+/// so prepared passes can be executed from worker threads.
+struct PreparedPass<'x> {
+    rule: &'x CompiledRule,
+    /// Empty iff the rule has no positive atoms (a fact rule): the pass then
+    /// runs the leaf checks exactly once.
+    plans: Vec<AtomPlan<'x>>,
+    /// The level-0 candidates, collected only when the pass may be chunked
+    /// across workers; `None` on the sequential path, which joins lazily.
+    outer: Option<Vec<&'x Tuple>>,
+    negations: Vec<Vec<&'x Relation>>,
+}
+
+impl PreparedPass<'_> {
+    /// The scheduling cost of the pass: its collected outer candidate count
+    /// (0 for passes below the collect bound, which always run inline).
+    fn cost(&self) -> usize {
+        self.outer.as_ref().map_or(0, Vec::len)
+    }
+}
+
+/// Runs a whole prepared pass sequentially, joining lazily (no candidate
+/// collection needed): byte-for-byte the pre-parallelism evaluation path.
+fn run_sequential(pass: &PreparedPass<'_>, sink: &mut Vec<Tuple>) -> Result<(), DatalogError> {
+    match &pass.outer {
+        None => {
+            let mut regs: Vec<Option<Value>> = vec![None; pass.rule.n_slots];
+            join(pass.rule, &pass.plans, &pass.negations, 0, &mut regs, sink)
+        }
+        Some(outer) => run_prepared(pass, outer, 0..outer.len(), sink),
+    }
+}
+
+/// The per-pass candidate bound above which a region of `region_passes`
+/// independent passes collects outer candidates for chunking: the region
+/// threshold split evenly across its passes, so a wave of medium rules still
+/// fans out rule-per-worker while tiny passes never materialise candidates.
+/// `usize::MAX` (never collect) when the policy cannot go parallel.
+fn collect_bound(parallelism: Parallelism, region_passes: usize) -> usize {
+    if parallelism.worker_count() <= 1 {
+        usize::MAX
+    } else {
+        (parallelism.threshold() / region_passes.max(1)).max(2)
+    }
+}
+
+/// A cheap upper bound on a plan's level-0 candidate count (the indexed or
+/// scanned relation's size), used to decide whether collecting the
+/// candidates for chunking can pay off.  Overshooting is harmless: the
+/// collection itself costs only the *actual* candidates (probe slice or
+/// prefix range), or a scan the lazy join would perform anyway.
+fn outer_estimate(plan: &AtomPlan<'_>) -> usize {
+    match plan {
+        AtomPlan::Probe { index, .. } => index.len(),
+        AtomPlan::PrefixScan { relation, .. }
+        | AtomPlan::CheckedScan { relation, .. }
+        | AtomPlan::Scan { relation, .. } => relation.len(),
+        AtomPlan::Empty => 0,
+    }
+}
+
+/// The compiled atom a plan joins (all non-empty plans carry one).
+fn plan_atom<'x>(plan: &AtomPlan<'x>) -> &'x CompiledAtom {
+    match plan {
+        AtomPlan::Probe { atom, .. }
+        | AtomPlan::PrefixScan { atom, .. }
+        | AtomPlan::CheckedScan { atom, .. }
+        | AtomPlan::Scan { atom, .. } => atom,
+        AtomPlan::Empty => unreachable!("prepare_pass drops empty passes"),
+    }
+}
+
+/// Collects the level-0 candidate tuples of a pass, in the exact order the
+/// sequential join would visit them.  Level-0 key terms are always constants
+/// (no slot is bound before the first atom), so the probe key needs no
+/// register frame.
+fn collect_outer<'x>(
+    rule: &CompiledRule,
+    plan: &AtomPlan<'x>,
+) -> Result<Vec<&'x Tuple>, DatalogError> {
+    let regs: Vec<Option<Value>> = vec![None; rule.n_slots];
+    let key_of = |atom: &CompiledAtom| -> Result<ValueVec, DatalogError> {
+        let mut key = ValueVec::with_capacity(atom.key_terms.len());
+        for term in &atom.key_terms {
+            key.push(*value_of(rule, term, &regs)?);
+        }
+        Ok(key)
+    };
+    Ok(match plan {
+        AtomPlan::Probe { index, atom } => index.probe(&key_of(atom)?).iter().collect(),
+        AtomPlan::PrefixScan { relation, atom } => {
+            relation.scan_prefix_owned(key_of(atom)?).collect()
+        }
+        AtomPlan::CheckedScan { relation, atom } => {
+            let key = key_of(atom)?;
+            relation
+                .iter()
+                .filter(|tuple| {
+                    tuple.arity() == atom.arity
+                        && atom
+                            .key_cols
+                            .iter()
+                            .zip(key.iter())
+                            .all(|(&col, want)| tuple.values()[col] == *want)
+                })
+                .collect()
+        }
+        AtomPlan::Scan { relation, .. } => relation.iter().collect(),
+        AtomPlan::Empty => unreachable!("prepare_pass drops empty passes"),
+    })
+}
+
+/// Joins one contiguous range of a prepared pass's outer candidates into
+/// `sink` — the unit of parallel work.  Running the full range reproduces
+/// the sequential pass exactly (candidates are collected in join order).
+fn run_prepared(
+    pass: &PreparedPass<'_>,
+    outer: &[&Tuple],
+    range: std::ops::Range<usize>,
+    sink: &mut Vec<Tuple>,
+) -> Result<(), DatalogError> {
+    let mut regs: Vec<Option<Value>> = vec![None; pass.rule.n_slots];
+    if pass.plans.is_empty() {
+        // No positive atoms: a single leaf materialisation.
+        return join(pass.rule, &pass.plans, &pass.negations, 0, &mut regs, sink);
+    }
+    let atom = plan_atom(&pass.plans[0]);
+    for &tuple in &outer[range] {
+        step_tuple(
+            pass.rule,
+            &pass.plans,
+            &pass.negations,
+            0,
+            atom,
+            tuple,
+            &mut regs,
+            sink,
+        )?;
+    }
+    Ok(())
+}
+
+/// Executes a slate of independent prepared passes, appending each pass's
+/// derivations to the sink of the same index.
+///
+/// Below the parallelism threshold (measured in total outer candidates) the
+/// passes run inline, in order.  Above it, each pass's candidates are split
+/// into contiguous chunks and all `(pass, chunk)` jobs fan out to the pool;
+/// results are merged in job order — pass-major, chunks ascending — which
+/// reproduces the sequential sink contents (and therefore the `EvalStats`
+/// counters) bit for bit.  Errors surface deterministically as the error of
+/// the lowest-indexed failing job, which is the one the sequential schedule
+/// would have hit first.
+fn execute_passes(
+    passes: &[Option<PreparedPass<'_>>],
+    parallelism: Parallelism,
+    sinks: &mut [Vec<Tuple>],
+) -> Result<(), DatalogError> {
+    debug_assert_eq!(passes.len(), sinks.len());
+    // Only passes whose candidates were collected (estimate cleared the
+    // collect bound) are candidates for chunking; everything else — tiny
+    // passes, leaf-only fact rules — runs inline on the calling thread.
+    // Each pass owns its sink, so inline-vs-pooled placement cannot change
+    // any sink's contents.
+    let total: usize = passes.iter().flatten().map(PreparedPass::cost).sum();
+    let workers = parallelism.worker_count();
+    let engage = workers > 1 && total >= parallelism.threshold().max(2);
+
+    let mut jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    if engage {
+        // Chunk the outer candidates so each worker sees several chunks
+        // (work sharing keeps stragglers from idling the rest).
+        let chunk = total.div_ceil(workers * 4).max(1);
+        for (slot, pass) in passes.iter().enumerate() {
+            let Some(outer) = pass.as_ref().and_then(|p| p.outer.as_deref()) else {
+                continue;
+            };
+            let mut lo = 0;
+            while lo < outer.len() {
+                let hi = (lo + chunk).min(outer.len());
+                jobs.push((slot, lo..hi));
+                lo = hi;
+            }
+        }
+    }
+
+    if jobs.len() > 1 {
+        let results = Pool::new(workers).run(jobs.len(), |k| {
+            let (slot, ref range) = jobs[k];
+            let pass = passes[slot].as_ref().expect("job slots hold passes");
+            let outer = pass.outer.as_deref().expect("job passes are collected");
+            let mut sink = Vec::new();
+            run_prepared(pass, outer, range.clone(), &mut sink).map(|()| sink)
+        });
+        for (k, result) in results.into_iter().enumerate() {
+            sinks[jobs[k].0].extend(result?);
+        }
+        // Uncollected passes produced no jobs: run them inline.  (A
+        // collected-but-empty outer means the pass derives nothing.)
+        for (pass, sink) in passes.iter().zip(sinks.iter_mut()) {
+            if let Some(pass) = pass {
+                if pass.outer.is_none() {
+                    run_sequential(pass, sink)?;
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    for (pass, sink) in passes.iter().zip(sinks.iter_mut()) {
+        if let Some(pass) = pass {
+            run_sequential(pass, sink)?;
+        }
+    }
+    Ok(())
 }
 
 /// Recursive indexed join over the compiled atoms; at the leaf, negations and

@@ -57,6 +57,10 @@ pub struct EvalOptions {
     pub strategy: FixpointStrategy,
     /// Engine selection.
     pub engine: EvalEngine,
+    /// Worker-pool policy for the compiled engine (the interpreter is always
+    /// sequential).  Parallel evaluation is bit-identical to sequential —
+    /// see [`crate::pool`] for the determinism contract.
+    pub parallelism: crate::pool::Parallelism,
 }
 
 /// Statistics from an evaluation, for the benchmark harness.
@@ -129,7 +133,7 @@ pub fn evaluate_stratified(
     options: EvalOptions,
 ) -> Result<(Instance, EvalStats), DatalogError> {
     if options.engine == EvalEngine::CompiledIndexed {
-        return CompiledProgram::compile(program)?.evaluate(&[edb]);
+        return CompiledProgram::compile(program)?.evaluate_par(&[edb], options.parallelism);
     }
     check_program_safety(program)?;
     let arities = program.relation_arities()?;

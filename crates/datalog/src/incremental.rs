@@ -36,6 +36,7 @@
 
 use crate::compile::{CompiledProgram, CompiledRule, EvalContext, SeminaiveView};
 use crate::engine::EvalStats;
+use crate::pool::Parallelism;
 use crate::resident::ResidentView;
 use crate::DatalogError;
 use rtx_relational::{Instance, Relation, RelationName, Schema, Tuple};
@@ -98,6 +99,7 @@ pub struct StepEvaluator {
     out_schema: Schema,
     rules: Vec<StepKind>,
     initialized: bool,
+    parallelism: Parallelism,
 }
 
 impl StepEvaluator {
@@ -196,7 +198,22 @@ impl StepEvaluator {
             out_schema,
             rules,
             initialized: false,
+            parallelism: Parallelism::default(),
         })
+    }
+
+    /// Replaces the [`Parallelism`] policy the per-step passes evaluate
+    /// under.  Parallel steps are bit-identical to sequential ones (same
+    /// derived instances, same stats); the policy only changes how the work
+    /// above the tuple-count threshold is scheduled.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The policy the per-step passes evaluate under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The schema of the derived relations.
@@ -254,6 +271,7 @@ impl StepEvaluator {
             self.rules.len(),
             "StepEvaluator::step must receive the program it was built from"
         );
+        let parallelism = self.parallelism.resolved();
         let mut stats = EvalStats {
             rounds: 1,
             ..EvalStats::default()
@@ -278,7 +296,7 @@ impl StepEvaluator {
                     });
                     stats.rule_applications += 1;
                     sink.clear();
-                    ctx.run_pass(rule, None, &mut sink)?;
+                    ctx.run_pass_par(rule, None, parallelism, &mut sink)?;
                     stats.tuples_derived += sink.len() as u64;
                     for tuple in sink.drain(..) {
                         out.insert(rule.head_relation.clone(), tuple)?;
@@ -298,7 +316,7 @@ impl StepEvaluator {
                     if first {
                         stats.rule_applications += 1;
                         sink.clear();
-                        ctx.run_pass(rule, None, &mut sink)?;
+                        ctx.run_pass_par(rule, None, parallelism, &mut sink)?;
                         stats.tuples_derived += sink.len() as u64;
                         rows.extend(sink.drain(..));
                     } else if !grow_positions.is_empty() && !delta_empty {
@@ -311,17 +329,14 @@ impl StepEvaluator {
                         stats.rule_applications += 1;
                         sink.clear();
                         for &pos in grow_positions.iter() {
-                            ctx.run_pass(
-                                rule,
-                                Some(SeminaiveView {
-                                    delta_pos: pos,
-                                    positions: grow_positions,
-                                    delta: delta_map,
-                                    old: grown_old,
-                                    old_shadows_sources: true,
-                                }),
-                                &mut sink,
-                            )?;
+                            let view = SeminaiveView {
+                                delta_pos: pos,
+                                positions: grow_positions,
+                                delta: delta_map,
+                                old: grown_old,
+                                old_shadows_sources: true,
+                            };
+                            ctx.run_pass_par(rule, Some(&view), parallelism, &mut sink)?;
                         }
                         stats.tuples_derived += sink.len() as u64;
                         rows.extend(sink.drain(..));

@@ -36,7 +36,14 @@
 //! * [`incremental`] — delta-aware stepping for flat programs over
 //!   cumulative state: a [`StepEvaluator`] caches each rule's positive-join
 //!   rows and extends them semi-naively from the per-step `past-R` delta, so
-//!   step *i+1* joins only against what changed.
+//!   step *i+1* joins only against what changed;
+//! * [`pool`] — the scoped-thread executor behind data-parallel stratum
+//!   evaluation: independent rules of a stratum and chunks of one rule's
+//!   outer-atom candidates fan out to a fixed worker pool under a
+//!   [`Parallelism`] policy, with per-pass sinks merged in fixed
+//!   `(stratum, rule, pass, chunk)` order so parallel results (and
+//!   [`EvalStats`] counters) are **bit-identical to sequential** — the
+//!   determinism contract the property suite pins at 1/2/8 threads.
 //!
 //! The prepare/evaluate lifecycle for a resident service is:
 //!
@@ -63,6 +70,7 @@ pub mod engine;
 pub mod graph;
 pub mod incremental;
 pub mod parser;
+pub mod pool;
 pub mod resident;
 pub mod safety;
 
@@ -77,6 +85,7 @@ pub use engine::{
 pub use error::DatalogError;
 pub use incremental::{ChangeClass, StepEvaluator};
 pub use parser::{parse_program, parse_rule};
+pub use pool::{Parallelism, Pool};
 pub use resident::{ResidentDb, ResidentView};
 
 #[cfg(test)]

@@ -20,7 +20,13 @@
 //! * **Thread-shareable** — all state sits behind one `RwLock`; evaluations
 //!   take a cheap consistent [`ResidentView`] snapshot and never hold the
 //!   lock while joining, so concurrent sessions on different threads share
-//!   one catalog and its indexes.
+//!   one catalog and its indexes.  The same property feeds the data-parallel
+//!   evaluator ([`crate::pool`]): a view's `Arc`-shared indexes are probed
+//!   lock-free by every worker of an evaluation, including a *recursive*
+//!   fixpoint probing a non-prefix column — the resident index is built once
+//!   at preparation and reused by every round (pinned by the
+//!   `parallel_strata` integration tests; only per-round delta/old indexes
+//!   live in the per-evaluation cache).
 //!
 //! The lifecycle is: build once ([`ResidentDb::new`] or
 //! [`CompiledProgram::prepare`](crate::CompiledProgram::prepare)), evaluate

@@ -89,10 +89,19 @@ impl Relation {
     /// the zero-build access path the datalog engine uses when a join probes
     /// a prefix of a relation's columns.
     pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> impl Iterator<Item = &'a Tuple> + 'a {
-        let start = Tuple::from_slice(prefix);
+        self.scan_prefix_owned(crate::ValueVec::from_slice(prefix))
+    }
+
+    /// Like [`Relation::scan_prefix`], but the iterator owns the prefix, so
+    /// the returned tuple references borrow only the relation.  This is the
+    /// form the parallel datalog evaluator uses to collect a pass's outer
+    /// candidates before fanning them out to worker threads (values are
+    /// `Copy`, so owning the key costs nothing).
+    pub fn scan_prefix_owned(&self, prefix: crate::ValueVec) -> impl Iterator<Item = &Tuple> + '_ {
+        let start = Tuple::from_slice(&prefix);
         self.tuples
             .range(start..)
-            .take_while(move |t| t.values().get(..prefix.len()) == Some(prefix))
+            .take_while(move |t| t.values().get(..prefix.len()) == Some(prefix.as_slice()))
     }
 
     /// Set union with another relation of the same arity.

@@ -102,6 +102,61 @@ fn concurrent_sessions_match_isolated_runs() {
     assert_eq!(produced, expected);
 }
 
+/// The parallel-strata stress test: N sessions stepped concurrently from N
+/// threads, each evaluating its steps under an aggressive worker-pool policy
+/// (4 workers, zero threshold — every pass fans out), all over one shared
+/// `ResidentDb`.  Nested parallelism (pools inside session threads) must not
+/// deadlock, and every run must be bit-identical to the isolated sequential
+/// one-shot runs.
+#[test]
+fn concurrent_parallel_sessions_match_isolated_sequential_runs() {
+    let products = 60;
+    let sessions = 8;
+    let steps = 10;
+    let db = rtx::workloads::category_catalog(products, 6, 7);
+    let fleet = rtx::workloads::session_fleet(&db, sessions, steps, products, 0.9, 7);
+    let expected = isolated_runs(&db, &fleet);
+
+    let policy = rtx::datalog::Parallelism::threads(4).with_threshold(0);
+    let runtime = Runtime::shared_with(Arc::new(ResidentDb::new(db)), policy);
+    assert_eq!(runtime.parallelism(), policy);
+    let transducer = Arc::new(model());
+    let produced: Vec<Run> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .enumerate()
+            .map(|(i, inputs)| {
+                let mut session = runtime
+                    .open_session(format!("parallel-{i}"), Arc::clone(&transducer))
+                    .unwrap();
+                scope.spawn(move || {
+                    for input in inputs.iter() {
+                        session.step(input).unwrap();
+                    }
+                    session.run().unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(runtime.session_count(), 0, "sessions released on drop");
+    assert_eq!(
+        produced, expected,
+        "parallel concurrent sessions diverged from sequential isolated runs"
+    );
+
+    // The one-shot parallel entry point agrees too.
+    let resident = transducer
+        .compiled_output_program()
+        .prepare(expected[0].db());
+    for (inputs, expected) in fleet.iter().zip(&expected) {
+        let run = transducer
+            .run_resident_with(&resident, inputs, policy)
+            .unwrap();
+        assert_eq!(&run, expected);
+    }
+}
+
 /// The derivation-counter pin: after the caches are seeded, step *i+1* joins
 /// only against the step's `past-R` delta — a from-scratch evaluation would
 /// re-derive the whole (growing) output every step.
