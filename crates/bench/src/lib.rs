@@ -14,6 +14,9 @@
 //! * `datalog_eval` — naive vs. semi-naive datalog evaluation (ablation);
 //! * `multi_session` — resident vs. per-run database preparation across many
 //!   concurrent sessions over one shared catalog;
+//! * `parallel_strata` — data-parallel stratum evaluation vs. thread count;
+//! * `mutation` — delete-rederive maintenance of a 1-tuple retraction
+//!   against a 100k-product catalog vs. full re-evaluation;
 //! * `bs_sat` — grounded Bernays–Schönfinkel satisfiability scaling.
 //!
 //! The library itself only hosts shared helpers.

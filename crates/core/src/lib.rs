@@ -38,8 +38,14 @@
 //! [`RelationalTransducer::run`] makes its database resident for the
 //! duration of the run; a service makes it resident **once**
 //! ([`rtx_datalog::ResidentDb`]), shares it across sessions and threads, and
-//! mutates it in place — per-relation version stamps refresh exactly the
-//! indexes and step caches the mutation invalidated.
+//! mutates it in place.  Mutation is first-class in both directions —
+//! `ResidentDb::insert` *and* `ResidentDb::retract` follow the same
+//! lifecycle: the copy-on-write write bumps the relation's version stamp,
+//! the next prepared view rebuilds exactly the stale hash indexes, and a
+//! mid-run [`Session`] step compares the relations its program actually
+//! reads against `ResidentDb::stale_relations` to reseed exactly the
+//! invalidated step caches (retractions drop version-guarded grow-blocks
+//! rather than assuming append-only history).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -137,14 +137,17 @@ impl IncrementalStepper {
         input: &Instance,
     ) -> Result<(Instance, Instance), CoreError> {
         // A shared catalog may have changed under us: refresh the view and
-        // reseed the step caches (static-relation assumptions are void).
-        // Staleness is per relation — mutations to relations the program
-        // never reads keep every cache alive.  Pinned (one-shot run)
-        // steppers never refresh, so the produced run is consistent with a
-        // single catalog state.
+        // reseed the step caches whose static-relation assumptions are void.
+        // Staleness is per relation — mutations (inserts *and* retractions)
+        // to relations the program never reads keep every cache alive, and
+        // a mutation the program does read reseeds exactly the rule caches
+        // that join against it, not the whole evaluator.  Pinned (one-shot
+        // run) steppers never refresh, so the produced run is consistent
+        // with a single catalog state.
         if !self.pin_view && !db.view_is_current(&self.view) {
+            let stale = db.stale_relations(&self.view);
             self.view = db.view_for(transducer.compiled_output_program());
-            self.evaluator.reset();
+            self.evaluator.invalidate_relations(&stale);
         }
 
         let (derived, stats) = self.evaluator.step(
@@ -516,6 +519,43 @@ mod tests {
         assert!(out.holds(
             "sendbill",
             &Tuple::new(vec![Value::str("economist"), Value::int(700)])
+        ));
+    }
+
+    #[test]
+    fn catalog_retractions_are_visible_at_the_next_step() {
+        let transducer = models::short();
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let mut session = runtime.open_session("customer", transducer).unwrap();
+
+        // Time is priced at 855 in figure 1: ordering it bills.
+        let out = session.step(&input_step(&["time"], &[])).unwrap();
+        assert!(out.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+
+        // Delist it mid-session; the very next step must stop billing.
+        let removed = runtime
+            .database()
+            .retract(
+                "price",
+                &Tuple::new(vec![Value::str("time"), Value::int(855)]),
+            )
+            .unwrap();
+        assert!(removed);
+        let out = session.step(&input_step(&["time"], &[])).unwrap();
+        assert!(out.relation("sendbill").unwrap().is_empty());
+
+        // Re-list at a new price: visible again at the very next step.
+        runtime
+            .database()
+            .insert("price", Tuple::new(vec![Value::str("time"), Value::int(9)]))
+            .unwrap();
+        let out = session.step(&input_step(&["time"], &[])).unwrap();
+        assert!(out.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("time"), Value::int(9)])
         ));
     }
 }

@@ -243,16 +243,34 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Compiles a (possibly recursive) stratified program.
     pub fn compile(program: &Program) -> Result<Self, DatalogError> {
-        Self::compile_with(program, false)
+        Self::compile_with(program, false, None)
     }
 
     /// Compiles a program, rejecting recursion among derived relations — the
     /// entry point for Spocus output programs, which must be non-recursive.
     pub fn compile_nonrecursive(program: &Program) -> Result<Self, DatalogError> {
-        Self::compile_with(program, true)
+        Self::compile_with(program, true, None)
     }
 
-    fn compile_with(program: &Program, forbid_recursion: bool) -> Result<Self, DatalogError> {
+    /// Compiles a program whose rules carry **seed** atoms: tiny delta-guard
+    /// relations that the join order must start from, whatever the greedy
+    /// bound-prefix heuristic would otherwise pick.  The delete-rederive
+    /// programs of [`crate::dred`] are the caller: their cost contract is
+    /// "proportional to the affected closure", which only holds if every
+    /// synthesized rule drives its join from the delta guard rather than
+    /// scanning a base relation first.
+    pub(crate) fn compile_seeded(
+        program: &Program,
+        seeds: &BTreeSet<RelationName>,
+    ) -> Result<Self, DatalogError> {
+        Self::compile_with(program, false, Some(seeds))
+    }
+
+    fn compile_with(
+        program: &Program,
+        forbid_recursion: bool,
+        seeds: Option<&BTreeSet<RelationName>>,
+    ) -> Result<Self, DatalogError> {
         ANALYSES.with(|c| c.set(c.get() + 1));
         check_program_safety(program)?;
         let arities = program.relation_arities()?;
@@ -318,7 +336,7 @@ impl CompiledProgram {
             let mut rule_indices = Vec::with_capacity(source_indices.len());
             for i in source_indices {
                 rule_indices.push(rules.len());
-                rules.push(compile_rule(&program.rules()[i], &heads)?);
+                rules.push(compile_rule(&program.rules()[i], &heads, seeds)?);
             }
             strata.push(Stratum {
                 rule_indices,
@@ -1355,6 +1373,7 @@ fn materialize(
 fn compile_rule(
     rule: &Rule,
     stratum_heads: &BTreeSet<RelationName>,
+    seeds: Option<&BTreeSet<RelationName>>,
 ) -> Result<CompiledRule, DatalogError> {
     let positives: Vec<(usize, &Atom)> = rule
         .body
@@ -1404,6 +1423,7 @@ fn compile_rule(
             .enumerate()
             .max_by_key(|&(_, &i)| {
                 let atom = positives[i].1;
+                let seeded = seeds.is_some_and(|s| s.contains(&atom.relation)) as i64;
                 let mut bound_cols = 0i64;
                 let mut fresh = BTreeSet::new();
                 for term in &atom.args {
@@ -1419,10 +1439,11 @@ fn compile_rule(
                         }
                     }
                 }
-                // Most bound columns, then fewest fresh variables, then the
-                // original body order (max_by_key keeps the last maximum, so
-                // negate the index to prefer earlier atoms).
-                (bound_cols, -(fresh.len() as i64), -(i as i64))
+                // Seed (delta-guard) atoms first; then most bound columns,
+                // then fewest fresh variables, then the original body order
+                // (max_by_key keeps the last maximum, so negate the index to
+                // prefer earlier atoms).
+                (seeded, bound_cols, -(fresh.len() as i64), -(i as i64))
             })
             .expect("remaining is non-empty");
         remaining.remove(chosen_pos);

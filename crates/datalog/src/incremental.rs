@@ -24,15 +24,25 @@
 //!   tuples, and volatile negations flip both ways — so each cached row
 //!   carries the bindings of its volatile/grow-only negations and re-checks
 //!   them (two set probes) at emission.  A row blocked by a grow-only
-//!   negation is blocked forever (the relation only grows) and is dropped
-//!   permanently; disequalities and static negations are checked once, at
-//!   derivation.
+//!   negation can never fire again *while the relation honours the grow-only
+//!   contract*, so it is dropped — but the drop is **version-guarded**: for
+//!   a grow-only relation the cardinality is a version stamp (every legal
+//!   mutation moves it upward), so each step compares the observed
+//!   cardinalities against the last seen ones, and a decrease proves the
+//!   contract was broken and reseeds that rule's cache (dropped rows
+//!   included) with one full pass.  Disequalities and static negations are
+//!   checked once, at derivation.
 //!
 //! The caching is sound only for **flat** programs (no derived relation in
 //! any body, which Spocus guarantees); [`StepEvaluator::new`] rejects
-//! anything else.  If a static relation does change (the resident database's
-//! version moved), call [`StepEvaluator::reset`] — the next step reseeds the
-//! caches with one full evaluation.
+//! anything else.  Seeding is **per rule**: when a static relation changes
+//! (the resident database's version moved — an insert *or* a retraction),
+//! call [`StepEvaluator::invalidate_relations`] with the stale relation
+//! names ([`ResidentDb::stale_relations`](crate::ResidentDb::stale_relations)
+//! computes them) and only the rules that read one of them reseed at the
+//! next step; every other rule keeps its cache and stays on the delta path.
+//! [`StepEvaluator::reset`] remains the blunt instrument: it drops every
+//! cache at once.
 
 use crate::compile::{CompiledProgram, CompiledRule, EvalContext, SeminaiveView};
 use crate::engine::EvalStats;
@@ -86,6 +96,18 @@ enum StepKind {
         /// Deferred negations, grow-only first so permanent blocks are
         /// discovered before a one-step volatile block can mask them.
         deferred: Vec<DeferredNeg>,
+        /// Every relation the rule reads (atoms and negations) — the match
+        /// key for [`StepEvaluator::invalidate_relations`].
+        reads: BTreeSet<RelationName>,
+        /// Grow-only relations the rule reads (positively or negated), with
+        /// the cardinality last observed.  Under the grow-only contract a
+        /// relation's cardinality is a version stamp — every legal mutation
+        /// increases it — so a decrease proves the relation shrank and the
+        /// cache (including rows the grow-only block dropped) is void.
+        grow_sizes: BTreeMap<RelationName, usize>,
+        /// False until the cache has been seeded by a full pass, and again
+        /// after an invalidation hits one of the rule's reads.
+        seeded: bool,
         /// All positive-join rows over the state seen so far that pass the
         /// static filters, deduplicated.
         rows: BTreeSet<Tuple>,
@@ -148,6 +170,21 @@ impl StepEvaluator {
                 .map(|(pos, _)| pos)
                 .collect();
 
+            let mut reads: BTreeSet<RelationName> = BTreeSet::new();
+            let mut grow_sizes: BTreeMap<RelationName, usize> = BTreeMap::new();
+            for atom in rule.atoms() {
+                reads.insert(atom.relation().clone());
+                if classify(atom.relation()) == ChangeClass::GrowOnly {
+                    grow_sizes.insert(atom.relation().clone(), 0);
+                }
+            }
+            for neg in &rule.negations {
+                reads.insert(neg.relation.clone());
+                if classify(&neg.relation) == ChangeClass::GrowOnly {
+                    grow_sizes.insert(neg.relation.clone(), 0);
+                }
+            }
+
             // Split the negations: static ones stay leaf-checked, the rest
             // are deferred to emission (grow-only first).
             let head_len = rule.head.len();
@@ -190,6 +227,9 @@ impl StepEvaluator {
                 head_len,
                 grow_positions,
                 deferred,
+                reads,
+                grow_sizes,
+                seeded: false,
                 rows: BTreeSet::new(),
             });
         }
@@ -238,15 +278,64 @@ impl StepEvaluator {
     }
 
     /// Drops all caches; the next [`Self::step`] reseeds them with a full
-    /// evaluation.  Call this when a static relation changed (the resident
-    /// database's version moved) or when the grow-only state was rebuilt.
+    /// evaluation.  Call this when the grow-only state was rebuilt wholesale
+    /// or when the set of changed relations is unknown; when it *is* known
+    /// (the resident database names it), [`Self::invalidate_relations`]
+    /// reseeds only the affected rules.
     pub fn reset(&mut self) {
         self.initialized = false;
         for rule in &mut self.rules {
-            if let StepKind::Cached { rows, .. } = rule {
+            if let StepKind::Cached {
+                rows,
+                grow_sizes,
+                seeded,
+                ..
+            } = rule
+            {
                 rows.clear();
+                for len in grow_sizes.values_mut() {
+                    *len = 0;
+                }
+                *seeded = false;
             }
         }
+    }
+
+    /// Reseeds exactly the rule caches that read one of `changed`: their
+    /// rows — including rows previously dropped by the permanent grow-only
+    /// block — are recomputed by one full pass at the next [`Self::step`],
+    /// while every other rule keeps its cache and stays on the delta path.
+    ///
+    /// Call this with the output of
+    /// [`ResidentDb::stale_relations`](crate::ResidentDb::stale_relations)
+    /// when the catalog mutated under the evaluator — in particular when a
+    /// retraction shrank a relation, which the grow-only discipline of the
+    /// caches cannot absorb.  Returns how many rule caches were invalidated.
+    pub fn invalidate_relations(&mut self, changed: &[RelationName]) -> usize {
+        if changed.is_empty() {
+            return 0;
+        }
+        let mut invalidated = 0;
+        for rule in &mut self.rules {
+            if let StepKind::Cached {
+                reads,
+                grow_sizes,
+                seeded,
+                rows,
+                ..
+            } = rule
+            {
+                if *seeded && changed.iter().any(|name| reads.contains(name)) {
+                    rows.clear();
+                    for len in grow_sizes.values_mut() {
+                        *len = 0;
+                    }
+                    *seeded = false;
+                    invalidated += 1;
+                }
+            }
+        }
+        invalidated
     }
 
     /// Evaluates one step of `program` (the same program the evaluator was
@@ -277,7 +366,6 @@ impl StepEvaluator {
             ..EvalStats::default()
         };
         let mut out = Instance::empty(&self.out_schema);
-        let first = !self.initialized;
         let delta_empty = grown_delta.is_empty();
         // Built on first use: an all-volatile program never pays for it.
         let mut delta_map: Option<BTreeMap<RelationName, Relation>> = None;
@@ -307,18 +395,35 @@ impl StepEvaluator {
                     head_len,
                     grow_positions,
                     deferred,
+                    reads: _,
+                    grow_sizes,
+                    seeded,
                     rows,
                 } => {
                     let rule = modified.as_ref().unwrap_or(rule);
                     let ctx = cached_ctx.get_or_insert_with(|| {
                         EvalContext::new(&self.out_schema, &cached_sources, Some(view))
                     });
-                    if first {
+                    // Version guard: under the grow-only contract a
+                    // relation's cardinality only moves upward, so a
+                    // decrease proves the relation shrank behind our back
+                    // and every cached row — including the ones the
+                    // permanent grow-only block dropped — is suspect.
+                    if *seeded
+                        && grow_sizes
+                            .iter()
+                            .any(|(name, &len)| grown.get(name).map_or(0, |r| r.len()) < len)
+                    {
+                        rows.clear();
+                        *seeded = false;
+                    }
+                    if !*seeded {
                         stats.rule_applications += 1;
                         sink.clear();
                         ctx.run_pass_par(rule, None, parallelism, &mut sink)?;
                         stats.tuples_derived += sink.len() as u64;
                         rows.extend(sink.drain(..));
+                        *seeded = true;
                     } else if !grow_positions.is_empty() && !delta_empty {
                         let delta_map = delta_map.get_or_insert_with(|| {
                             grown_delta
@@ -341,6 +446,9 @@ impl StepEvaluator {
                         stats.tuples_derived += sink.len() as u64;
                         rows.extend(sink.drain(..));
                     }
+                    for (name, len) in grow_sizes.iter_mut() {
+                        *len = grown.get(name).map_or(0, |r| r.len());
+                    }
                     emit_cached(rule, *head_len, deferred, rows, volatile, grown, &mut out)?;
                 }
             }
@@ -351,7 +459,11 @@ impl StepEvaluator {
 }
 
 /// Emits the heads of the cached rows whose deferred negations pass under
-/// the current step, dropping rows a grow-only negation blocks permanently.
+/// the current step, dropping rows a grow-only negation blocks.  The drop
+/// is safe because [`StepEvaluator::step`] version-guards it: a shrink of
+/// the negated relation (observed by cardinality, or announced through
+/// [`StepEvaluator::invalidate_relations`]) reseeds the whole rule cache,
+/// dropped rows included.
 fn emit_cached(
     rule: &CompiledRule,
     head_len: usize,
@@ -611,5 +723,129 @@ mod tests {
             .unwrap();
         assert_eq!(out.relation("seen").unwrap().len(), 2);
         assert_eq!(evaluator.cached_rows(), 2);
+    }
+
+    /// Regression: rows dropped by the permanent grow-only block used to be
+    /// gone for good even when the negated relation later *shrank* (a
+    /// retraction reached the state).  The cardinality version guard must
+    /// revive them.
+    #[test]
+    fn a_shrinking_grow_only_negation_revives_dropped_rows() {
+        let program = parse_program("offer(X) :- db-avail(X), NOT past-touch(X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let resident = compiled.prepare(&instance(
+            &[("db-avail", 1)],
+            &[("db-avail", &["a"]), ("db-avail", &["b"])],
+        ));
+        let view = resident.view_for(&compiled);
+        let mut evaluator = StepEvaluator::new(&compiled, classify_by_prefix).unwrap();
+
+        let empty_state = instance(&[("past-touch", 1)], &[]);
+        let input = instance(&[("touch", 1)], &[]);
+        let grown = instance(&[("past-touch", 1)], &[("past-touch", &["a"])]);
+
+        // Seed with past-touch = {a}: the row for a is blocked and dropped.
+        let (out, _) = evaluator
+            .step(&compiled, &input, &grown, &empty_state, &empty_state, &view)
+            .unwrap();
+        assert_eq!(out.relation("offer").unwrap().len(), 1);
+
+        // A steady step keeps it dropped (the perf contract).
+        let (out, _) = evaluator
+            .step(&compiled, &input, &grown, &grown, &empty_state, &view)
+            .unwrap();
+        assert_eq!(out.relation("offer").unwrap().len(), 1);
+
+        // The state shrinks: the guard reseeds and the row comes back.
+        let (out, _) = evaluator
+            .step(&compiled, &input, &empty_state, &grown, &empty_state, &view)
+            .unwrap();
+        assert!(out.holds("offer", &Tuple::from_iter(["a"])));
+        assert_eq!(out.relation("offer").unwrap().len(), 2);
+    }
+
+    /// Regression twin for positive atoms: cached join rows derived from a
+    /// grow-only relation must vanish when that relation shrinks.
+    #[test]
+    fn a_shrinking_grow_only_atom_voids_stale_join_rows() {
+        let program = parse_program("seen(X) :- past-touch(X), db-base(X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let resident = compiled.prepare(&instance(
+            &[("db-base", 1)],
+            &[("db-base", &["a"]), ("db-base", &["b"])],
+        ));
+        let view = resident.view_for(&compiled);
+        let mut evaluator = StepEvaluator::new(&compiled, classify_by_prefix).unwrap();
+
+        let empty_state = instance(&[("past-touch", 1)], &[]);
+        let input = instance(&[("touch", 1)], &[]);
+        let grown = instance(
+            &[("past-touch", 1)],
+            &[("past-touch", &["a"]), ("past-touch", &["b"])],
+        );
+        let (out, _) = evaluator
+            .step(&compiled, &input, &grown, &empty_state, &empty_state, &view)
+            .unwrap();
+        assert_eq!(out.relation("seen").unwrap().len(), 2);
+
+        // past-touch loses a: the cached row joining it must go too.
+        let shrunk = instance(&[("past-touch", 1)], &[("past-touch", &["b"])]);
+        let (out, _) = evaluator
+            .step(&compiled, &input, &shrunk, &grown, &empty_state, &view)
+            .unwrap();
+        assert!(!out.holds("seen", &Tuple::from_iter(["a"])));
+        assert_eq!(out.relation("seen").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn invalidate_relations_reseeds_only_the_affected_rules() {
+        let program = parse_program(
+            "seen(X) :- past-touch(X), db-base(X).\n\
+             okay(X) :- past-touch(X), db-extra(X).",
+        )
+        .unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let resident = ResidentDb::new(instance(
+            &[("db-base", 1), ("db-extra", 1)],
+            &[("db-base", &["a"]), ("db-extra", &["a"])],
+        ));
+        let mut evaluator = StepEvaluator::new(&compiled, classify_by_prefix).unwrap();
+
+        let empty_state = instance(&[("past-touch", 1)], &[]);
+        let input = instance(&[("touch", 1)], &[]);
+        let grown = instance(&[("past-touch", 1)], &[("past-touch", &["a"])]);
+
+        let view = resident.view_for(&compiled);
+        let (out, _) = evaluator
+            .step(&compiled, &input, &grown, &empty_state, &empty_state, &view)
+            .unwrap();
+        assert_eq!(out.relation("seen").unwrap().len(), 1);
+        assert_eq!(out.relation("okay").unwrap().len(), 1);
+        assert_eq!(evaluator.cached_rows(), 2);
+
+        // Retract the tuple `seen` joins against: exactly the relations the
+        // resident database names as stale get invalidated, and only the
+        // rule reading them pays a reseed pass.
+        resident
+            .retract("db-base", &Tuple::from_iter(["a"]))
+            .unwrap();
+        let stale = resident.stale_relations(&view);
+        assert_eq!(stale, vec![RelationName::new("db-base")]);
+        assert_eq!(evaluator.invalidate_relations(&stale), 1);
+        assert!(evaluator.is_initialized());
+
+        let view = resident.view_for(&compiled);
+        let (out, stats) = evaluator
+            .step(&compiled, &input, &grown, &grown, &empty_state, &view)
+            .unwrap();
+        assert!(out.relation("seen").unwrap().is_empty());
+        assert_eq!(out.relation("okay").unwrap().len(), 1);
+        assert_eq!(stats.rule_applications, 1, "only `seen` reseeds");
+
+        // Invalidating a relation nothing reads is free.
+        assert_eq!(
+            evaluator.invalidate_relations(&[RelationName::new("db-unread")]),
+            0
+        );
     }
 }

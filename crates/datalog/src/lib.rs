@@ -37,6 +37,12 @@
 //!   cumulative state: a [`StepEvaluator`] caches each rule's positive-join
 //!   rows and extends them semi-naively from the per-step `past-R` delta, so
 //!   step *i+1* joins only against what changed;
+//! * [`dred`] — first-class retraction: a [`DredEngine`] keeps a stratified
+//!   program's fixpoint incrementally maintained under arbitrary base-tuple
+//!   insertions *and deletions*, combining Gupta–Mumick support counting
+//!   (non-recursive components, via signed delta rules that never copy
+//!   pre-mutation state) with delete-rederive (recursive components), at
+//!   affected-closure cost instead of re-evaluation;
 //! * [`pool`] — the scoped-thread executor behind data-parallel stratum
 //!   evaluation: independent rules of a stratum and chunks of one rule's
 //!   outer-atom candidates fan out to a fixed worker pool under a
@@ -53,10 +59,21 @@
 //! 3. evaluate any number of times from any thread
 //!    ([`CompiledProgram::evaluate_resident`], or a [`StepEvaluator`] per
 //!    session for incremental stepping);
-//! 4. mutate the resident database whenever ([`ResidentDb::insert`]); the
-//!    next evaluation's view rebuilds exactly the stale indexes, and
-//!    sessions observe the bumped [`ResidentDb::version`] to reseed their
-//!    step caches.
+//! 4. mutate the resident database whenever — [`ResidentDb::insert`] *or*
+//!    [`ResidentDb::retract`].  Either way the mutation lifecycle is the
+//!    same: the write lands in the copy-on-write instance, the relation's
+//!    version stamp is bumped, the next evaluation's view rebuilds exactly
+//!    the hash indexes whose relations moved, and sessions compare their
+//!    snapshot against [`ResidentDb::version`] /
+//!    [`ResidentDb::stale_relations`] so a [`StepEvaluator`] reseeds
+//!    (via `invalidate_relations`) exactly the step caches the mutation
+//!    invalidated — retraction included, because every grow-block in the
+//!    cache is version-guarded rather than assumed append-only.
+//!
+//! For a service that wants the *derived* fixpoint itself maintained under
+//! mutation (not just indexes and caches), wrap the program in a
+//! [`DredEngine`] instead: one retraction then costs on the order of the
+//! derivation closure it actually affects.
 //!
 //! Rules share the [`rtx_logic::Term`] type so the verification crate can
 //! translate rule bodies directly into the ∃\*∀\*FO sentences of §3.2.
@@ -66,6 +83,7 @@
 
 pub mod ast;
 pub mod compile;
+pub mod dred;
 pub mod engine;
 pub mod graph;
 pub mod incremental;
@@ -78,6 +96,7 @@ mod error;
 
 pub use ast::{Atom, BodyLiteral, Program, Rule};
 pub use compile::{CompiledProgram, CompiledRule};
+pub use dred::{DredEngine, DredStats, MutationBatch};
 pub use engine::{
     evaluate_nonrecursive, evaluate_stratified, EvalEngine, EvalOptions, EvalStats,
     FixpointStrategy,

@@ -7,7 +7,8 @@
 //! substrate the compiled engine needs:
 //!
 //! * [`Pool`] — a fixed worker count (defaulting to
-//!   [`std::thread::available_parallelism`]) plus a **chunked work-sharing
+//!   [`std::thread::available_parallelism`], overridable with the
+//!   `RTX_THREADS` environment variable) plus a **chunked work-sharing
 //!   queue**: jobs are indexed `0..n` and workers grab contiguous chunks of
 //!   indices from a shared atomic cursor, so a straggling job never leaves
 //!   the other workers idle while cheap jobs still amortize the atomic.
@@ -52,16 +53,29 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// The process's available parallelism, resolved once.
+/// The process's available parallelism, resolved once.  An `RTX_THREADS`
+/// environment variable (a positive integer) overrides the detected core
+/// count — the benchmark harness and container deployments use it to pin
+/// auto parallelism without touching every [`Parallelism`] call site.
 /// `std::thread::available_parallelism` inspects the cgroup filesystem on
 /// Linux — far too expensive to query per evaluation step.
 fn default_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        workers_from_env(std::env::var("RTX_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     })
+}
+
+/// Parses an `RTX_THREADS` value; `None` (unset, empty, zero or garbage)
+/// falls through to core-count detection.
+fn workers_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// The default level-0 candidate count above which a pass is fanned out to
@@ -318,6 +332,19 @@ mod tests {
         // The pool holds no state a panic could poison: the next run works.
         let out = pool.run(64, |i| i + 1);
         assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rtx_threads_override_parses_strictly() {
+        // The OnceLock makes the env-var path untestable in-process after
+        // first use, so the parser itself is the unit under test.
+        assert_eq!(workers_from_env(Some("3")), Some(3));
+        assert_eq!(workers_from_env(Some(" 8 ")), Some(8));
+        assert_eq!(workers_from_env(Some("0")), None);
+        assert_eq!(workers_from_env(Some("-2")), None);
+        assert_eq!(workers_from_env(Some("many")), None);
+        assert_eq!(workers_from_env(Some("")), None);
+        assert_eq!(workers_from_env(None), None);
     }
 
     #[test]

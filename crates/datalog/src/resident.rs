@@ -135,6 +135,29 @@ impl ResidentDb {
         Ok(new)
     }
 
+    /// Retracts a tuple, bumping the relation's version stamp if it was
+    /// present — the deletion dual of [`ResidentDb::insert`].  The bumped
+    /// stamp flows through the same machinery inserts use: the next
+    /// [`ResidentDb::view_for`] rebuilds exactly the retracted relation's
+    /// indexes, and [`ResidentDb::view_is_current`] /
+    /// [`ResidentDb::stale_relations`] report the relation as changed to any
+    /// session holding a view over it.
+    pub fn retract(
+        &self,
+        name: impl Into<RelationName>,
+        tuple: &Tuple,
+    ) -> Result<bool, RelationalError> {
+        let name = name.into();
+        let mut inner = self.write();
+        let removed = inner.instance.remove(name.clone(), tuple)?;
+        if removed {
+            inner.counter += 1;
+            let stamp = inner.counter;
+            inner.versions.insert(name, stamp);
+        }
+        Ok(removed)
+    }
+
     /// Materialises an empty relation if absent (errors on an arity
     /// conflict); returns whether the schema grew.
     pub fn ensure_relation(
@@ -218,6 +241,24 @@ impl ResidentDb {
             .iter()
             .all(|(name, stamp)| inner.versions.get(name).copied().unwrap_or(0) == *stamp)
     }
+
+    /// The relations the view's program reads whose version stamps moved
+    /// since the view was taken, in name order.  This is the fine-grained
+    /// form of [`ResidentDb::view_is_current`]: instead of one stale bit, a
+    /// caller holding per-relation caches (e.g. a
+    /// [`StepEvaluator`](crate::StepEvaluator)) learns exactly which caches
+    /// to reseed after a catalog mutation — insert or retract alike.
+    pub fn stale_relations(&self, view: &ResidentView) -> Vec<RelationName> {
+        let inner = self.read();
+        let mut stale: Vec<RelationName> = view
+            .read_versions
+            .iter()
+            .filter(|(name, stamp)| inner.versions.get(name).copied().unwrap_or(0) != **stamp)
+            .map(|(name, _)| name.clone())
+            .collect();
+        stale.sort();
+        stale
+    }
 }
 
 impl ResidentInner {
@@ -262,7 +303,7 @@ impl ResidentInner {
 
 /// The distinct non-prefix index shapes a compiled program probes.  Prefix
 /// keys range-scan the sorted tuple set and need nothing built.
-fn needed_indexes(program: &CompiledProgram) -> Vec<(RelationName, Vec<usize>)> {
+pub(crate) fn needed_indexes(program: &CompiledProgram) -> Vec<(RelationName, Vec<usize>)> {
     let mut needed: Vec<(RelationName, Vec<usize>)> = Vec::new();
     for rule in program.rules() {
         for atom in rule.atoms() {
@@ -309,6 +350,24 @@ pub struct ResidentView {
 }
 
 impl ResidentView {
+    /// Assembles a view from parts — the crate-internal hook for callers
+    /// (like the delete-rederive engine) that keep their own version-stamped
+    /// index cache but want the evaluator's prepared-index probe path.  The
+    /// view carries no read-version stamps, so it cannot be fed back to
+    /// [`ResidentDb::view_is_current`].
+    pub(crate) fn from_parts(
+        instance: Instance,
+        indexes: FxHashMap<(RelationName, Vec<usize>), Arc<TupleIndex>>,
+        version: u64,
+    ) -> Self {
+        ResidentView {
+            instance,
+            indexes,
+            read_versions: FxHashMap::default(),
+            version,
+        }
+    }
+
     /// The snapshot instance.
     pub fn instance(&self) -> &Instance {
         &self.instance
@@ -429,6 +488,78 @@ mod tests {
         let view = resident.view_for(&compiled);
         assert!(resident.view_is_current(&view));
         resident.ensure_relation("item", 1).unwrap();
+        assert!(!resident.view_is_current(&view));
+    }
+
+    #[test]
+    fn retract_bumps_only_the_touched_relation() {
+        let resident = ResidentDb::new(db());
+        let compiled = program();
+        resident.prepare_for(&compiled);
+        assert_eq!(resident.index_builds(), 1);
+
+        // Retracting from `price` leaves the `made-by` index valid.
+        assert!(resident
+            .retract(
+                "price",
+                &Tuple::new(vec![Value::str("widget"), Value::int(10)]),
+            )
+            .unwrap());
+        let _ = resident.view_for(&compiled);
+        assert_eq!(resident.index_builds(), 1);
+
+        // Retracting from `made-by` invalidates (exactly) its index, and the
+        // rebuilt index no longer covers the retracted tuple.
+        assert!(resident
+            .retract("made-by", &Tuple::from_iter(["acme", "widget"]))
+            .unwrap());
+        let view = resident.view_for(&compiled);
+        assert_eq!(resident.index_builds(), 2);
+        let idx = view
+            .index(&RelationName::new("made-by"), &[1])
+            .expect("index carried by the view");
+        assert_eq!(idx.probe(&[Value::str("widget")]).len(), 1);
+    }
+
+    #[test]
+    fn retracting_an_absent_tuple_does_not_bump_versions() {
+        let resident = ResidentDb::new(db());
+        let v = resident.version();
+        assert!(!resident
+            .retract("made-by", &Tuple::from_iter(["acme", "nothing"]))
+            .unwrap());
+        assert_eq!(resident.version(), v);
+        // Unknown relations and arity mismatches are errors, like inserts.
+        assert!(resident.retract("nope", &Tuple::from_iter(["x"])).is_err());
+        assert!(resident
+            .retract("made-by", &Tuple::from_iter(["x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn stale_relations_names_exactly_the_changed_reads() {
+        let resident = ResidentDb::new(db());
+        let compiled = program(); // reads `item` and `made-by`
+        let view = resident.view_for(&compiled);
+        assert!(resident.stale_relations(&view).is_empty());
+
+        // `price` is not read by the program: no stale relation reported.
+        resident
+            .retract(
+                "price",
+                &Tuple::new(vec![Value::str("widget"), Value::int(10)]),
+            )
+            .unwrap();
+        assert!(resident.stale_relations(&view).is_empty());
+
+        // Retracting from `made-by` names exactly that relation.
+        resident
+            .retract("made-by", &Tuple::from_iter(["acme", "widget"]))
+            .unwrap();
+        assert_eq!(
+            resident.stale_relations(&view),
+            vec![RelationName::new("made-by")]
+        );
         assert!(!resident.view_is_current(&view));
     }
 

@@ -71,6 +71,48 @@ impl Relation {
         Ok(Arc::make_mut(&mut self.tuples).insert(tuple))
     }
 
+    /// Removes a tuple, checking its arity.  Returns whether the tuple was
+    /// present.  Removal is copy-on-write like [`Relation::insert`]: a
+    /// relation shared with other clones is deep-copied only when a tuple is
+    /// actually removed, and removing an absent tuple never splits sharing.
+    pub fn remove(&mut self, tuple: &Tuple) -> Result<bool, RelationalError> {
+        if tuple.arity() != self.arity {
+            return Err(RelationalError::ArityMismatch {
+                relation: String::from("<anonymous>"),
+                expected: self.arity,
+                actual: tuple.arity(),
+            });
+        }
+        if !self.tuples.contains(tuple) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.tuples).remove(tuple))
+    }
+
+    /// In-place set difference (`self := self \ other`): the retraction dual
+    /// of [`Relation::absorb`].  Copy-on-write: nothing is copied when the
+    /// relations are disjoint.
+    pub fn subtract(&mut self, other: &Relation) -> Result<(), RelationalError> {
+        if self.arity != other.arity {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "cannot subtract relation of arity {} from arity {}",
+                    other.arity, self.arity
+                ),
+            });
+        }
+        if other.tuples.is_empty() || self.tuples.is_empty() {
+            return Ok(());
+        }
+        if other.tuples.iter().any(|t| self.tuples.contains(t)) {
+            let own = Arc::make_mut(&mut self.tuples);
+            for t in other.tuples.iter() {
+                own.remove(t);
+            }
+        }
+        Ok(())
+    }
+
     /// Membership test.
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.tuples.contains(tuple)
@@ -223,6 +265,32 @@ impl Instance {
                     name: name.as_str().to_string(),
                 })?;
         rel.insert(tuple).map_err(|e| match e {
+            RelationalError::ArityMismatch {
+                expected, actual, ..
+            } => RelationalError::ArityMismatch {
+                relation: name.as_str().to_string(),
+                expected,
+                actual,
+            },
+            other => other,
+        })
+    }
+
+    /// Removes a tuple from a relation.  Returns whether the tuple was
+    /// present — the mutation dual of [`Instance::insert`].
+    pub fn remove(
+        &mut self,
+        name: impl Into<RelationName>,
+        tuple: &Tuple,
+    ) -> Result<bool, RelationalError> {
+        let name = name.into();
+        let rel =
+            self.relations
+                .get_mut(&name)
+                .ok_or_else(|| RelationalError::UnknownRelation {
+                    name: name.as_str().to_string(),
+                })?;
+        rel.remove(tuple).map_err(|e| match e {
             RelationalError::ArityMismatch {
                 expected, actual, ..
             } => RelationalError::ArityMismatch {
@@ -607,6 +675,48 @@ mod tests {
         assert!(a.insert(t1("y")).unwrap());
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn remove_checks_arity_and_name() {
+        let mut inst = Instance::empty(&schema());
+        inst.insert("order", t1("time")).unwrap();
+        assert!(inst.remove("order", &t1("time")).unwrap());
+        assert!(!inst.remove("order", &t1("time")).unwrap());
+        assert!(!inst.remove("order", &t1("newsweek")).unwrap());
+        let err = inst.remove("order", &t2("time", 855)).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+        let err = inst.remove("deliver", &t1("time")).unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn remove_is_copy_on_write() {
+        let mut a = Relation::from_tuples(1, vec![t1("x"), t1("y")]).unwrap();
+        let b = a.clone();
+        // Removing an absent tuple does not split sharing or change b.
+        assert!(!a.remove(&t1("z")).unwrap());
+        // Removing a present tuple copies-on-write: b keeps both tuples.
+        assert!(a.remove(&t1("x")).unwrap());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&t1("x")));
+    }
+
+    #[test]
+    fn subtract_is_set_difference() {
+        let mut a = Relation::from_tuples(1, vec![t1("x"), t1("y"), t1("z")]).unwrap();
+        let b = Relation::from_tuples(1, vec![t1("y"), t1("w")]).unwrap();
+        a.subtract(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&t1("x")) && a.contains(&t1("z")));
+        // Disjoint subtraction is a no-op that never copies.
+        let shared = a.clone();
+        let disjoint = Relation::from_tuples(1, vec![t1("q")]).unwrap();
+        a.subtract(&disjoint).unwrap();
+        assert_eq!(a, shared);
+        // Arity mismatch is an error.
+        assert!(a.subtract(&Relation::empty(2)).is_err());
     }
 
     #[test]

@@ -107,6 +107,20 @@ impl Store {
         Ok(new)
     }
 
+    /// Retracts a row from a table.  Journals the operation only when the
+    /// row was actually present, mirroring [`Store::insert`]'s duplicate
+    /// policy — replaying the journal is change-for-change.
+    pub fn retract(&mut self, table: &str, row: &Tuple) -> Result<bool, StoreError> {
+        let removed = self.catalog.table_mut(table)?.remove(row)?;
+        if removed {
+            self.journal.append(Operation::Retract {
+                table: table.to_string(),
+                row: row.clone(),
+            });
+        }
+        Ok(removed)
+    }
+
     /// Read access to the catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -193,6 +207,9 @@ impl Store {
                 Operation::Insert { table, row } => {
                     store.insert(table, row.clone())?;
                 }
+                Operation::Retract { table, row } => {
+                    store.retract(table, row)?;
+                }
             }
         }
         Ok(store)
@@ -259,6 +276,31 @@ mod tests {
     fn journal_replay_reproduces_store() {
         let s = sample_store();
         assert_eq!(s.journal().len(), 2 + 4);
+        let replayed = Store::replay(s.journal()).unwrap();
+        assert_eq!(replayed.to_instance().unwrap(), s.to_instance().unwrap());
+    }
+
+    #[test]
+    fn retractions_are_journaled_and_replayed() {
+        let mut s = sample_store();
+        let before = s.journal().len();
+
+        // Only real removals reach the journal.
+        let gone = Tuple::from_iter(vec![Value::str("newsweek"), Value::int(845)]);
+        assert!(s.retract("price", &gone).unwrap());
+        assert!(!s.retract("price", &gone).unwrap());
+        assert!(matches!(
+            s.retract("nope", &gone),
+            Err(StoreError::UnknownTable(_))
+        ));
+        assert_eq!(s.journal().len(), before + 1);
+        assert!(!s.catalog().table("price").unwrap().contains(&gone));
+
+        // A mixed insert/retract journal rebuilds the same store.
+        s.insert("available", Tuple::from_iter(vec![Value::str("lemonde")]))
+            .unwrap();
+        s.retract("available", &Tuple::from_iter(vec![Value::str("time")]))
+            .unwrap();
         let replayed = Store::replay(s.journal()).unwrap();
         assert_eq!(replayed.to_instance().unwrap(), s.to_instance().unwrap());
     }

@@ -21,6 +21,13 @@ pub enum Operation {
         /// The inserted row.
         row: Tuple,
     },
+    /// A row was retracted.
+    Retract {
+        /// Table name.
+        table: String,
+        /// The removed row.
+        row: Tuple,
+    },
 }
 
 /// An append-only journal of operations.

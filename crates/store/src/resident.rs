@@ -7,9 +7,10 @@
 //! [`Journal`](crate::Journal) is exactly the right change feed: every
 //! mutation is already an append-only operation, so keeping a resident
 //! database current is a matter of replaying the journal suffix it has not
-//! seen yet.  Each replayed insert bumps only the touched relation's version
-//! stamp, which is what lets the resident database invalidate indexes (and
-//! sessions invalidate step caches) per relation instead of wholesale.
+//! seen yet.  Each replayed insert or retraction bumps only the touched
+//! relation's version stamp, which is what lets the resident database
+//! invalidate indexes (and sessions invalidate step caches) per relation
+//! instead of wholesale.
 //!
 //! ```
 //! use rtx_store::{ResidentSync, Store};
@@ -59,13 +60,13 @@ impl ResidentSync {
 
     /// Replays the journal suffix this cursor has not seen into `resident`:
     /// `CreateTable` grows the resident schema, `Insert` adds the row and
-    /// bumps the touched relation's version stamp.  Returns the number of
-    /// operations applied.
+    /// `Retract` removes it, each bumping the touched relation's version
+    /// stamp.  Returns the number of operations applied.
     ///
-    /// The journal never records duplicate inserts, so replay against a
-    /// resident database built from the same store is change-for-change: a
-    /// no-op suffix leaves every version stamp (and therefore every index
-    /// and session cache) untouched.
+    /// The journal never records duplicate inserts or retractions of absent
+    /// rows, so replay against a resident database built from the same
+    /// store is change-for-change: a no-op suffix leaves every version
+    /// stamp (and therefore every index and session cache) untouched.
     pub fn sync(&mut self, store: &Store, resident: &ResidentDb) -> Result<usize, StoreError> {
         let operations = store.journal().operations();
         let pending = &operations[self.applied.min(operations.len())..];
@@ -76,6 +77,9 @@ impl ResidentSync {
                 }
                 Operation::Insert { table, row } => {
                     resident.insert(table.as_str(), row.clone())?;
+                }
+                Operation::Retract { table, row } => {
+                    resident.retract(table.as_str(), row)?;
                 }
             }
         }
@@ -160,6 +164,58 @@ mod tests {
 
         assert_eq!(resident.version_of(&available), available_before);
         assert!(resident.version_of(&price) > 0);
+    }
+
+    #[test]
+    fn mixed_insert_and_retract_suffixes_round_trip() {
+        let mut s = store();
+        let (resident, mut sync) = s.to_resident().unwrap();
+
+        // Interleave inserts and retractions, including an insert that is
+        // later retracted and a retraction that is later re-inserted.
+        s.insert(
+            "price",
+            Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]),
+        )
+        .unwrap();
+        s.retract(
+            "price",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)]),
+        )
+        .unwrap();
+        s.insert("available", Tuple::from_iter(["lemonde"]))
+            .unwrap();
+        s.retract(
+            "price",
+            &Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]),
+        )
+        .unwrap();
+        s.insert(
+            "price",
+            Tuple::new(vec![Value::str("time"), Value::int(855)]),
+        )
+        .unwrap();
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 5);
+
+        // The synchronised resident database is byte-identical to one built
+        // from the final store state, and to one built by replaying the
+        // whole journal from scratch.
+        assert_eq!(resident.snapshot(), s.to_instance().unwrap());
+        let (fresh, _) = Store::replay(s.journal()).unwrap().to_resident().unwrap();
+        assert_eq!(resident.snapshot(), fresh.snapshot());
+
+        // Retractions bump versions like inserts do: a session watching
+        // `price` learns about the shrink through the same stamp channel.
+        let price = RelationName::new("price");
+        let before = resident.version_of(&price);
+        s.retract(
+            "price",
+            &Tuple::new(vec![Value::str("newsweek"), Value::int(845)]),
+        )
+        .unwrap();
+        sync.sync(&s, &resident).unwrap();
+        assert!(resident.version_of(&price) > before);
+        assert_eq!(resident.snapshot(), s.to_instance().unwrap());
     }
 
     #[test]

@@ -78,6 +78,56 @@ impl Table {
         Ok(true)
     }
 
+    /// Removes a row, maintaining every secondary index.  Returns whether
+    /// the row was present (removing an absent row is a no-op, mirroring
+    /// [`Table::insert`]'s set semantics).  Costs one scan to locate the
+    /// row slot plus O(indexes) bucket surgery — rows are stored unordered,
+    /// so the vacated slot is filled by the last row and that row's index
+    /// entries are repointed.
+    pub fn remove(&mut self, row: &Tuple) -> Result<bool, StoreError> {
+        if row.arity() != self.arity {
+            return Err(StoreError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.arity,
+                actual: row.arity(),
+            });
+        }
+        if !self.primary.remove(row) {
+            return Ok(false);
+        }
+        let pos = self
+            .rows
+            .iter()
+            .position(|r| r == row)
+            .expect("primary and rows agree");
+        let last = self.rows.len() - 1;
+        for (column, index) in self.secondary.iter_mut() {
+            let value = *row.get(*column).expect("arity checked");
+            if let Some(bucket) = index.get_mut(&value) {
+                bucket.retain(|&i| i != pos);
+                if bucket.is_empty() {
+                    index.remove(&value);
+                }
+            }
+        }
+        self.rows.swap_remove(pos);
+        // The former last row (if any) moved into `pos`: repoint its entries.
+        if pos != last {
+            let moved = self.rows[pos].clone();
+            for (column, index) in self.secondary.iter_mut() {
+                let value = *moved.get(*column).expect("arity checked");
+                if let Some(bucket) = index.get_mut(&value) {
+                    for i in bucket.iter_mut() {
+                        if *i == last {
+                            *i = pos;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
     /// True if the row is present.
     pub fn contains(&self, row: &Tuple) -> bool {
         self.primary.contains(row)
@@ -234,6 +284,45 @@ mod tests {
         assert_eq!(t.name(), "price");
         assert_eq!(t.arity(), 2);
         assert_eq!(t.attributes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_maintains_rows_primary_and_indexes() {
+        let mut t = price_table();
+        t.build_index(0).unwrap();
+
+        // Absent rows and arity mismatches mirror insert's behaviour.
+        assert!(!t
+            .remove(&Tuple::from_iter(vec![
+                Value::str("economist"),
+                Value::int(1)
+            ]))
+            .unwrap());
+        assert!(matches!(
+            t.remove(&Tuple::from_iter(vec![Value::str("x")])),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+
+        // Remove a row that is not last: the swapped row's index entries
+        // must be repointed, and every probe must stay consistent.
+        let time = Tuple::from_iter(vec![Value::str("time"), Value::int(855)]);
+        assert!(t.remove(&time).unwrap());
+        assert_eq!(t.len(), 2);
+        assert!(!t.contains(&time));
+        assert!(t.select_eq(0, &Value::str("time")).unwrap().is_empty());
+        assert_eq!(t.select_eq(0, &Value::str("lemonde")).unwrap().len(), 1);
+        assert_eq!(t.select_eq(0, &Value::str("newsweek")).unwrap().len(), 1);
+
+        // Remove-then-reinsert round-trips.
+        t.insert(time.clone()).unwrap();
+        assert_eq!(t.select_eq(0, &Value::str("time")).unwrap().len(), 1);
+
+        // Draining the table empties every bucket.
+        for row in t.scan().cloned().collect::<Vec<_>>() {
+            assert!(t.remove(&row).unwrap());
+        }
+        assert!(t.is_empty());
+        assert!(t.select_eq(0, &Value::str("lemonde")).unwrap().is_empty());
     }
 
     #[test]

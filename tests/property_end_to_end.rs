@@ -4,14 +4,15 @@
 //! on randomly generated programs and databases.
 
 use proptest::prelude::*;
-use rtx::core::models;
+use rtx::core::{models, Runtime};
 use rtx::datalog::{
-    evaluate_nonrecursive, evaluate_stratified, Atom, BodyLiteral, CompiledProgram, EvalOptions,
-    FixpointStrategy, Parallelism, Program, Rule,
+    evaluate_nonrecursive, evaluate_stratified, Atom, BodyLiteral, CompiledProgram, DredEngine,
+    EvalOptions, FixpointStrategy, MutationBatch, Parallelism, Program, ResidentDb, Rule,
 };
 use rtx::logic::Term;
 use rtx::prelude::*;
 use rtx::verify::log_validation::log_matches;
+use std::sync::Arc;
 
 /// Strategy: a small catalog (product names p0..p{n-1} with prices 1..50).
 fn catalog_strategy() -> impl Strategy<Value = Instance> {
@@ -171,6 +172,170 @@ fn random_edb_strategy() -> impl Strategy<Value = Instance> {
         }
         db
     })
+}
+
+/// One base-relation mutation: insert? (0 = retract), relation selector,
+/// value selectors.  (The offline proptest shim has no `any::<bool>()`, so
+/// coin flips are `0..2` ranges.)
+type MutOp = (usize, usize, usize, usize);
+
+/// A sequence of mutation batches (1–3 ops each) over the EDB vocabulary.
+fn mutation_batches_strategy() -> impl Strategy<Value = Vec<Vec<MutOp>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..2, 0usize..3, 0usize..4, 0usize..4), 1..4),
+        1..5,
+    )
+}
+
+fn mutation_tuple(rel_sel: usize, v1: usize, v2: usize) -> (&'static str, Tuple) {
+    let (rel, arity) = EDB_RELATIONS[rel_sel % EDB_RELATIONS.len()];
+    let tuple = if arity == 1 {
+        Tuple::from_iter([DOMAIN[v1]])
+    } else {
+        Tuple::from_iter([DOMAIN[v1], DOMAIN[v2]])
+    };
+    (rel, tuple)
+}
+
+/// A customer session interleaved with catalog mutations: per step, orders,
+/// payments, and insert/retract operations against `price`/`available`.
+type MutatedStep = (
+    Vec<usize>,
+    Vec<(usize, i64)>,
+    Vec<(usize, usize, usize, i64)>,
+);
+
+fn mutated_session_strategy() -> impl Strategy<Value = Vec<MutatedStep>> {
+    let step = (
+        proptest::collection::vec(0usize..3, 0..3),
+        proptest::collection::vec((0usize..3, 1i64..50), 0..2),
+        proptest::collection::vec((0usize..2, 0usize..2, 0usize..3, 1i64..50), 0..3),
+    );
+    proptest::collection::vec(step, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The retraction equivalence: randomized insert+retract batches over
+    /// randomized stratified programs, maintained incrementally by the
+    /// delete-rederive engine, always leave the derived instance
+    /// bit-identical to a from-scratch rebuild over the mutated base — at
+    /// 1, 2 and 8 workers (threshold zero, so even tiny deltas take the
+    /// parallel code path).
+    #[test]
+    fn dred_maintenance_matches_rebuild_from_scratch(
+        program in random_program_strategy(),
+        db in random_edb_strategy(),
+        batches in mutation_batches_strategy(),
+    ) {
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let mut engines: Vec<DredEngine> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                DredEngine::with_parallelism(
+                    &program,
+                    db.clone(),
+                    Parallelism::threads(t).with_threshold(0),
+                )
+                .unwrap()
+            })
+            .collect();
+        for ops in &batches {
+            let mut batch = MutationBatch::new();
+            for &(insert, rel_sel, v1, v2) in ops {
+                let insert = insert == 1;
+                let (rel, tuple) = mutation_tuple(rel_sel, v1, v2);
+                batch = if insert {
+                    batch.insert(rel, tuple)
+                } else {
+                    batch.retract(rel, tuple)
+                };
+            }
+            for engine in engines.iter_mut() {
+                engine.apply(&batch).unwrap();
+            }
+            let (oracle, _) = compiled.evaluate(&[engines[0].database()]).unwrap();
+            for engine in &engines {
+                prop_assert_eq!(
+                    engine.derived(), &oracle,
+                    "delete-rederive ≠ rebuild\n{}", program
+                );
+            }
+        }
+    }
+
+    /// The session arm of the retraction equivalence: catalog inserts *and*
+    /// retractions land on the shared resident database mid-session, and
+    /// every step of the incremental `StepEvaluator`-backed session must
+    /// equal a fresh full evaluation of the output program against the
+    /// current catalog — at 1, 2 and 8 workers.
+    #[test]
+    fn sessions_observe_catalog_retractions_like_fresh_evaluations(
+        db in catalog_strategy(),
+        steps in mutated_session_strategy(),
+    ) {
+        let transducer = models::short();
+        let compiled = transducer.compiled_output_program();
+        let input_schema = models::short_input_schema();
+        for threads in [1usize, 2, 8] {
+            let resident = Arc::new(ResidentDb::new(db.clone()));
+            let runtime = Runtime::shared_with(
+                Arc::clone(&resident),
+                Parallelism::threads(threads).with_threshold(0),
+            );
+            let mut session = runtime.open_session("prop", models::short()).unwrap();
+            for (orders, pays, mutations) in &steps {
+                // Mutate the shared catalog before the step.
+                for &(insert, on_price, sel, amount) in mutations {
+                    let (insert, on_price) = (insert == 1, on_price == 1);
+                    if on_price {
+                        let row = Tuple::new(vec![
+                            Value::str(format!("p{sel}")),
+                            Value::int(amount),
+                        ]);
+                        if insert {
+                            resident.insert("price", row).unwrap();
+                        } else {
+                            resident.retract("price", &row).unwrap();
+                        }
+                    } else {
+                        let row = Tuple::from_iter([format!("p{sel}").as_str()]);
+                        if insert {
+                            resident.insert("available", row).unwrap();
+                        } else {
+                            resident.retract("available", &row).unwrap();
+                        }
+                    }
+                }
+                let mut input = Instance::empty(&input_schema);
+                for &o in orders {
+                    input
+                        .insert("order", Tuple::from_iter([format!("p{o}").as_str()]))
+                        .unwrap();
+                }
+                for &(p, amount) in pays {
+                    input
+                        .insert(
+                            "pay",
+                            Tuple::new(vec![Value::str(format!("p{p}")), Value::int(amount)]),
+                        )
+                        .unwrap();
+                }
+                let state_before = session.state().clone();
+                let out = session.step(&input).unwrap();
+                let snapshot = resident.snapshot();
+                let (oracle_derived, _) =
+                    compiled.evaluate(&[&input, &state_before, &snapshot]).unwrap();
+                let mut oracle = Instance::empty(transducer.schema().output());
+                oracle.absorb(&oracle_derived).unwrap();
+                prop_assert_eq!(
+                    &out, &oracle,
+                    "session step ≠ fresh evaluation at {} threads", threads
+                );
+            }
+        }
+    }
 }
 
 proptest! {
