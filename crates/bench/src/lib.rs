@@ -17,6 +17,8 @@
 //! * `parallel_strata` — data-parallel stratum evaluation vs. thread count;
 //! * `mutation` — delete-rederive maintenance of a 1-tuple retraction
 //!   against a 100k-product catalog vs. full re-evaluation;
+//! * `durability` — WAL append throughput per fsync policy (real files),
+//!   snapshot writes, and cold recovery vs. journal length;
 //! * `bs_sat` — grounded Bernays–Schönfinkel satisfiability scaling.
 //!
 //! The library itself only hosts shared helpers.

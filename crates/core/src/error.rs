@@ -38,6 +38,9 @@ pub enum CoreError {
     Datalog(rtx_datalog::DatalogError),
     /// An error bubbled up from the relational layer.
     Relational(rtx_relational::RelationalError),
+    /// An error bubbled up from the durable store (I/O, corruption,
+    /// journal truncation).
+    Store(rtx_store::StoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +53,7 @@ impl fmt::Display for CoreError {
             CoreError::Runtime { detail } => write!(f, "runtime error: {detail}"),
             CoreError::Datalog(e) => write!(f, "datalog error: {e}"),
             CoreError::Relational(e) => write!(f, "relational error: {e}"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -65,6 +69,12 @@ impl From<rtx_datalog::DatalogError> for CoreError {
 impl From<rtx_relational::RelationalError> for CoreError {
     fn from(e: rtx_relational::RelationalError) -> Self {
         CoreError::Relational(e)
+    }
+}
+
+impl From<rtx_store::StoreError> for CoreError {
+    fn from(e: rtx_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

@@ -32,7 +32,11 @@
 //!   [`Runtime`] owning one shared version-stamped
 //!   [`ResidentDb`](rtx_datalog::ResidentDb) and serving many named
 //!   concurrent [`Session`]s, each a transducer run fed one input at a time
-//!   and evaluated incrementally against the cumulative-state deltas.
+//!   and evaluated incrementally against the cumulative-state deltas;
+//! * [`durable`] — the same service backed by crash-safe storage: a
+//!   [`DurableRuntime`] write-ahead logs every catalog mutation through
+//!   `rtx-store`'s WAL + snapshot layer, and [`Runtime::open_durable`]
+//!   recovers the committed catalog after a crash.
 //!
 //! The prepare/resident lifecycle: a one-shot
 //! [`RelationalTransducer::run`] makes its database resident for the
@@ -53,6 +57,7 @@
 mod builder;
 mod control;
 mod dsl;
+pub mod durable;
 mod error;
 pub mod models;
 mod propositional;
@@ -65,6 +70,7 @@ mod transducer;
 pub use builder::SpocusBuilder;
 pub use control::ControlDiscipline;
 pub use dsl::parse_transducer;
+pub use durable::DurableRuntime;
 pub use error::CoreError;
 pub use propositional::PropositionalTransducer;
 pub use run::{Run, RunStep};

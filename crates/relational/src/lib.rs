@@ -26,6 +26,9 @@
 //! * [`InstanceSequence`] — a finite sequence of instances over one schema,
 //!   with the projection ("restriction to the log relations") the paper uses
 //!   to define logs;
+//! * [`codec`] — the little-endian binary codec values and tuples cross the
+//!   process boundary with (WAL records, snapshots), serializing symbols by
+//!   text;
 //! * [`active_domain`] helpers — the set of constants occurring in instances,
 //!   needed by the small-model constructions of the verification crate.
 //!
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 mod fxhash;
 mod index;

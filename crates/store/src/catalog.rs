@@ -131,6 +131,13 @@ impl Store {
         &self.journal
     }
 
+    /// Mutable journal access for the durable layer (truncation after a
+    /// snapshot, rebasing after recovery).  Crate-private: callers outside
+    /// the store must not edit the operation stream.
+    pub(crate) fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
     /// Builds a secondary index on `table.column`.
     pub fn build_index(&mut self, table: &str, column: usize) -> Result<(), StoreError> {
         self.catalog.table_mut(table)?.build_index(column)

@@ -30,22 +30,36 @@ pub enum Operation {
     },
 }
 
-/// An append-only journal of operations.
+/// An append-only journal of operations, addressed by **absolute** offsets.
 ///
-/// The journal is the minimal durability mechanism the store offers: every
-/// mutating operation on a [`crate::Store`] is appended here and a fresh
-/// store with identical contents can be rebuilt with
-/// [`crate::Store::replay`].  (Persistence to disk is intentionally out of
-/// scope — the paper's substrate only needs a queryable catalog — but the
-/// journal gives the store the same recover-by-replay structure a durable
-/// implementation would have.)
+/// Every mutating operation on a [`crate::Store`] is appended here; a fresh
+/// store with identical contents can be rebuilt with [`crate::Store::replay`],
+/// and the journal is the change feed the resident runtime
+/// ([`crate::ResidentSync`]) and the durable layer ([`crate::DurableStore`])
+/// both consume.  On disk the same operation stream becomes the write-ahead
+/// log: [`crate::DurableStore`] encodes each appended operation as a
+/// CRC-checksummed WAL record, so the in-memory journal and the persisted
+/// log are two views of one sequence.
+///
+/// # Base offsets and truncation
+///
+/// Operations have *absolute* indices: the i-th operation ever journaled has
+/// index `i`, forever.  The journal holds the suffix starting at
+/// [`Journal::base`] and ending at [`Journal::end`]; [`Journal::clear`]
+/// (called after a snapshot) drops the buffered operations but **advances the
+/// base** instead of resetting it, so cursors holding absolute positions
+/// (like [`crate::ResidentSync::applied`]) stay meaningful across
+/// truncation.  The base is monotone — it only ever grows.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Journal {
+    /// Absolute index of `operations[0]`: how many operations were appended
+    /// and then truncated away by earlier [`Journal::clear`] calls.
+    base: usize,
     operations: Vec<Operation>,
 }
 
 impl Journal {
-    /// Creates an empty journal.
+    /// Creates an empty journal with base offset 0.
     pub fn new() -> Self {
         Journal::default()
     }
@@ -55,24 +69,53 @@ impl Journal {
         self.operations.push(op);
     }
 
-    /// The operations, in append order.
+    /// The buffered operations (absolute indices [`Journal::base`]`..`
+    /// [`Journal::end`]), in append order.
     pub fn operations(&self) -> &[Operation] {
         &self.operations
     }
 
-    /// Number of journaled operations.
+    /// Absolute index of the first buffered operation — the number of
+    /// operations truncated away by [`Journal::clear`].
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Absolute index one past the last buffered operation: the total number
+    /// of operations ever journaled.
+    pub fn end(&self) -> usize {
+        self.base + self.operations.len()
+    }
+
+    /// Number of currently buffered operations ([`Journal::end`] minus
+    /// [`Journal::base`]).
     pub fn len(&self) -> usize {
         self.operations.len()
     }
 
-    /// True if nothing has been journaled.
+    /// True if no operations are currently buffered.
     pub fn is_empty(&self) -> bool {
         self.operations.is_empty()
     }
 
-    /// Truncates the journal (e.g. after a snapshot).
+    /// Truncates the buffered operations (e.g. after a snapshot has made
+    /// them redundant), advancing [`Journal::base`] past them so absolute
+    /// offsets held by cursors stay correct.
     pub fn clear(&mut self) {
+        self.base += self.operations.len();
         self.operations.clear();
+    }
+
+    /// Fast-forwards the base offset of an empty journal to `base` — used by
+    /// recovery so a store rebuilt from a snapshot of `n` operations resumes
+    /// journaling at absolute index `n` rather than 0.
+    ///
+    /// Only ever moves forward on an empty journal; any other call is a
+    /// recovery-logic bug and panics in debug builds (release builds clamp).
+    pub(crate) fn rebase(&mut self, base: usize) {
+        debug_assert!(self.operations.is_empty(), "rebase of non-empty journal");
+        debug_assert!(base >= self.base, "rebase must be monotone");
+        self.base = self.base.max(base);
     }
 }
 
@@ -99,5 +142,38 @@ mod tests {
         assert!(matches!(j.operations()[1], Operation::Insert { .. }));
         j.clear();
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn clear_advances_the_base_monotonically() {
+        let mut j = Journal::new();
+        assert_eq!((j.base(), j.end()), (0, 0));
+        for i in 0..3 {
+            j.append(Operation::Insert {
+                table: "t".into(),
+                row: Tuple::from_iter(vec![Value::int(i)]),
+            });
+        }
+        assert_eq!((j.base(), j.end(), j.len()), (0, 3, 3));
+        j.clear();
+        // Truncation keeps absolute positions: the next append is op #3.
+        assert_eq!((j.base(), j.end(), j.len()), (3, 3, 0));
+        j.append(Operation::Insert {
+            table: "t".into(),
+            row: Tuple::from_iter(vec![Value::int(99)]),
+        });
+        assert_eq!((j.base(), j.end(), j.len()), (3, 4, 1));
+        j.clear();
+        assert_eq!((j.base(), j.end()), (4, 4));
+    }
+
+    #[test]
+    fn rebase_fast_forwards_an_empty_journal() {
+        let mut j = Journal::new();
+        j.rebase(7);
+        assert_eq!((j.base(), j.end()), (7, 7));
+        // Monotone: rebasing backwards clamps to the current base.
+        j.rebase(7);
+        assert_eq!(j.base(), 7);
     }
 }

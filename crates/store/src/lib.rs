@@ -17,26 +17,65 @@
 //!   generators and benchmarks;
 //! * conversion to and from the `rtx-relational` [`Instance`](rtx_relational::Instance) type, which is
 //!   what the transducer runtime consumes at each step;
-//! * a write-ahead [`Journal`] (append-only operation log) with replay, which
-//!   is the minimal durability story an electronic-commerce deployment needs
-//!   for its catalog updates;
+//! * a write-ahead [`Journal`] (append-only operation log) with replay and
+//!   absolute base offsets that survive truncation;
 //! * a bridge to the resident runtime ([`Store::to_resident`] +
 //!   [`ResidentSync`]): the catalog becomes a version-stamped
 //!   [`ResidentDb`](rtx_datalog::ResidentDb) shared by every session, and
-//!   journal replay keeps it current with per-relation version bumps.
+//!   journal replay keeps it current with per-relation version bumps;
+//! * a crash-safe durable layer ([`DurableStore`]) over a pluggable storage
+//!   backend ([`Vfs`]), with deterministic fault injection ([`FaultVfs`])
+//!   for testing recovery.
+//!
+//! # Durability lifecycle
+//!
+//! The durable layer persists the store as **one snapshot plus a WAL tail**,
+//! moving through a fixed lifecycle:
+//!
+//! 1. **Append** — every mutation is encoded as a length-prefixed,
+//!    CRC32-checksummed record and appended to the on-disk WAL *before* it is
+//!    applied to the in-memory catalog (write-ahead ordering).  Interned
+//!    symbols cross this boundary by text, so a recovering process (with an
+//!    empty [`SymbolTable`](rtx_relational::SymbolTable)) re-interns them.
+//! 2. **Fsync policy** — [`FsyncPolicy`] decides when appended records become
+//!    durable: `Always` (fsync per commit), `EveryN` (group commit), or
+//!    `Never` (leave it to the OS).  The `RTX_FSYNC` environment variable
+//!    overrides the policy at [`DurableStore::open`] time.
+//! 3. **Snapshot** — [`DurableStore::checkpoint`] writes the whole catalog to
+//!    a temp file, fsyncs it, and atomically renames it into place.  The
+//!    snapshot records the absolute operation count it captures.
+//! 4. **Truncate** — only after the snapshot is durable is the WAL reset (new
+//!    epoch, base offset = snapshot's operation count) and the in-memory
+//!    [`Journal`] cleared.  [`Journal::clear`] advances a monotone base
+//!    offset, so [`ResidentSync`] cursors holding absolute positions resume
+//!    correctly after truncation.
+//! 5. **Recover** — [`DurableStore::open`] loads the latest valid snapshot
+//!    and replays the WAL tail.  A torn final record (the classic
+//!    half-written append at the crash point) is detected by length/CRC
+//!    mismatch and dropped with a note in the [`RecoveryReport`]; corruption
+//!    *before* the tail is a hard [`StoreError::Corrupt`] with a byte offset.
+//!
+//! Recovery is exercised by a deterministic fault-injection harness
+//! ([`FaultVfs`]) that crashes the storage backend at the k-th I/O operation;
+//! the workspace-level kill-and-recover sweep asserts that for *every* crash
+//! point the recovered state equals the committed prefix of the workload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod catalog;
+mod durable;
 mod journal;
 mod resident;
 mod table;
+mod vfs;
 
 pub use catalog::{Catalog, Store};
+pub use durable::{DurableStore, FsyncPolicy, RecoveryReport, TornTail};
 pub use journal::{Journal, Operation};
 pub use resident::ResidentSync;
 pub use table::Table;
+pub use vfs::{Fault, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
 
 /// Errors produced by the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +102,35 @@ pub enum StoreError {
     },
     /// An error from the relational layer.
     Relational(rtx_relational::RelationalError),
+    /// An I/O error from the storage backend.  The rendered
+    /// [`std::io::Error`] (operation, path, OS detail) is captured as text so
+    /// the error type stays `Clone + PartialEq + Eq` like the rest of the
+    /// enum.
+    Io {
+        /// What failed, where, and why (e.g. `"fsync wal: No space left"`).
+        context: String,
+    },
+    /// Persisted data failed validation during recovery — a checksum or
+    /// structural mismatch *before* the final WAL record, or an unreadable
+    /// snapshot.  (A torn **final** record is not corruption: it is dropped
+    /// gracefully and reported via
+    /// [`RecoveryReport::torn_tail`].)
+    Corrupt {
+        /// Byte offset into the corrupt file where validation failed.
+        offset: u64,
+        /// What the validator expected vs. what it found.
+        reason: String,
+    },
+    /// A [`ResidentSync`] cursor points below the journal's base offset —
+    /// the operations it still needed were truncated away before it synced
+    /// them.  The cursor holder must rebuild its resident database from a
+    /// fresh [`Store::to_resident`].
+    JournalTruncated {
+        /// The cursor's absolute position.
+        applied: usize,
+        /// The journal's base offset (first operation still buffered).
+        base: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -82,6 +150,14 @@ impl std::fmt::Display for StoreError {
                 write!(f, "column {column} out of range for table `{table}`")
             }
             StoreError::Relational(e) => write!(f, "relational error: {e}"),
+            StoreError::Io { context } => write!(f, "i/o error: {context}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt store data at byte {offset}: {reason}")
+            }
+            StoreError::JournalTruncated { applied, base } => write!(
+                f,
+                "journal truncated past cursor: applied {applied} < base {base}"
+            ),
         }
     }
 }

@@ -42,18 +42,25 @@ use rtx_datalog::ResidentDb;
 
 /// A cursor over a store's journal tracking how far a [`ResidentDb`] has
 /// been synchronised — obtained from [`Store::to_resident`].
+///
+/// The position is an **absolute** operation index (see
+/// [`Journal::base`](crate::Journal::base)): it stays meaningful when the journal is
+/// truncated after a snapshot, because truncation advances the journal's
+/// base offset instead of renumbering the surviving operations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResidentSync {
     applied: usize,
 }
 
 impl ResidentSync {
-    /// A cursor that has applied the first `applied` journal operations.
+    /// A cursor that has applied the journal operations with absolute index
+    /// below `applied`.
     pub fn at(applied: usize) -> Self {
         ResidentSync { applied }
     }
 
-    /// Number of journal operations already applied.
+    /// Absolute index of the next journal operation to apply (equivalently:
+    /// the number of operations ever journaled that this cursor has seen).
     pub fn applied(&self) -> usize {
         self.applied
     }
@@ -67,9 +74,24 @@ impl ResidentSync {
     /// rows, so replay against a resident database built from the same
     /// store is change-for-change: a no-op suffix leaves every version
     /// stamp (and therefore every index and session cache) untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::JournalTruncated`] if the journal was cleared
+    /// past this cursor's position — operations this cursor still needed are
+    /// gone, so the resident database can no longer be brought current
+    /// incrementally and must be rebuilt via [`Store::to_resident`].
     pub fn sync(&mut self, store: &Store, resident: &ResidentDb) -> Result<usize, StoreError> {
-        let operations = store.journal().operations();
-        let pending = &operations[self.applied.min(operations.len())..];
+        let journal = store.journal();
+        if self.applied < journal.base() {
+            return Err(StoreError::JournalTruncated {
+                applied: self.applied,
+                base: journal.base(),
+            });
+        }
+        let operations = journal.operations();
+        let start = (self.applied - journal.base()).min(operations.len());
+        let pending = &operations[start..];
         for op in pending {
             match op {
                 Operation::CreateTable { name, arity, .. } => {
@@ -84,7 +106,7 @@ impl ResidentSync {
             }
         }
         let applied = pending.len();
-        self.applied = operations.len();
+        self.applied = journal.end();
         Ok(applied)
     }
 }
@@ -95,7 +117,7 @@ impl Store {
     /// the current journal head so later writes replay incrementally.
     pub fn to_resident(&self) -> Result<(ResidentDb, ResidentSync), StoreError> {
         let resident = ResidentDb::new(self.to_instance()?);
-        Ok((resident, ResidentSync::at(self.journal().len())))
+        Ok((resident, ResidentSync::at(self.journal().end())))
     }
 }
 
@@ -216,6 +238,47 @@ mod tests {
         sync.sync(&s, &resident).unwrap();
         assert!(resident.version_of(&price) > before);
         assert_eq!(resident.snapshot(), s.to_instance().unwrap());
+    }
+
+    #[test]
+    fn sync_survives_journal_truncation() {
+        // Regression test for the `Journal::clear`/`ResidentSync` desync:
+        // `applied` is an absolute count, so truncating the journal after a
+        // snapshot used to make the next sync silently re-slice from a stale
+        // relative index.  With the monotone base offset, a cursor that was
+        // current at truncation time resumes exactly at the new writes.
+        let mut s = store();
+        let (resident, mut sync) = s.to_resident().unwrap();
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 0);
+
+        // Snapshot point: drop the buffered operations.
+        let end_before = s.journal().end();
+        s.journal_mut().clear();
+        assert_eq!(s.journal().base(), end_before);
+
+        // The cursor is *not* desynchronized: nothing pending, and new
+        // writes after truncation flow through exactly once.
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 0);
+        s.insert(
+            "price",
+            Tuple::new(vec![Value::str("lemonde"), Value::int(8350)]),
+        )
+        .unwrap();
+        assert_eq!(sync.sync(&s, &resident).unwrap(), 1);
+        assert_eq!(resident.snapshot(), s.to_instance().unwrap());
+        assert_eq!(sync.applied(), s.journal().end());
+
+        // A cursor left *behind* the truncation point cannot resume — the
+        // operations it needed are gone.  That is a hard, typed error, not a
+        // silent partial replay.
+        let mut stale = ResidentSync::at(0);
+        assert_eq!(
+            stale.sync(&s, &resident),
+            Err(StoreError::JournalTruncated {
+                applied: 0,
+                base: end_before,
+            })
+        );
     }
 
     #[test]

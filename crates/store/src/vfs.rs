@@ -1,0 +1,590 @@
+//! Storage backends: the [`Vfs`] abstraction the durable layer writes
+//! through, with real-filesystem, in-memory and fault-injecting
+//! implementations.
+//!
+//! Every byte the durable layer persists flows through a [`Vfs`], so the
+//! *same* WAL/snapshot/recovery code runs against
+//!
+//! * [`StdVfs`] — real files under a root directory (production shape);
+//! * [`MemVfs`] — an in-memory file map shared by `Arc`, which is what lets a
+//!   test "reboot": drop the [`crate::DurableStore`], keep the `MemVfs`, and
+//!   recover from exactly the bytes that were "on disk";
+//! * [`FaultVfs`] — a wrapper injecting a deterministic [`Fault`] at the k-th
+//!   I/O operation: a transient error, a crash (every later operation fails),
+//!   a **torn write** (a prefix of the bytes persists, then crash) or a
+//!   **short read**.  Sweeping k across a workload turns "does recovery
+//!   work?" into an exhaustive, deterministic property test — every I/O
+//!   operation of the workload becomes a crash point.
+//!
+//! The interface is deliberately small — whole-file reads, append handles,
+//! atomic write+rename, remove — because that is all a WAL-plus-snapshot
+//! design needs, and a small surface keeps the fault matrix exhaustive.
+
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn io_err(op: &str, path: &str, detail: impl std::fmt::Display) -> StoreError {
+    StoreError::Io {
+        context: format!("{op} {path}: {detail}"),
+    }
+}
+
+/// An append handle to one file of a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Appends bytes at the end of the file.
+    fn append(&mut self, data: &[u8]) -> Result<(), StoreError>;
+
+    /// Forces appended bytes to stable storage (fsync).
+    fn sync(&mut self) -> Result<(), StoreError>;
+}
+
+/// A minimal storage backend: named files addressed by relative path.
+///
+/// Implementations must make [`Vfs::write_atomic`] all-or-nothing with
+/// respect to crashes (write to a temp name, fsync, rename) — recovery
+/// depends on never seeing a half-written snapshot.
+pub trait Vfs: Send + Sync {
+    /// The whole content of `path`, or `None` if the file does not exist.
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Opens `path` for appending, creating it empty if absent.
+    fn open_append(&self, path: &str) -> Result<Box<dyn VfsFile>, StoreError>;
+
+    /// Replaces `path` with `data` atomically (temp file + fsync + rename):
+    /// after a crash, `path` holds either its old content or all of `data`,
+    /// never a prefix.
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes `path`; removing an absent file succeeds.
+    fn remove(&self, path: &str) -> Result<(), StoreError>;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs
+// ---------------------------------------------------------------------------
+
+/// The real filesystem, rooted at a directory (created on construction).
+#[derive(Debug, Clone)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// A backend rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create directory", &root.display().to_string(), e))?;
+        Ok(StdVfs { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    /// Best-effort directory fsync, so renames themselves are durable on
+    /// filesystems that need it.  Failure to *open* the directory is
+    /// ignored (not all platforms allow it); a failing fsync on an opened
+    /// directory is reported.
+    fn sync_root(&self) -> Result<(), StoreError> {
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            dir.sync_all()
+                .map_err(|e| io_err("sync directory", &self.root.display().to_string(), e))?;
+        }
+        Ok(())
+    }
+}
+
+struct StdFile {
+    file: std::fs::File,
+    path: String,
+}
+
+impl VfsFile for StdFile {
+    fn append(&mut self, data: &[u8]) -> Result<(), StoreError> {
+        self.file
+            .write_all(data)
+            .map_err(|e| io_err("append", &self.path, e))
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("fsync", &self.path, e))
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match std::fs::read(self.full(path)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", path, e)),
+        }
+    }
+
+    fn open_append(&self, path: &str) -> Result<Box<dyn VfsFile>, StoreError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.full(path))
+            .map_err(|e| io_err("open for append", path, e))?;
+        Ok(Box::new(StdFile {
+            file,
+            path: path.to_string(),
+        }))
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StoreError> {
+        let tmp_name = format!("{path}.tmp");
+        let tmp = self.full(&tmp_name);
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp_name, e))?;
+        file.write_all(data)
+            .map_err(|e| io_err("write", &tmp_name, e))?;
+        file.sync_all().map_err(|e| io_err("fsync", &tmp_name, e))?;
+        drop(file);
+        std::fs::rename(&tmp, self.full(path)).map_err(|e| io_err("rename", path, e))?;
+        self.sync_root()
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.full(path)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", path, e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs
+// ---------------------------------------------------------------------------
+
+/// An in-memory backend: a shared map from path to bytes.
+///
+/// Clones share the same files (`Arc` inside), which is how recovery tests
+/// simulate a reboot: the [`crate::DurableStore`] is dropped, the `MemVfs`
+/// survives as "the disk", and a fresh store recovers from it.
+#[derive(Debug, Clone, Default)]
+pub struct MemVfs {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    /// The names of the files currently held, in order.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files
+            .lock()
+            .expect("mem vfs")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The size of `path` in bytes, if it exists.
+    pub fn len_of(&self, path: &str) -> Option<usize> {
+        self.files.lock().expect("mem vfs").get(path).map(Vec::len)
+    }
+
+    /// Overwrites one byte of `path` in place — the corruption primitive of
+    /// the recovery tests.  Panics if the file or offset does not exist
+    /// (tests only).
+    pub fn corrupt_byte(&self, path: &str, offset: usize) {
+        let mut files = self.files.lock().expect("mem vfs");
+        let file = files.get_mut(path).expect("corrupt_byte: no such file");
+        file[offset] ^= 0xFF;
+    }
+
+    /// Truncates `path` to `len` bytes — the torn-tail primitive of the
+    /// recovery tests.  Panics if the file does not exist (tests only).
+    pub fn truncate(&self, path: &str, len: usize) {
+        let mut files = self.files.lock().expect("mem vfs");
+        files
+            .get_mut(path)
+            .expect("truncate: no such file")
+            .truncate(len);
+    }
+}
+
+struct MemFile {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    path: String,
+}
+
+impl VfsFile for MemFile {
+    fn append(&mut self, data: &[u8]) -> Result<(), StoreError> {
+        self.files
+            .lock()
+            .expect("mem vfs")
+            .entry(self.path.clone())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.files.lock().expect("mem vfs").get(path).cloned())
+    }
+
+    fn open_append(&self, path: &str) -> Result<Box<dyn VfsFile>, StoreError> {
+        self.files
+            .lock()
+            .expect("mem vfs")
+            .entry(path.to_string())
+            .or_default();
+        Ok(Box::new(MemFile {
+            files: Arc::clone(&self.files),
+            path: path.to_string(),
+        }))
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.files
+            .lock()
+            .expect("mem vfs")
+            .insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StoreError> {
+        self.files.lock().expect("mem vfs").remove(path);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------------
+
+/// What happens at the k-th I/O operation of a [`FaultVfs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails once; every later operation succeeds (a
+    /// transient I/O error).
+    Error,
+    /// The operation fails and so does every later one (a clean kill: the
+    /// operation's bytes never reach the backing store).
+    Crash,
+    /// If the operation writes, only a prefix of its bytes reaches the
+    /// backing store; then every later operation fails (a torn write —
+    /// the classic half-written final WAL record).  Non-writing operations
+    /// behave as [`Fault::Crash`].
+    TornWrite,
+    /// If the operation is a read, it returns only a prefix of the file;
+    /// later operations succeed.  Non-reading operations behave as
+    /// [`Fault::Error`].
+    ShortRead,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Operations remaining before the fault fires (fires at 0).
+    remaining: u64,
+    fault: Fault,
+    /// Set once a [`Fault::Crash`]/[`Fault::TornWrite`] fired: every
+    /// subsequent operation fails.
+    crashed: bool,
+    /// Set once any fault fired (for [`FaultVfs::fired`]).
+    fired: bool,
+    /// Total operations observed (for [`FaultVfs::operations`]).
+    observed: u64,
+}
+
+/// A [`Vfs`] wrapper that injects one deterministic [`Fault`] at the k-th
+/// I/O operation, counting every `read`, `append`, `sync`, `write_atomic`
+/// and `remove` uniformly.
+#[derive(Debug, Clone)]
+pub struct FaultVfs<V> {
+    base: V,
+    state: Arc<Mutex<FaultState>>,
+}
+
+enum Op<'a> {
+    Read,
+    Write(&'a [u8]),
+    Other,
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    /// Wraps `base`, arming `fault` to fire at I/O operation number `k`
+    /// (1-based: `k = 1` faults the very first operation).
+    pub fn new(base: V, k: u64, fault: Fault) -> Self {
+        FaultVfs {
+            base,
+            state: Arc::new(Mutex::new(FaultState {
+                remaining: k.max(1),
+                fault,
+                crashed: false,
+                fired: false,
+                observed: 0,
+            })),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn base(&self) -> &V {
+        &self.base
+    }
+
+    /// True if the armed fault has fired.
+    pub fn fired(&self) -> bool {
+        self.state.lock().expect("fault state").fired
+    }
+
+    /// Total I/O operations observed so far (including the faulted one).
+    pub fn operations(&self) -> u64 {
+        self.state.lock().expect("fault state").observed
+    }
+
+    /// Ticks the operation counter; decides what this operation must do.
+    fn tick(&self, op: &Op<'_>) -> Verdict {
+        let mut s = self.state.lock().expect("fault state");
+        s.observed += 1;
+        if s.crashed {
+            return Verdict::Fail;
+        }
+        if s.fired && !matches!(s.fault, Fault::Crash | Fault::TornWrite) {
+            return Verdict::Proceed;
+        }
+        if s.remaining > 1 {
+            s.remaining -= 1;
+            return Verdict::Proceed;
+        }
+        if s.remaining == 0 {
+            return Verdict::Proceed; // already fired (transient modes)
+        }
+        // remaining == 1: this is the k-th operation.
+        s.remaining = 0;
+        s.fired = true;
+        match (s.fault, op) {
+            (Fault::TornWrite, Op::Write(data)) => {
+                s.crashed = true;
+                Verdict::Torn(data.len() / 2)
+            }
+            (Fault::TornWrite | Fault::Crash, _) => {
+                s.crashed = true;
+                Verdict::Fail
+            }
+            (Fault::ShortRead, Op::Read) => Verdict::Short,
+            (Fault::ShortRead, _) | (Fault::Error, _) => Verdict::Fail,
+        }
+    }
+
+    fn injected(&self, what: &str) -> StoreError {
+        StoreError::Io {
+            context: format!("injected fault: {what}"),
+        }
+    }
+}
+
+enum Verdict {
+    Proceed,
+    Fail,
+    /// Persist only this many bytes of the write, then fail.
+    Torn(usize),
+    /// Return only a prefix of the read.
+    Short,
+}
+
+/// An append handle whose operations tick the shared fault state.
+struct FaultFile<V: Vfs> {
+    vfs: FaultVfs<V>,
+    inner: Box<dyn VfsFile>,
+}
+
+impl<V: Vfs + Clone + Send + Sync + 'static> VfsFile for FaultFile<V> {
+    fn append(&mut self, data: &[u8]) -> Result<(), StoreError> {
+        match self.vfs.tick(&Op::Write(data)) {
+            Verdict::Proceed => self.inner.append(data),
+            Verdict::Torn(prefix) => {
+                // Persist the torn prefix through the un-ticked inner handle,
+                // then report failure: the caller sees an error, the "disk"
+                // holds half a record.
+                let _ = self.inner.append(&data[..prefix]);
+                Err(self.vfs.injected("torn append"))
+            }
+            _ => Err(self.vfs.injected("append")),
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        match self.vfs.tick(&Op::Other) {
+            Verdict::Proceed => self.inner.sync(),
+            _ => Err(self.vfs.injected("fsync")),
+        }
+    }
+}
+
+impl<V: Vfs + Clone + 'static> Vfs for FaultVfs<V> {
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match self.tick(&Op::Read) {
+            Verdict::Proceed => self.base.read(path),
+            Verdict::Short => Ok(self
+                .base
+                .read(path)?
+                .map(|bytes| bytes[..bytes.len() / 2].to_vec())),
+            _ => Err(self.injected("read")),
+        }
+    }
+
+    fn open_append(&self, path: &str) -> Result<Box<dyn VfsFile>, StoreError> {
+        // Opening is not itself a faultable operation (it moves no bytes),
+        // but a crashed backend stays unreachable.
+        if self.state.lock().expect("fault state").crashed {
+            return Err(self.injected("open"));
+        }
+        Ok(Box::new(FaultFile {
+            vfs: self.clone(),
+            inner: self.base.open_append(path)?,
+        }))
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StoreError> {
+        match self.tick(&Op::Write(data)) {
+            Verdict::Proceed => self.base.write_atomic(path, data),
+            // An atomic write is all-or-nothing even torn: the temp file
+            // tears, the rename never happens, the destination keeps its
+            // old content.  So Torn degrades to plain failure here.
+            _ => Err(self.injected("atomic write")),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StoreError> {
+        match self.tick(&Op::Other) {
+            Verdict::Proceed => self.base.remove(path),
+            _ => Err(self.injected("remove")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_round_trips_and_shares() {
+        let vfs = MemVfs::new();
+        assert_eq!(vfs.read("a").unwrap(), None);
+        let mut f = vfs.open_append("a").unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        // A clone sees the same bytes (shared disk).
+        let clone = vfs.clone();
+        assert_eq!(clone.read("a").unwrap().unwrap(), b"hello world");
+        assert_eq!(clone.len_of("a"), Some(11));
+        clone.write_atomic("b", b"snap").unwrap();
+        assert_eq!(vfs.file_names(), vec!["a".to_string(), "b".to_string()]);
+        vfs.remove("a").unwrap();
+        vfs.remove("a").unwrap(); // absent removal is fine
+        assert_eq!(vfs.read("a").unwrap(), None);
+        vfs.corrupt_byte("b", 0);
+        assert_ne!(vfs.read("b").unwrap().unwrap()[0], b's');
+        vfs.truncate("b", 1);
+        assert_eq!(vfs.len_of("b"), Some(1));
+    }
+
+    #[test]
+    fn std_vfs_round_trips_on_real_files() {
+        // Unit tests have no CARGO_TARGET_TMPDIR; keep the scratch space
+        // inside the workspace target directory.
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp/std-vfs-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let vfs = StdVfs::new(&dir).unwrap();
+        assert_eq!(vfs.read("wal").unwrap(), None);
+        let mut f = vfs.open_append("wal").unwrap();
+        f.append(b"rec1").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut f = vfs.open_append("wal").unwrap();
+        f.append(b"rec2").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read("wal").unwrap().unwrap(), b"rec1rec2");
+        vfs.write_atomic("snap", b"snapshot-bytes").unwrap();
+        assert_eq!(vfs.read("snap").unwrap().unwrap(), b"snapshot-bytes");
+        // Atomic replacement leaves no temp file behind.
+        assert!(!vfs.root().join("snap.tmp").exists());
+        vfs.remove("snap").unwrap();
+        vfs.remove("snap").unwrap();
+        assert_eq!(vfs.read("snap").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_fault_fails_everything_from_k() {
+        let vfs = FaultVfs::new(MemVfs::new(), 3, Fault::Crash);
+        let mut f = vfs.open_append("wal").unwrap();
+        f.append(b"one").unwrap(); // op 1
+        f.append(b"two").unwrap(); // op 2
+        assert!(!vfs.fired());
+        assert!(f.append(b"three").is_err()); // op 3: crash
+        assert!(vfs.fired());
+        assert!(f.sync().is_err());
+        assert!(vfs.read("wal").is_err());
+        assert!(vfs.open_append("wal").is_err());
+        // The disk holds exactly the pre-crash bytes.
+        assert_eq!(vfs.base().read("wal").unwrap().unwrap(), b"onetwo");
+        assert_eq!(vfs.operations(), 5);
+    }
+
+    #[test]
+    fn torn_write_persists_half_the_bytes_then_crashes() {
+        let vfs = FaultVfs::new(MemVfs::new(), 2, Fault::TornWrite);
+        let mut f = vfs.open_append("wal").unwrap();
+        f.append(b"head").unwrap();
+        assert!(f.append(b"0123456789").is_err()); // torn: 5 bytes land
+        assert_eq!(vfs.base().read("wal").unwrap().unwrap(), b"head01234");
+        assert!(f.append(b"more").is_err()); // crashed thereafter
+        assert_eq!(vfs.base().read("wal").unwrap().unwrap(), b"head01234");
+    }
+
+    #[test]
+    fn transient_error_fails_exactly_once() {
+        let vfs = FaultVfs::new(MemVfs::new(), 2, Fault::Error);
+        let mut f = vfs.open_append("wal").unwrap();
+        f.append(b"a").unwrap();
+        assert!(f.append(b"b").is_err()); // op 2 fails...
+        f.append(b"c").unwrap(); // ...op 3 succeeds again
+        assert_eq!(vfs.base().read("wal").unwrap().unwrap(), b"ac");
+    }
+
+    #[test]
+    fn short_read_returns_a_prefix() {
+        let base = MemVfs::new();
+        base.write_atomic("wal", b"0123456789").unwrap();
+        let vfs = FaultVfs::new(base, 1, Fault::ShortRead);
+        assert_eq!(vfs.read("wal").unwrap().unwrap(), b"01234");
+        // Later reads are whole again.
+        assert_eq!(vfs.read("wal").unwrap().unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn atomic_writes_never_tear() {
+        let base = MemVfs::new();
+        base.write_atomic("snap", b"old").unwrap();
+        let vfs = FaultVfs::new(base, 1, Fault::TornWrite);
+        assert!(vfs.write_atomic("snap", b"newer-and-longer").is_err());
+        // All-or-nothing: the old content survives untouched.
+        assert_eq!(vfs.base().read("snap").unwrap().unwrap(), b"old");
+    }
+}
