@@ -1,0 +1,140 @@
+//! PERF-MON: the price of the runtime guardrails.  The same 8-session
+//! customer fleet is driven through the named-session runtime three times —
+//! unmonitored, with an observing `SessionMonitor` attached (incremental log
+//! validation + an input-control gate), and with the gate enforcing — so the
+//! monitoring overhead is a single column in the results CSV.
+//!
+//! The monitored model is the category model with an *audit* log (`pay`,
+//! `deliver`): the monitor's shadow re-derivation scales with the logged
+//! share of the spec, exactly as a supplier auditing the legally meaningful
+//! events would configure it.  The observed variant prices the incremental
+//! log validation; the enforced variant additionally evaluates the compiled
+//! admission gate (`pay(x,y) → price(x,y)`) before every step.  The fleet is
+//! fully honest and the gate policy always holds, so every variant performs
+//! identical transducer work; the deltas are pure monitor cost.
+
+use criterion::Criterion;
+use rtx::core::Runtime;
+use rtx::datalog::{Atom, BodyLiteral, ResidentDb};
+use rtx::prelude::*;
+use std::sync::Arc;
+
+/// The category model (same rules, database and input vocabulary as
+/// [`rtx::workloads::category_model`]) logging the audit-relevant events
+/// only: payments and deliveries.
+fn audited_category_model() -> SpocusTransducer {
+    SpocusBuilder::new("category-audited")
+        .input("order", 1)
+        .input("pay", 2)
+        .database("price", 2)
+        .database("available", 1)
+        .database("category", 2)
+        .output("sendbill", 2)
+        .output("deliver", 1)
+        .output("promote", 2)
+        .output("loyal", 1)
+        .output_rule("sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y)")
+        .output_rule("deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y)")
+        .output_rule("promote(X,C) :- order(X), category(C,X), NOT past-order(X)")
+        .output_rule("loyal(X) :- past-order(X), available(X)")
+        .log(["pay", "deliver"])
+        .build()
+        .expect("the audited category model is Spocus by construction")
+}
+
+fn pay_policy() -> SdiConstraint {
+    SdiConstraint::new(
+        vec![BodyLiteral::Positive(Atom::new(
+            "pay",
+            [Term::var("x"), Term::var("y")],
+        ))],
+        Formula::atom("price", [Term::var("x"), Term::var("y")]),
+    )
+    .expect("the payment policy is a well-formed T_sdi constraint")
+}
+
+fn run_fleet(
+    model: &Arc<SpocusTransducer>,
+    resident: &Arc<ResidentDb>,
+    fleet: &[InstanceSequence],
+    monitoring: Option<(MonitorPolicy, &SessionMonitor)>,
+) {
+    let runtime = Runtime::shared(Arc::clone(resident));
+    for (i, inputs) in fleet.iter().enumerate() {
+        let mut session = runtime
+            .open_session(format!("s{i}"), Arc::clone(model))
+            .unwrap();
+        if let Some((policy, prototype)) = monitoring {
+            session.set_monitor_policy(policy);
+            session.attach_observer(Box::new(prototype.fork()));
+        }
+        for input in inputs.iter() {
+            session.step(input).unwrap();
+        }
+        assert!(session.violations().is_empty());
+        session.run().unwrap();
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let model = Arc::new(audited_category_model());
+    let sessions = 8usize;
+    let steps = 16usize;
+    let products = 1_000usize;
+    let db = rtx::workloads::category_catalog(products, 50, 1);
+    // Honesty 1.0: every pay matches the listed price, so the gate policy
+    // holds and all three variants do identical transducer work.
+    let fleet = rtx::workloads::session_fleet(&db, sessions, steps, products, 1.0, 3);
+    let resident = Arc::new(model.compiled_output_program().prepare(&db));
+
+    // One fully configured prototype per variant, forked per session — the
+    // fleet idiom: compilation is paid once, each session gets fresh state.
+    // The observing variant prices the incremental log validation alone;
+    // enforcement adds the compiled admission gate on top.
+    let watcher = SessionMonitor::new(Arc::clone(&model), Arc::clone(&resident)).unwrap();
+    let gatekeeper = SessionMonitor::new(Arc::clone(&model), Arc::clone(&resident))
+        .unwrap()
+        .with_constraint("pay-matches-price", pay_policy())
+        .unwrap();
+
+    // Interleaved sampling: the three variants are measured round-robin so
+    // the monitored/unmonitored ratio survives bursty machine load.
+    let mut group = c.benchmark_group("monitoring").interleaved();
+    let label = format!("sessions={sessions},steps={steps},products={products}");
+    group.bench_function(format!("unmonitored/{label}"), |b| {
+        b.iter(|| run_fleet(&model, &resident, &fleet, None));
+    });
+    group.bench_function(format!("observed/{label}"), |b| {
+        b.iter(|| {
+            run_fleet(
+                &model,
+                &resident,
+                &fleet,
+                Some((MonitorPolicy::Observe, &watcher)),
+            )
+        });
+    });
+    group.bench_function(format!("enforced/{label}"), |b| {
+        b.iter(|| {
+            run_fleet(
+                &model,
+                &resident,
+                &fleet,
+                Some((MonitorPolicy::Enforce, &gatekeeper)),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    // The monitored/unmonitored *ratio* is the point of this bench, so the
+    // quick profile gets a wider measurement window than the 150 ms default:
+    // at ~5 ms per fleet pass, the default fits too few iterations per
+    // sample for the recorded medians to be stable.
+    let mut c = rtx_bench::criterion_config()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(1_500));
+    benches(&mut c);
+    c.final_summary();
+}

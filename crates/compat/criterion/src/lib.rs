@@ -53,6 +53,9 @@ impl Default for Criterion {
     }
 }
 
+/// A queued benchmark: its full id plus the boxed routine.
+type QueuedBench<'a> = (String, Box<dyn FnMut(&mut Bencher) + 'a>);
+
 impl Criterion {
     /// Sets the number of samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
@@ -127,8 +130,8 @@ impl Criterion {
         }
     }
 
-    fn run_one(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
-        // Warm up and estimate the per-iteration cost.
+    /// Warm-up pass: estimates iterations per sample for `routine`.
+    fn calibrate(&self, routine: &mut dyn FnMut(&mut Bencher)) -> u64 {
         let mut bencher = Bencher {
             mode: Mode::Calibrate {
                 deadline: Instant::now() + self.warm_up_time,
@@ -138,22 +141,22 @@ impl Criterion {
         };
         routine(&mut bencher);
         let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
-
-        // Split the measurement window into `sample_size` samples.
         let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
-        let iters_per_sample = (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
-        let mut samples_ns = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
-            let mut bencher = Bencher {
-                mode: Mode::Fixed {
-                    iterations: iters_per_sample,
-                },
-                iterations: 0,
-                elapsed: Duration::ZERO,
-            };
-            routine(&mut bencher);
-            samples_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64);
-        }
+        (per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64
+    }
+
+    /// Times one fixed-iteration sample of `routine`, in ns per iteration.
+    fn sample(routine: &mut dyn FnMut(&mut Bencher), iterations: u64) -> f64 {
+        let mut bencher = Bencher {
+            mode: Mode::Fixed { iterations },
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64
+    }
+
+    fn record(&mut self, id: String, mut samples_ns: Vec<f64>) {
         samples_ns.sort_by(|a, b| a.total_cmp(b));
         let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
         let median_ns = samples_ns[samples_ns.len() / 2];
@@ -170,6 +173,40 @@ impl Criterion {
             median_ns,
             samples: samples_ns.len(),
         });
+    }
+
+    fn run_one(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
+        let iters_per_sample = self.calibrate(&mut routine);
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            samples_ns.push(Self::sample(&mut routine, iters_per_sample));
+        }
+        self.record(id, samples_ns);
+    }
+
+    /// Runs a deferred group of benchmarks with round-robin sampling: sample
+    /// k of every benchmark is taken before sample k+1 of any.  A transient
+    /// machine-load burst then inflates the same-numbered sample of each
+    /// benchmark roughly equally instead of landing wholesale on whichever
+    /// benchmark happened to be measuring, so *ratios* between the group's
+    /// entries stay meaningful on noisy hosts.
+    fn run_interleaved(&mut self, fns: &mut [QueuedBench<'_>]) {
+        let iters: Vec<u64> = fns
+            .iter_mut()
+            .map(|(_, routine)| self.calibrate(routine.as_mut()))
+            .collect();
+        let mut samples: Vec<Vec<f64>> = fns
+            .iter()
+            .map(|_| Vec::with_capacity(self.sample_size))
+            .collect();
+        for _ in 0..self.sample_size {
+            for (k, (_, routine)) in fns.iter_mut().enumerate() {
+                samples[k].push(Self::sample(routine.as_mut(), iters[k]));
+            }
+        }
+        for ((id, _), samples_ns) in fns.iter().zip(samples) {
+            self.record(id.clone(), samples_ns);
+        }
     }
 }
 
@@ -211,7 +248,7 @@ pub struct BenchmarkGroup<'c> {
     name: String,
 }
 
-impl BenchmarkGroup<'_> {
+impl<'c> BenchmarkGroup<'c> {
     /// Measures one benchmark function.
     pub fn bench_function(
         &mut self,
@@ -223,8 +260,55 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Switches the group to round-robin sampling: its benchmarks are queued
+    /// and then run interleaved — sample k of every entry before sample k+1
+    /// of any — so transient machine load perturbs them evenly and
+    /// within-group *ratios* stay meaningful on noisy hosts.  Measurement
+    /// happens when the returned group closes, so benchmark closures must
+    /// outlive it.
+    pub fn interleaved(self) -> InterleavedGroup<'c> {
+        InterleavedGroup {
+            criterion: self.criterion,
+            name: self.name,
+            queue: Vec::new(),
+        }
+    }
+
     /// Closes the group (results are kept on the parent `Criterion`).
     pub fn finish(self) {}
+}
+
+/// A benchmark group measured with round-robin sampling; see
+/// [`BenchmarkGroup::interleaved`].
+pub struct InterleavedGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    queue: Vec<QueuedBench<'c>>,
+}
+
+impl<'c> InterleavedGroup<'c> {
+    /// Queues one benchmark function; it runs when the group closes.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher) + 'c,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.queue.push((id, Box::new(f)));
+        self
+    }
+
+    /// Closes the group, running the queued benchmarks interleaved.
+    pub fn finish(self) {}
+}
+
+impl Drop for InterleavedGroup<'_> {
+    fn drop(&mut self) {
+        let mut fns = std::mem::take(&mut self.queue);
+        if !fns.is_empty() {
+            self.criterion.run_interleaved(&mut fns);
+        }
+    }
 }
 
 enum Mode {

@@ -34,6 +34,27 @@ pub enum CoreError {
         /// Explanation of the problem.
         detail: String,
     },
+    /// A step input was rejected by the session's enforcement gate
+    /// ([`MonitorPolicy::Enforce`](crate::MonitorPolicy::Enforce)): admitting
+    /// it would drive the run into an error state.  The run is left exactly
+    /// as it was before the step — the session stays usable.
+    StepRejected {
+        /// The step index (0-based) the input was offered at.
+        step: usize,
+        /// The name of the violated constraint or property.
+        constraint: String,
+        /// Explanation, including the witness tuple when one exists.
+        detail: String,
+    },
+    /// The session panicked mid-step and was quarantined: its name is
+    /// released, its state is preserved for inspection, and every further
+    /// [`Session::step`](crate::Session::step) fails with this error.
+    SessionQuarantined {
+        /// The quarantined session's name.
+        session: String,
+        /// The panic payload (or a placeholder when it was not a string).
+        detail: String,
+    },
     /// An error bubbled up from the datalog engine.
     Datalog(rtx_datalog::DatalogError),
     /// An error bubbled up from the relational layer.
@@ -51,6 +72,17 @@ impl fmt::Display for CoreError {
             CoreError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             CoreError::Parse { detail } => write!(f, "transducer parse error: {detail}"),
             CoreError::Runtime { detail } => write!(f, "runtime error: {detail}"),
+            CoreError::StepRejected {
+                step,
+                constraint,
+                detail,
+            } => write!(
+                f,
+                "step {step} rejected by input control: constraint `{constraint}` violated ({detail})"
+            ),
+            CoreError::SessionQuarantined { session, detail } => {
+                write!(f, "session `{session}` is quarantined: {detail}")
+            }
             CoreError::Datalog(e) => write!(f, "datalog error: {e}"),
             CoreError::Relational(e) => write!(f, "relational error: {e}"),
             CoreError::Store(e) => write!(f, "store error: {e}"),

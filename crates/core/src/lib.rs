@@ -65,6 +65,7 @@ mod run;
 pub mod runtime;
 mod schema;
 mod spocus;
+pub mod supervise;
 mod transducer;
 
 pub use builder::SpocusBuilder;
@@ -77,6 +78,7 @@ pub use run::{Run, RunStep};
 pub use runtime::{Runtime, Session};
 pub use schema::TransducerSchema;
 pub use spocus::SpocusTransducer;
+pub use supervise::{MonitorPolicy, RuntimeHealth, SessionObserver, Violation, ViolationKind};
 pub use transducer::RelationalTransducer;
 
 #[cfg(test)]

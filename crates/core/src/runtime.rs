@@ -31,11 +31,34 @@
 //! one-shot [`RelationalTransducer::run`](crate::RelationalTransducer::run)
 //! over the same inputs and catalog.
 
+use crate::supervise::{MonitorPolicy, RuntimeHealth, SessionObserver, Violation};
 use crate::{CoreError, Run, SpocusTransducer};
-use rtx_datalog::{ChangeClass, EvalStats, Parallelism, ResidentDb, ResidentView, StepEvaluator};
+use rtx_datalog::{
+    ChangeClass, EvalBudget, EvalStats, Parallelism, ResidentDb, ResidentView, StepEvaluator,
+};
 use rtx_relational::{Instance, InstanceSequence, RelationName};
 use std::collections::BTreeSet;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning.  Every runtime lock guards
+/// simple ownership records (name sets, counters) that are valid after any
+/// partial update, so a panic in one session must not wedge
+/// [`Runtime::open_session`] — or session drop — for every sibling.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a panic payload for a quarantine report.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// The incremental per-step engine shared by [`Session`] and the
 /// [`SpocusTransducer::run`]/[`SpocusTransducer::run_resident`] entry points:
@@ -128,6 +151,11 @@ impl IncrementalStepper {
         self.last_stats
     }
 
+    /// Replaces the per-step [`EvalBudget`] the evaluator enforces.
+    pub(crate) fn set_budget(&mut self, budget: EvalBudget) {
+        self.evaluator.set_budget(budget);
+    }
+
     /// Evaluates one step and cumulates the state, returning the step's
     /// output and the state after the step.
     pub(crate) fn step(
@@ -192,11 +220,28 @@ impl IncrementalStepper {
     }
 }
 
+/// Mutable runtime-wide defaults picked up by sessions at open time.
+#[derive(Debug, Clone, Copy)]
+struct RuntimeConfig {
+    budget: EvalBudget,
+    policy: MonitorPolicy,
+}
+
+/// Aggregate supervision counters behind [`Runtime::health`].
+#[derive(Debug, Default)]
+struct HealthInner {
+    quarantined: BTreeSet<String>,
+    violations: u64,
+    rejections: u64,
+}
+
 #[derive(Debug)]
 struct RuntimeInner {
     db: Arc<ResidentDb>,
     sessions: Mutex<BTreeSet<String>>,
     parallelism: Parallelism,
+    config: Mutex<RuntimeConfig>,
+    health: Mutex<HealthInner>,
 }
 
 /// A resident transducer runtime: one shared [`ResidentDb`] serving many
@@ -229,6 +274,11 @@ impl Runtime {
                 db,
                 sessions: Mutex::new(BTreeSet::new()),
                 parallelism,
+                config: Mutex::new(RuntimeConfig {
+                    budget: EvalBudget::UNLIMITED,
+                    policy: MonitorPolicy::from_env(),
+                }),
+                health: Mutex::new(HealthInner::default()),
             }),
         }
     }
@@ -241,6 +291,48 @@ impl Runtime {
     /// The [`Parallelism`] policy sessions of this runtime evaluate under.
     pub fn parallelism(&self) -> Parallelism {
         self.inner.parallelism
+    }
+
+    /// Sets the default per-step [`EvalBudget`] for sessions opened after
+    /// this call (already-open sessions keep theirs; see
+    /// [`Session::set_step_budget`]).  A session whose step exhausts the
+    /// budget fails with a typed
+    /// [`BudgetExceeded`](rtx_datalog::DatalogError::BudgetExceeded) instead
+    /// of spinning, and stays usable.
+    pub fn set_step_budget(&self, budget: EvalBudget) {
+        lock_clean(&self.inner.config).budget = budget;
+    }
+
+    /// The default per-step [`EvalBudget`] sessions are opened with.
+    pub fn step_budget(&self) -> EvalBudget {
+        lock_clean(&self.inner.config).budget
+    }
+
+    /// Sets the default [`MonitorPolicy`] for sessions opened after this
+    /// call (already-open sessions keep theirs; see
+    /// [`Session::set_monitor_policy`]).  The initial default comes from the
+    /// `RTX_MONITOR` environment variable ([`MonitorPolicy::from_env`]).
+    pub fn set_monitor_policy(&self, policy: MonitorPolicy) {
+        lock_clean(&self.inner.config).policy = policy;
+    }
+
+    /// The default [`MonitorPolicy`] sessions are opened with.
+    pub fn monitor_policy(&self) -> MonitorPolicy {
+        lock_clean(&self.inner.config).policy
+    }
+
+    /// A snapshot of the runtime's supervision state: live session count,
+    /// quarantined session names, and the aggregate violation/rejection
+    /// counters across all sessions (past and present).
+    pub fn health(&self) -> RuntimeHealth {
+        let active_sessions = lock_clean(&self.inner.sessions).len();
+        let health = lock_clean(&self.inner.health);
+        RuntimeHealth {
+            active_sessions,
+            quarantined_sessions: health.quarantined.iter().cloned().collect(),
+            violations: health.violations,
+            rejections: health.rejections,
+        }
     }
 
     /// Opens a named session running `transducer` against the shared
@@ -265,11 +357,7 @@ impl Runtime {
         }
 
         {
-            let mut sessions = self
-                .inner
-                .sessions
-                .lock()
-                .expect("session registry poisoned");
+            let mut sessions = lock_clean(&self.inner.sessions);
             if !sessions.insert(name.clone()) {
                 return Err(CoreError::Runtime {
                     detail: format!("session `{name}` is already open"),
@@ -277,7 +365,8 @@ impl Runtime {
             }
         }
 
-        let stepper =
+        let config = *lock_clean(&self.inner.config);
+        let mut stepper =
             match IncrementalStepper::new(&transducer, &self.inner.db, self.inner.parallelism) {
                 Ok(stepper) => stepper,
                 Err(e) => {
@@ -285,6 +374,7 @@ impl Runtime {
                     return Err(e);
                 }
             };
+        stepper.set_budget(config.budget);
         let schema = transducer.schema();
         Ok(Session {
             name,
@@ -294,35 +384,25 @@ impl Runtime {
             states: InstanceSequence::empty(schema.state().clone()),
             transducer,
             stepper,
+            policy: config.policy,
+            observer: None,
+            violations: Vec::new(),
+            quarantined: false,
         })
     }
 
     /// The names of the currently open sessions.
     pub fn session_names(&self) -> Vec<String> {
-        self.inner
-            .sessions
-            .lock()
-            .expect("session registry poisoned")
-            .iter()
-            .cloned()
-            .collect()
+        lock_clean(&self.inner.sessions).iter().cloned().collect()
     }
 
     /// Number of currently open sessions.
     pub fn session_count(&self) -> usize {
-        self.inner
-            .sessions
-            .lock()
-            .expect("session registry poisoned")
-            .len()
+        lock_clean(&self.inner.sessions).len()
     }
 
     fn release(&self, name: &str) {
-        self.inner
-            .sessions
-            .lock()
-            .expect("session registry poisoned")
-            .remove(name);
+        lock_clean(&self.inner.sessions).remove(name);
     }
 }
 
@@ -343,6 +423,10 @@ pub struct Session {
     inputs: InstanceSequence,
     outputs: InstanceSequence,
     states: InstanceSequence,
+    policy: MonitorPolicy,
+    observer: Option<Box<dyn SessionObserver>>,
+    violations: Vec<Violation>,
+    quarantined: bool,
 }
 
 impl Session {
@@ -377,9 +461,94 @@ impl Session {
         self.stepper.last_stats()
     }
 
+    /// The session's [`MonitorPolicy`].
+    pub fn monitor_policy(&self) -> MonitorPolicy {
+        self.policy
+    }
+
+    /// Changes the session's [`MonitorPolicy`] (the session was opened with
+    /// the runtime default).
+    pub fn set_monitor_policy(&mut self, policy: MonitorPolicy) {
+        self.policy = policy;
+    }
+
+    /// Attaches an online monitor.  Under [`MonitorPolicy::Observe`] or
+    /// [`MonitorPolicy::Enforce`] the observer is consulted at every step —
+    /// `admit` before the step gates the input, `observe` after the step
+    /// checks the produced output (see [`SessionObserver`]).  Replaces any
+    /// previously attached observer.
+    pub fn attach_observer(&mut self, observer: Box<dyn SessionObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the attached monitor, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn SessionObserver>> {
+        self.observer.take()
+    }
+
+    /// Replaces the session's per-step [`EvalBudget`] (the session was
+    /// opened with the runtime default).
+    pub fn set_step_budget(&mut self, budget: EvalBudget) {
+        self.stepper.set_budget(budget);
+    }
+
+    /// The violations recorded by the attached monitor so far, in detection
+    /// order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True once the session panicked mid-step and was quarantined: the name
+    /// is released for reuse, the run so far stays inspectable
+    /// ([`Session::run`], [`Session::state`]), and every further
+    /// [`Session::step`] fails with
+    /// [`CoreError::SessionQuarantined`].
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Quarantines the session after a panic: the registry name is released
+    /// (siblings and `open_session` are unaffected), the session is recorded
+    /// in [`Runtime::health`], and the state is preserved for inspection.
+    fn quarantine(&mut self, detail: String) -> CoreError {
+        self.quarantined = true;
+        lock_clean(&self.runtime.sessions).remove(&self.name);
+        lock_clean(&self.runtime.health)
+            .quarantined
+            .insert(self.name.clone());
+        CoreError::SessionQuarantined {
+            session: self.name.clone(),
+            detail,
+        }
+    }
+
+    /// Records monitor violations on the session and in the runtime health
+    /// counters.
+    fn record_violations(&mut self, violations: &[Violation]) {
+        if violations.is_empty() {
+            return;
+        }
+        lock_clean(&self.runtime.health).violations += violations.len() as u64;
+        self.violations.extend_from_slice(violations);
+    }
+
     /// Feeds one input instance: evaluates the output program incrementally,
     /// cumulates the state, and returns the step's output.
+    ///
+    /// When the session's [`MonitorPolicy`] is active and an observer is
+    /// attached, the input is first offered to the admission gate — under
+    /// [`MonitorPolicy::Enforce`] a violating input is rejected with
+    /// [`CoreError::StepRejected`] and the
+    /// run does not advance — and the produced output is checked after the
+    /// step.  A panic anywhere on the step path quarantines this session
+    /// (see [`Session::is_quarantined`]) without affecting siblings.
     pub fn step(&mut self, input: &Instance) -> Result<Instance, CoreError> {
+        if self.quarantined {
+            return Err(CoreError::SessionQuarantined {
+                session: self.name.clone(),
+                detail: "step on a quarantined session".into(),
+            });
+        }
         if &input.schema() != self.transducer.schema().input() {
             return Err(CoreError::SchemaMismatch {
                 detail: format!(
@@ -389,12 +558,63 @@ impl Session {
                 ),
             });
         }
-        let (output, next_state) =
-            self.stepper
-                .step(&self.transducer, self.runtime.db.as_ref(), input)?;
+        let step = self.inputs.len();
+        let monitored = self.policy.is_active() && self.observer.is_some();
+
+        if monitored {
+            let observer = self.observer.as_mut().expect("observer checked above");
+            let admitted = catch_unwind(AssertUnwindSafe(|| observer.admit(step, input)));
+            let violations = match admitted {
+                Ok(result) => result?,
+                Err(payload) => {
+                    let detail = format!("monitor admission panicked: {}", panic_detail(&*payload));
+                    return Err(self.quarantine(detail));
+                }
+            };
+            self.record_violations(&violations);
+            if self.policy == MonitorPolicy::Enforce {
+                if let Some(first) = violations.first() {
+                    lock_clean(&self.runtime.health).rejections += 1;
+                    return Err(CoreError::StepRejected {
+                        step,
+                        constraint: first.source.clone(),
+                        detail: first.to_string(),
+                    });
+                }
+            }
+        }
+
+        let stepper = &mut self.stepper;
+        let transducer = &self.transducer;
+        let db = &self.runtime.db;
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            stepper.step(transducer, db.as_ref(), input)
+        }));
+        let (output, next_state) = match stepped {
+            Ok(result) => result?,
+            Err(payload) => {
+                let detail = format!("step evaluation panicked: {}", panic_detail(&*payload));
+                return Err(self.quarantine(detail));
+            }
+        };
         self.inputs.push(input.clone())?;
         self.outputs.push(output.clone())?;
         self.states.push(next_state)?;
+
+        if monitored {
+            let observer = self.observer.as_mut().expect("observer checked above");
+            let observed =
+                catch_unwind(AssertUnwindSafe(|| observer.observe(step, input, &output)));
+            let violations = match observed {
+                Ok(result) => result?,
+                Err(payload) => {
+                    let detail =
+                        format!("monitor observation panicked: {}", panic_detail(&*payload));
+                    return Err(self.quarantine(detail));
+                }
+            };
+            self.record_violations(&violations);
+        }
         Ok(output)
     }
 
@@ -417,11 +637,11 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.runtime
-            .sessions
-            .lock()
-            .expect("session registry poisoned")
-            .remove(&self.name);
+        // A quarantined session already released its name (and may have been
+        // replaced under it).
+        if !self.quarantined {
+            lock_clean(&self.runtime.sessions).remove(&self.name);
+        }
     }
 }
 
@@ -557,5 +777,107 @@ mod tests {
             "sendbill",
             &Tuple::new(vec![Value::str("time"), Value::int(9)])
         ));
+    }
+
+    /// An observer that panics on `admit` from step `fuse` onwards.
+    #[derive(Debug)]
+    struct Bomb {
+        fuse: usize,
+    }
+
+    impl SessionObserver for Bomb {
+        fn admit(&mut self, step: usize, _input: &Instance) -> Result<Vec<Violation>, CoreError> {
+            assert!(step < self.fuse, "the bomb went off");
+            Ok(Vec::new())
+        }
+
+        fn observe(
+            &mut self,
+            _step: usize,
+            _input: &Instance,
+            _output: &Instance,
+        ) -> Result<Vec<Violation>, CoreError> {
+            Ok(Vec::new())
+        }
+    }
+
+    #[test]
+    fn a_poisoned_registry_lock_does_not_wedge_open_session() {
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let inner = Arc::clone(&runtime.inner);
+        std::thread::spawn(move || {
+            let _guard = inner.sessions.lock().unwrap();
+            panic!("poison the session registry");
+        })
+        .join()
+        .unwrap_err();
+
+        // The registry mutex is now poisoned; every registry path must
+        // recover rather than propagate the poison.
+        let session = runtime.open_session("a", models::short()).unwrap();
+        assert_eq!(runtime.session_count(), 1);
+        assert_eq!(runtime.health().active_sessions, 1);
+        drop(session);
+        assert_eq!(runtime.session_count(), 0);
+    }
+
+    #[test]
+    fn a_panicking_observer_quarantines_the_session_but_not_its_siblings() {
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let transducer = Arc::new(models::short());
+        let mut bad = runtime
+            .open_session("bad", Arc::clone(&transducer))
+            .unwrap();
+        bad.set_monitor_policy(MonitorPolicy::Observe);
+        bad.attach_observer(Box::new(Bomb { fuse: 1 }));
+        let mut good = runtime
+            .open_session("good", Arc::clone(&transducer))
+            .unwrap();
+
+        let step = input_step(&["time"], &[]);
+        bad.step(&step).unwrap();
+        let err = bad.step(&step).unwrap_err();
+        assert!(matches!(err, CoreError::SessionQuarantined { .. }));
+        assert!(bad.is_quarantined());
+        // The completed step survives quarantine; the panicking one did not
+        // advance the session.
+        assert_eq!(bad.len(), 1);
+        // Further steps are refused with the same typed error.
+        assert!(matches!(
+            bad.step(&step),
+            Err(CoreError::SessionQuarantined { .. })
+        ));
+
+        // The name is released and reported; siblings keep stepping.
+        assert_eq!(runtime.session_names(), vec!["good".to_string()]);
+        assert_eq!(
+            runtime.health().quarantined_sessions,
+            vec!["bad".to_string()]
+        );
+        good.step(&step).unwrap();
+        let _reopened = runtime.open_session("bad", transducer).unwrap();
+    }
+
+    #[test]
+    fn step_budgets_trip_with_a_typed_error_and_are_adjustable() {
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        // Budgets set on the runtime seed every subsequently opened session.
+        runtime.set_step_budget(EvalBudget::max_derivations(0));
+        let mut session = runtime.open_session("capped", models::short()).unwrap();
+
+        let step = input_step(&["time"], &[]);
+        match session.step(&step) {
+            Err(CoreError::Datalog(rtx_datalog::DatalogError::BudgetExceeded {
+                resource, ..
+            })) => assert_eq!(resource, "derivations"),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // A budget trip is a typed refusal, not a crash: the session is
+        // neither advanced nor quarantined, and raising the budget unblocks.
+        assert_eq!(session.len(), 0);
+        assert!(!session.is_quarantined());
+        session.set_step_budget(EvalBudget::UNLIMITED);
+        let out = session.step(&step).unwrap();
+        assert!(!out.relation("sendbill").unwrap().is_empty());
     }
 }

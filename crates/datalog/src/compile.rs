@@ -56,7 +56,7 @@
 //! compare naive, semi-naive and compiled-indexed evaluation through
 //! [`crate::EvalOptions`].
 
-use crate::engine::EvalStats;
+use crate::engine::{EvalBudget, EvalStats};
 use crate::graph::DependencyGraph;
 use crate::pool::{Parallelism, Pool};
 use crate::resident::{ResidentDb, ResidentView};
@@ -252,14 +252,15 @@ impl CompiledProgram {
         Self::compile_with(program, true, None)
     }
 
-    /// Compiles a program whose rules carry **seed** atoms: tiny delta-guard
-    /// relations that the join order must start from, whatever the greedy
-    /// bound-prefix heuristic would otherwise pick.  The delete-rederive
-    /// programs of [`crate::dred`] are the caller: their cost contract is
-    /// "proportional to the affected closure", which only holds if every
-    /// synthesized rule drives its join from the delta guard rather than
-    /// scanning a base relation first.
-    pub(crate) fn compile_seeded(
+    /// Compiles a program whose rules carry **seed** atoms: relations known
+    /// by the caller to be tiny at evaluation time, which the join order
+    /// must start from, whatever the greedy bound-prefix heuristic would
+    /// otherwise pick.  The delete-rederive programs of [`crate::dred`] seed
+    /// on their delta guards ("proportional to the affected closure" only
+    /// holds if every synthesized rule drives its join from the guard);
+    /// per-step monitors seed on the transducer input relations, whose
+    /// per-step cardinality is bounded by the step, not the run.
+    pub fn compile_seeded(
         program: &Program,
         seeds: &BTreeSet<RelationName>,
     ) -> Result<Self, DatalogError> {
@@ -447,14 +448,28 @@ impl CompiledProgram {
         prepared: Option<&ResidentView>,
         parallelism: Parallelism,
     ) -> Result<(Instance, EvalStats), DatalogError> {
+        self.evaluate_with_view_par_budget(sources, prepared, parallelism, EvalBudget::UNLIMITED)
+    }
+
+    /// [`Self::evaluate_with_view_par`] under an [`EvalBudget`]: the fixpoint
+    /// loops check the running [`EvalStats`] against the budget and stop with
+    /// [`DatalogError::BudgetExceeded`] instead of spinning (the overshoot is
+    /// bounded by one rule wave / fixpoint round).
+    pub fn evaluate_with_view_par_budget(
+        &self,
+        sources: &[&Instance],
+        prepared: Option<&ResidentView>,
+        parallelism: Parallelism,
+        budget: EvalBudget,
+    ) -> Result<(Instance, EvalStats), DatalogError> {
         let parallelism = parallelism.resolved();
         let mut ctx = EvalContext::new(&self.out_schema, sources, prepared);
         let mut stats = EvalStats::default();
         for stratum in &self.strata {
             if stratum.recursive {
-                self.run_recursive_stratum(stratum, &mut ctx, &mut stats, parallelism)?;
+                self.run_recursive_stratum(stratum, &mut ctx, &mut stats, parallelism, budget)?;
             } else {
-                self.run_single_pass_stratum(stratum, &mut ctx, &mut stats, parallelism)?;
+                self.run_single_pass_stratum(stratum, &mut ctx, &mut stats, parallelism, budget)?;
             }
         }
         Ok((ctx.derived, stats))
@@ -473,8 +488,10 @@ impl CompiledProgram {
         ctx: &mut EvalContext<'_>,
         stats: &mut EvalStats,
         parallelism: Parallelism,
+        budget: EvalBudget,
     ) -> Result<(), DatalogError> {
         stats.rounds += 1;
+        budget.check(stats)?;
         let indices = &stratum.rule_indices;
         let mut start = 0;
         while start < indices.len() {
@@ -509,6 +526,7 @@ impl CompiledProgram {
                 stats.tuples_derived += sink.len() as u64;
                 ctx.insert_derived(&rule.head_relation, sink.drain(..))?;
             }
+            budget.check(stats)?;
             start = end;
         }
         Ok(())
@@ -528,6 +546,7 @@ impl CompiledProgram {
         ctx: &mut EvalContext<'_>,
         stats: &mut EvalStats,
         parallelism: Parallelism,
+        budget: EvalBudget,
     ) -> Result<(), DatalogError> {
         let mut delta: BTreeMap<RelationName, Relation> = stratum
             .heads
@@ -541,6 +560,7 @@ impl CompiledProgram {
 
         loop {
             stats.rounds += 1;
+            budget.check(stats)?;
             ctx.begin_round();
             // Deltas are empty exactly on the first round: any later round
             // only starts because the previous one inserted new facts.
@@ -616,6 +636,7 @@ impl CompiledProgram {
                     pass_cursor += 1;
                 }
             }
+            budget.check(stats)?;
 
             for rel in delta.values_mut() {
                 *rel = Relation::empty(rel.arity());

@@ -61,6 +61,89 @@ pub struct EvalOptions {
     /// sequential).  Parallel evaluation is bit-identical to sequential —
     /// see [`crate::pool`] for the determinism contract.
     pub parallelism: crate::pool::Parallelism,
+    /// Resource budget for the evaluation; unlimited by default.
+    pub budget: EvalBudget,
+}
+
+/// A resource budget for one evaluation: a runaway rule set (or an
+/// adversarial input) hits a typed [`DatalogError::BudgetExceeded`] instead
+/// of spinning the fixpoint loop or materialising unbounded derivations.
+///
+/// Budgets are checked against the running [`EvalStats`] counters: the
+/// engines stop as soon as a counter passes its limit, so the overshoot is
+/// bounded by one rule pass.  The default budget is unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Maximum number of tuple derivations (including re-derivations), or
+    /// `None` for unlimited.
+    pub max_derivations: Option<u64>,
+    /// Maximum number of fixpoint rounds across all strata, or `None` for
+    /// unlimited.
+    pub max_rounds: Option<u64>,
+}
+
+impl EvalBudget {
+    /// The unlimited budget (the default).
+    pub const UNLIMITED: EvalBudget = EvalBudget {
+        max_derivations: None,
+        max_rounds: None,
+    };
+
+    /// A budget capping only the derivation count.
+    pub fn max_derivations(limit: u64) -> Self {
+        EvalBudget {
+            max_derivations: Some(limit),
+            max_rounds: None,
+        }
+    }
+
+    /// A budget capping only the fixpoint round count.
+    pub fn max_rounds(limit: u64) -> Self {
+        EvalBudget {
+            max_derivations: None,
+            max_rounds: Some(limit),
+        }
+    }
+
+    /// This budget with the derivation cap replaced.
+    pub fn with_max_derivations(mut self, limit: u64) -> Self {
+        self.max_derivations = Some(limit);
+        self
+    }
+
+    /// This budget with the round cap replaced.
+    pub fn with_max_rounds(mut self, limit: u64) -> Self {
+        self.max_rounds = Some(limit);
+        self
+    }
+
+    /// True if no limit is set (the fast path skips all checks).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_derivations.is_none() && self.max_rounds.is_none()
+    }
+
+    /// Checks the running counters against the limits.
+    pub fn check(&self, stats: &EvalStats) -> Result<(), DatalogError> {
+        if let Some(limit) = self.max_derivations {
+            if stats.tuples_derived > limit {
+                return Err(DatalogError::BudgetExceeded {
+                    resource: "derivations".into(),
+                    limit,
+                    spent: stats.tuples_derived,
+                });
+            }
+        }
+        if let Some(limit) = self.max_rounds {
+            if stats.rounds > limit {
+                return Err(DatalogError::BudgetExceeded {
+                    resource: "rounds".into(),
+                    limit,
+                    spent: stats.rounds,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Statistics from an evaluation, for the benchmark harness.
@@ -133,7 +216,12 @@ pub fn evaluate_stratified(
     options: EvalOptions,
 ) -> Result<(Instance, EvalStats), DatalogError> {
     if options.engine == EvalEngine::CompiledIndexed {
-        return CompiledProgram::compile(program)?.evaluate_par(&[edb], options.parallelism);
+        return CompiledProgram::compile(program)?.evaluate_with_view_par_budget(
+            &[edb],
+            None,
+            options.parallelism,
+            options.budget,
+        );
     }
     check_program_safety(program)?;
     let arities = program.relation_arities()?;
@@ -170,6 +258,7 @@ pub fn evaluate_stratified(
         // Initial round: full evaluation of every rule of the stratum.
         loop {
             stats.rounds += 1;
+            options.budget.check(&stats)?;
             let mut new_facts: Vec<(RelationName, Tuple)> = Vec::new();
             for rule in &stratum_rules {
                 stats.rule_applications += 1;
@@ -185,6 +274,7 @@ pub fn evaluate_stratified(
                         new_facts.push((rule.head.relation.clone(), tuple));
                     }
                 }
+                options.budget.check(&stats)?;
             }
             // Refresh deltas; snapshot the pre-delta state before merging.
             for (_, rel) in delta.iter_mut() {
@@ -647,6 +737,79 @@ mod tests {
         )
         .unwrap();
         assert!(stats.tuples_derived < naive_stats.tuples_derived);
+    }
+
+    #[test]
+    fn budget_trips_across_engines_and_unlimited_is_free() {
+        let program =
+            parse_program("tc(X,Y) :- edge(X,Y).\ntc(X,Y) :- edge(X,Z), tc(Z,Y).").unwrap();
+        let schema = Schema::from_pairs([("edge", 2)]).unwrap();
+        let mut db = Instance::empty(&schema);
+        for i in 0..5 {
+            db.insert(
+                "edge",
+                Tuple::from_iter([format!("n{i}"), format!("n{}", i + 1)]),
+            )
+            .unwrap();
+        }
+        for engine in [EvalEngine::Interpreted, EvalEngine::CompiledIndexed] {
+            // Rounds cap: the 6-node chain needs more than two fixpoint
+            // rounds, so the evaluation stops with a typed error.
+            let err = evaluate_stratified(
+                &program,
+                &db,
+                EvalOptions {
+                    engine,
+                    budget: EvalBudget::max_rounds(2),
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DatalogError::BudgetExceeded { ref resource, limit: 2, .. }
+                        if resource == "rounds"
+                ),
+                "{engine:?}: {err}"
+            );
+
+            // Derivations cap: 15 tc facts need 25 derivations.
+            let err = evaluate_stratified(
+                &program,
+                &db,
+                EvalOptions {
+                    engine,
+                    budget: EvalBudget::max_derivations(10),
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DatalogError::BudgetExceeded { ref resource, limit: 10, .. }
+                        if resource == "derivations"
+                ),
+                "{engine:?}: {err}"
+            );
+
+            // A budget generous enough for the whole evaluation changes
+            // nothing.
+            let (out, _) = evaluate_stratified(
+                &program,
+                &db,
+                EvalOptions {
+                    engine,
+                    budget: EvalBudget::max_derivations(1000).with_max_rounds(1000),
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.relation("tc").unwrap().len(), 15);
+        }
+        assert!(EvalBudget::UNLIMITED.is_unlimited());
+        assert!(!EvalBudget::max_rounds(1).is_unlimited());
     }
 
     #[test]

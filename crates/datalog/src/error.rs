@@ -65,6 +65,18 @@ pub enum DatalogError {
         /// The derived relation appearing in a body.
         relation: String,
     },
+    /// An evaluation exhausted its [`EvalBudget`](crate::EvalBudget): a
+    /// pathological rule set (or an adversarial input) produced more work
+    /// than the caller was willing to pay for, and the engine stopped
+    /// instead of spinning.
+    BudgetExceeded {
+        /// The exhausted resource (`derivations` or `rounds`).
+        resource: String,
+        /// The configured limit.
+        limit: u64,
+        /// The amount of the resource consumed when the limit tripped.
+        spent: u64,
+    },
     /// An error bubbled up from the relational layer.
     Relational(rtx_relational::RelationalError),
 }
@@ -104,6 +116,14 @@ impl fmt::Display for DatalogError {
             DatalogError::NotFlat { relation } => write!(
                 f,
                 "program is not flat: derived relation `{relation}` appears in a rule body"
+            ),
+            DatalogError::BudgetExceeded {
+                resource,
+                limit,
+                spent,
+            } => write!(
+                f,
+                "evaluation budget exceeded: {spent} {resource} against a limit of {limit}"
             ),
             DatalogError::Relational(e) => write!(f, "relational error: {e}"),
         }

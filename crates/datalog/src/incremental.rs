@@ -45,7 +45,7 @@
 //! cache at once.
 
 use crate::compile::{CompiledProgram, CompiledRule, EvalContext, SeminaiveView};
-use crate::engine::EvalStats;
+use crate::engine::{EvalBudget, EvalStats};
 use crate::pool::Parallelism;
 use crate::resident::ResidentView;
 use crate::DatalogError;
@@ -122,6 +122,7 @@ pub struct StepEvaluator {
     rules: Vec<StepKind>,
     initialized: bool,
     parallelism: Parallelism,
+    budget: EvalBudget,
 }
 
 impl StepEvaluator {
@@ -239,6 +240,7 @@ impl StepEvaluator {
             rules,
             initialized: false,
             parallelism: Parallelism::default(),
+            budget: EvalBudget::UNLIMITED,
         })
     }
 
@@ -251,9 +253,36 @@ impl StepEvaluator {
         self
     }
 
+    /// Replaces the [`Parallelism`] policy in place (see
+    /// [`Self::with_parallelism`]).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     /// The policy the per-step passes evaluate under.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Replaces the per-step [`EvalBudget`].  Each call to [`Self::step`]
+    /// checks its own running [`EvalStats`] against the budget and stops with
+    /// [`DatalogError::BudgetExceeded`] instead of finishing a pathological
+    /// step; the cached join rows are only extended after a pass completes,
+    /// so a budget trip leaves the evaluator consistent and usable.
+    pub fn with_budget(mut self, budget: EvalBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the per-step [`EvalBudget`] in place (see
+    /// [`Self::with_budget`]).
+    pub fn set_budget(&mut self, budget: EvalBudget) {
+        self.budget = budget;
+    }
+
+    /// The per-step budget the evaluator enforces.
+    pub fn budget(&self) -> EvalBudget {
+        self.budget
     }
 
     /// The schema of the derived relations.
@@ -361,10 +390,12 @@ impl StepEvaluator {
             "StepEvaluator::step must receive the program it was built from"
         );
         let parallelism = self.parallelism.resolved();
+        let budget = self.budget;
         let mut stats = EvalStats {
             rounds: 1,
             ..EvalStats::default()
         };
+        budget.check(&stats)?;
         let mut out = Instance::empty(&self.out_schema);
         let delta_empty = grown_delta.is_empty();
         // Built on first use: an all-volatile program never pays for it.
@@ -386,6 +417,7 @@ impl StepEvaluator {
                     sink.clear();
                     ctx.run_pass_par(rule, None, parallelism, &mut sink)?;
                     stats.tuples_derived += sink.len() as u64;
+                    budget.check(&stats)?;
                     for tuple in sink.drain(..) {
                         out.insert(rule.head_relation.clone(), tuple)?;
                     }
@@ -422,6 +454,7 @@ impl StepEvaluator {
                         sink.clear();
                         ctx.run_pass_par(rule, None, parallelism, &mut sink)?;
                         stats.tuples_derived += sink.len() as u64;
+                        budget.check(&stats)?;
                         rows.extend(sink.drain(..));
                         *seeded = true;
                     } else if !grow_positions.is_empty() && !delta_empty {
@@ -444,6 +477,7 @@ impl StepEvaluator {
                             ctx.run_pass_par(rule, Some(&view), parallelism, &mut sink)?;
                         }
                         stats.tuples_derived += sink.len() as u64;
+                        budget.check(&stats)?;
                         rows.extend(sink.drain(..));
                     }
                     for (name, len) in grow_sizes.iter_mut() {
@@ -610,6 +644,58 @@ mod tests {
         // step with an empty delta joins nothing at all — a from-scratch
         // evaluation would have re-derived all 4 tuples at step 4.
         assert_eq!(derived, vec![0, 3, 1, 0]);
+    }
+
+    #[test]
+    fn budget_trips_with_typed_error_and_leaves_evaluator_usable() {
+        let db = instance(
+            &[("db-base", 1)],
+            &[
+                ("db-base", &["a"]),
+                ("db-base", &["b"]),
+                ("db-base", &["c"]),
+            ],
+        );
+        let program = parse_program("echo(X) :- ping(X), db-base(X).").unwrap();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let resident = compiled.prepare(&db);
+        let view = resident.view_for(&compiled);
+        let mut evaluator = StepEvaluator::new(&compiled, classify_by_prefix)
+            .unwrap()
+            .with_budget(EvalBudget::max_derivations(2));
+
+        let grown = instance(&[("past-ping", 1)], &[]);
+        let big = instance(
+            &[("ping", 1)],
+            &[("ping", &["a"]), ("ping", &["b"]), ("ping", &["c"])],
+        );
+        let err = evaluator
+            .step(&compiled, &big, &grown, &grown, &grown, &view)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DatalogError::BudgetExceeded {
+                resource: "derivations".into(),
+                limit: 2,
+                spent: 3,
+            }
+        );
+
+        // A budget trip is not a poisoned evaluator: a cheaper step (or a
+        // lifted budget) evaluates normally afterwards.
+        let small = instance(&[("ping", 1)], &[("ping", &["a"])]);
+        let (out, stats) = evaluator
+            .step(&compiled, &small, &grown, &grown, &grown, &view)
+            .unwrap();
+        assert_eq!(stats.tuples_derived, 1);
+        assert_eq!(out.get(&RelationName::new("echo")).unwrap().len(), 1);
+
+        evaluator.set_budget(EvalBudget::UNLIMITED);
+        assert!(evaluator.budget().is_unlimited());
+        let (out, _) = evaluator
+            .step(&compiled, &big, &grown, &grown, &grown, &view)
+            .unwrap();
+        assert_eq!(out.get(&RelationName::new("echo")).unwrap().len(), 3);
     }
 
     #[test]

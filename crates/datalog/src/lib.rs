@@ -98,7 +98,7 @@ pub use ast::{Atom, BodyLiteral, Program, Rule};
 pub use compile::{CompiledProgram, CompiledRule};
 pub use dred::{DredEngine, DredStats, MutationBatch};
 pub use engine::{
-    evaluate_nonrecursive, evaluate_stratified, EvalEngine, EvalOptions, EvalStats,
+    evaluate_nonrecursive, evaluate_stratified, EvalBudget, EvalEngine, EvalOptions, EvalStats,
     FixpointStrategy,
 };
 pub use error::DatalogError;

@@ -88,12 +88,20 @@ impl ResidentDb {
         }
     }
 
+    // Poison recovery: every mutation section leaves the inner maps valid
+    // (copy-on-write relation swaps, monotone version stamps), so a panic in
+    // one thread — e.g. a quarantined session — must not wedge the shared
+    // catalog for every other session.
     fn read(&self) -> std::sync::RwLockReadGuard<'_, ResidentInner> {
-        self.inner.read().expect("resident db lock poisoned")
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn write(&self) -> std::sync::RwLockWriteGuard<'_, ResidentInner> {
-        self.inner.write().expect("resident db lock poisoned")
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The database-wide mutation counter.  Any mutation increments it, so

@@ -15,8 +15,9 @@
 //! * [`core`] — relational transducers, Spocus transducers, the DSL, and the
 //!   paper's worked models (`short`, `friendly`, `a b* c`);
 //! * [`verify`] — log validation, goal reachability, temporal properties,
-//!   customization containment, `T_sdi` enforcement and error-free-run
-//!   verification;
+//!   customization containment, `T_sdi` enforcement, error-free-run
+//!   verification, and the online session monitor behind the runtime
+//!   guardrails;
 //! * [`workloads`] — synthetic catalogs, customer sessions and scalable model
 //!   families for the benchmarks.
 //!
@@ -52,8 +53,9 @@ pub use rtx_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use rtx_core::{
-        models, parse_transducer, ControlDiscipline, PropositionalTransducer, RelationalTransducer,
-        Run, SpocusBuilder, SpocusTransducer, TransducerSchema,
+        models, parse_transducer, ControlDiscipline, MonitorPolicy, PropositionalTransducer,
+        RelationalTransducer, Run, RuntimeHealth, SessionObserver, SpocusBuilder, SpocusTransducer,
+        TransducerSchema, Violation, ViolationKind,
     };
     pub use rtx_datalog::{parse_program, parse_rule, Program, Rule};
     pub use rtx_logic::{Formula, Term};
@@ -62,8 +64,8 @@ pub mod prelude {
     };
     pub use rtx_verify::{
         customization_preserves_logs, error_free_containment, error_free_runs_satisfy,
-        holds_in_all_runs, is_goal_reachable, validate_log, Goal, GoalLiteral, LogValidity,
-        SdiConstraint,
+        holds_in_all_runs, is_goal_reachable, validate_log, Goal, GoalLiteral, LogAuditCursor,
+        LogValidity, SdiConstraint, SessionMonitor,
     };
 }
 

@@ -104,6 +104,42 @@ impl SdiConstraint {
     /// Compiles the constraint into error rules (Theorem 4.1): one rule per
     /// clause of the consequent's conjunctive normal form.
     pub fn compile_to_error_rules(&self) -> Result<Vec<Rule>, VerifyError> {
+        self.compile_rules(&Atom::new("error", Vec::<Term>::new()))
+    }
+
+    /// [`Self::compile_to_error_rules`] with a custom head
+    /// `head(x̄)`, where `x̄` is [`Self::witness_variables`]: each derived
+    /// head fact is a *witness* of a violating antecedent match, so an online
+    /// monitor can name the offending tuple, not only the fact that some
+    /// violation exists.  Passing an empty variable list (a propositional
+    /// constraint) degenerates to the paper's 0-ary construction.
+    pub fn compile_to_error_rules_named(&self, head: &str) -> Result<Vec<Rule>, VerifyError> {
+        let args: Vec<Term> = self
+            .witness_variables()
+            .into_iter()
+            .map(Term::var)
+            .collect();
+        self.compile_rules(&Atom::new(head, args))
+    }
+
+    /// The ordered distinct variables occurring in positive antecedent
+    /// literals — exactly the variables a violation witness binds.
+    pub fn witness_variables(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut ordered = Vec::new();
+        for lit in &self.antecedent {
+            if let BodyLiteral::Positive(atom) = lit {
+                for var in atom.variables() {
+                    if seen.insert(var.clone()) {
+                        ordered.push(var);
+                    }
+                }
+            }
+        }
+        ordered
+    }
+
+    fn compile_rules(&self, head: &Atom) -> Result<Vec<Rule>, VerifyError> {
         let clauses = positive_cnf(&self.consequent)?;
         let mut rules = Vec::new();
         if clauses.is_empty() {
@@ -115,13 +151,13 @@ impl SdiConstraint {
             if clause.is_empty() {
                 // The consequent is unsatisfiable (false): the antecedent
                 // itself is an error.
-                rules.push(Rule::new(Atom::new("error", Vec::<Term>::new()), body));
+                rules.push(Rule::new(head.clone(), body));
                 continue;
             }
             for atom in clause {
                 body.push(BodyLiteral::Negative(atom));
             }
-            rules.push(Rule::new(Atom::new("error", Vec::<Term>::new()), body));
+            rules.push(Rule::new(head.clone(), body));
         }
         Ok(rules)
     }
@@ -328,6 +364,24 @@ mod tests {
                 .count(),
             3 // NOT past-pay from the antecedent + NOT pay + NOT cancel
         );
+    }
+
+    #[test]
+    fn named_compilation_carries_the_witness() {
+        let policy = payment_policy();
+        assert_eq!(policy.witness_variables(), vec!["x", "y"]);
+        let rules = policy.compile_to_error_rules_named("viol-pay").unwrap();
+        assert_eq!(rules.len(), 2);
+        for rule in &rules {
+            assert_eq!(rule.head.relation.as_str(), "viol-pay");
+            assert_eq!(rule.head.args, vec![Term::var("x"), Term::var("y")]);
+            assert!(rtx_datalog::safety::check_rule_safety(rule).is_ok());
+        }
+        // The bodies are identical to the 0-ary construction.
+        let plain = policy.compile_to_error_rules().unwrap();
+        for (named, plain) in rules.iter().zip(plain.iter()) {
+            assert_eq!(named.body, plain.body);
+        }
     }
 
     #[test]

@@ -17,11 +17,44 @@
 //! | Theorem 4.6 — error-free-run containment | [`error_free`] | [`error_free_containment`] |
 //! | §3.1 — `Gen(T)` of propositional transducers | [`genlang`] | [`gen_language_dfa`] |
 //! | Proposition 3.1 / Theorem 3.4 — FD/IncD reductions (undecidability witnesses) | [`dependencies`] | [`dependencies::DependencyGadget`] |
+//! | Online monitoring of the above (runtime guardrails) | [`monitor`] | [`SessionMonitor`] |
 //!
 //! Every satisfiability-based procedure can also return a *witness* (an input
 //! sequence, a counterexample run prefix), and the test suite cross-checks
 //! witnesses by running the transducer concretely — tying the symbolic
 //! reductions back to the operational semantics of `rtx-core`.
+//!
+//! ## Online monitoring
+//!
+//! The offline procedures above answer questions about *completed* runs or
+//! *all* runs.  [`SessionMonitor`] moves the same checks onto the hot path
+//! of a live session, as the observer behind the `rtx-core` runtime
+//! guardrails.  The lifecycle:
+//!
+//! 1. **Attach** — build a monitor from the spec transducer and the shared
+//!    catalog, optionally registering `T_sdi` admission constraints
+//!    ([`SessionMonitor::with_constraint`]), per-step temporal properties
+//!    ([`SessionMonitor::with_property`]) and forbidden goals
+//!    ([`SessionMonitor::forbid_goal`]); then attach it to a session under a
+//!    monitor policy (`Observe` or `Enforce`).  Fleets build one configured
+//!    prototype and [`SessionMonitor::fork`] it per session, so compilation
+//!    is paid once.
+//! 2. **Per-step validation** — before each step the compiled admission
+//!    gate (Theorem 4.1 error rules) screens the input; after the step the
+//!    monitor re-derives the *logged* output relations with an incremental
+//!    shadow evaluator and compares tuple-for-tuple, so a length-`N` run
+//!    costs `N` delta-bounded checks, never `O(N²)` re-derivation.  A
+//!    symbolic Theorem 3.1 cursor accumulates the log for on-demand deep
+//!    audits ([`SessionMonitor::audit`]).
+//! 3. **Violation or rejection** — every failed check becomes a typed
+//!    violation naming the offending step, relation and tuple.  Under
+//!    `Observe` the session records it and continues; under `Enforce` an
+//!    inadmissible input is refused with a typed rejection naming the
+//!    violated constraint, before the run advances.
+//! 4. **Quarantine** — a monitor (or any observer) that panics never takes
+//!    the runtime down: the session is quarantined, its name is released,
+//!    sibling sessions keep stepping, and the runtime health snapshot
+//!    reports the casualty alongside the violation and rejection tallies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +65,7 @@ pub mod enforce;
 pub mod error_free;
 pub mod genlang;
 pub mod log_validation;
+pub mod monitor;
 pub mod reachability;
 pub mod reduction;
 pub mod temporal;
@@ -45,6 +79,7 @@ pub use enforce::SdiConstraint;
 pub use error::VerifyError;
 pub use error_free::{error_free_containment, error_free_runs_satisfy, ErrorFreeVerdict};
 pub use genlang::gen_language_dfa;
-pub use log_validation::{validate_log, LogValidity};
+pub use log_validation::{validate_log, LogAuditCursor, LogValidity};
+pub use monitor::SessionMonitor;
 pub use reachability::{is_goal_reachable, Goal, GoalLiteral};
-pub use temporal::{holds_in_all_runs, TemporalVerdict};
+pub use temporal::{holds_in_all_runs, run_satisfies, step_satisfies, TemporalVerdict};

@@ -10,7 +10,7 @@ use crate::reduction::{atom_formula, fix_database, step_relation, witness_inputs
 use crate::VerifyError;
 use rtx_core::{RelationalTransducer, SpocusTransducer};
 use rtx_logic::{solve_bs, BsOutcome, BsProblem, Formula, Term};
-use rtx_relational::{active_domain_of_sequence, Instance, InstanceSequence, RelationName};
+use rtx_relational::{active_domain, Instance, InstanceSequence, RelationName, Value};
 
 /// The outcome of a log-validation check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,8 +43,7 @@ pub fn validate_log(
     db: &Instance,
     log: &InstanceSequence,
 ) -> Result<LogValidity, VerifyError> {
-    let schema = transducer.schema();
-    let log_schema = schema.log_schema();
+    let log_schema = transducer.schema().log_schema();
     if !log.schema().is_subschema_of(&log_schema) {
         return Err(VerifyError::Precondition {
             detail: format!(
@@ -54,17 +53,73 @@ pub fn validate_log(
             ),
         });
     }
+    let mut cursor = LogAuditCursor::new();
+    for logged in log.iter() {
+        cursor.push_step(transducer, logged)?;
+    }
+    cursor.validate(transducer, db)
+}
 
-    let steps = log.len();
-    let mut conjuncts: Vec<Formula> = Vec::new();
+/// A resumable Theorem 3.1 audit: the per-step membership conjuncts of
+/// [`validate_log`] accumulated incrementally as the log arrives.
+///
+/// [`LogAuditCursor::push_step`] does only the *new* step's share of the
+/// symbolic work — building the "(a) every logged tuple is produced / (b)
+/// nothing beyond the logged tuples is produced" conjuncts for that step —
+/// so feeding a length-N log costs N single-step pushes, not N re-scans of
+/// a growing prefix.  [`LogAuditCursor::validate`] then decides, at any
+/// point, whether the log pushed so far is producible.  An online monitor
+/// keeps one cursor per session and calls `validate` on demand (or on
+/// violation suspicion) instead of per step.
+///
+/// Every call must pass the *same* transducer the cursor has seen before;
+/// the cursor only stores the derived formulas.
+#[derive(Debug, Clone, Default)]
+pub struct LogAuditCursor {
+    steps: usize,
+    conjuncts: Vec<Formula>,
+    constants: Vec<Value>,
+}
 
-    for (index, logged) in log.iter().enumerate() {
-        let step = index + 1;
+impl LogAuditCursor {
+    /// An empty cursor: zero steps pushed, `validate` accepts trivially.
+    pub fn new() -> Self {
+        LogAuditCursor::default()
+    }
+
+    /// Number of log steps pushed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Appends one audited log step, building its membership conjuncts.
+    ///
+    /// The instance must be over (a sub-schema of) the transducer's log
+    /// schema; relations of the log schema missing from the instance's
+    /// schema are treated as empty at this step.
+    pub fn push_step(
+        &mut self,
+        transducer: &SpocusTransducer,
+        logged: &Instance,
+    ) -> Result<(), VerifyError> {
+        let schema = transducer.schema();
+        let log_schema = schema.log_schema();
+        if !logged.schema().is_subschema_of(&log_schema) {
+            return Err(VerifyError::Precondition {
+                detail: format!(
+                    "the audited log has schema {} which is not contained in the transducer log schema {}",
+                    logged.schema(),
+                    log_schema
+                ),
+            });
+        }
+
+        let step = self.steps + 1;
         for logged_relation in schema.log() {
             let arity = log_schema
                 .arity_of(logged_relation.clone())
                 .expect("log relation is in the log schema");
-            let tuples: Vec<Vec<rtx_relational::Value>> = logged
+            let tuples: Vec<Vec<Value>> = logged
                 .relation(logged_relation.clone())
                 .map(|r| r.iter().map(|t| t.values().to_vec()).collect())
                 .unwrap_or_default();
@@ -87,7 +142,7 @@ pub fn validate_log(
                 } else {
                     atom_formula(transducer, logged_relation, &ground, step)?
                 };
-                conjuncts.push(grounded);
+                self.conjuncts.push(grounded);
             }
 
             // (b) nothing beyond the logged tuples is produced
@@ -107,23 +162,38 @@ pub fn validate_log(
                     })
                     .collect(),
             );
-            conjuncts.push(Formula::forall(
+            self.conjuncts.push(Formula::forall(
                 vars.clone(),
                 Formula::implies(membership, allowed),
             ));
         }
+        for value in active_domain(logged) {
+            if !self.constants.contains(&value) {
+                self.constants.push(value);
+            }
+        }
+        self.steps = step;
+        Ok(())
     }
 
-    let sentence = Formula::and(conjuncts);
-    let mut problem = BsProblem::new(sentence);
-    fix_database(&mut problem, db);
-    problem.add_constants(active_domain_of_sequence(log));
+    /// Decides whether the log pushed so far is a valid log of `transducer`
+    /// over `db` (Theorem 3.1 on the accumulated conjuncts).
+    pub fn validate(
+        &self,
+        transducer: &SpocusTransducer,
+        db: &Instance,
+    ) -> Result<LogValidity, VerifyError> {
+        let sentence = Formula::and(self.conjuncts.clone());
+        let mut problem = BsProblem::new(sentence);
+        fix_database(&mut problem, db);
+        problem.add_constants(self.constants.iter().cloned());
 
-    match solve_bs(&problem)? {
-        BsOutcome::Satisfiable(model) => Ok(LogValidity::Valid {
-            witness_inputs: witness_inputs(transducer, &model, steps)?,
-        }),
-        BsOutcome::Unsatisfiable => Ok(LogValidity::Invalid),
+        match solve_bs(&problem)? {
+            BsOutcome::Satisfiable(model) => Ok(LogValidity::Valid {
+                witness_inputs: witness_inputs(transducer, &model, self.steps)?,
+            }),
+            BsOutcome::Unsatisfiable => Ok(LogValidity::Invalid),
+        }
     }
 }
 
@@ -213,6 +283,52 @@ mod tests {
             }
             LogValidity::Invalid => panic!("the log of an actual run must be valid"),
         }
+    }
+
+    #[test]
+    fn cursor_resumes_and_agrees_with_offline_validation() {
+        let t = models::short();
+        let db = models::figure1_database();
+        let run = t.run(&db, &models::figure1_inputs()).unwrap();
+        let log = run.log().clone();
+
+        let mut cursor = LogAuditCursor::new();
+        assert_eq!(cursor.steps(), 0);
+        for (index, logged) in log.iter().enumerate() {
+            cursor.push_step(&t, logged).unwrap();
+            assert_eq!(cursor.steps(), index + 1);
+            // Every prefix of a real run's log is itself a valid log, and the
+            // resumable cursor must agree with the offline validator on it.
+            let prefix = InstanceSequence::new(
+                log.schema().clone(),
+                log.iter().take(index + 1).cloned().collect(),
+            )
+            .unwrap();
+            assert_eq!(
+                cursor.validate(&t, &db).unwrap().is_valid(),
+                validate_log(&t, &db, &prefix).unwrap().is_valid()
+            );
+        }
+
+        // Pushing a fraudulent step (a delivery with no payment) flips the
+        // verdict without rebuilding the earlier steps' conjuncts.
+        let schema = short_log_schema();
+        cursor
+            .push_step(&t, &log_step(&schema, &[], &[], &["time"]))
+            .unwrap();
+        assert_eq!(cursor.validate(&t, &db).unwrap(), LogValidity::Invalid);
+    }
+
+    #[test]
+    fn cursor_rejects_foreign_log_schemas() {
+        let t = models::short();
+        let other = Schema::from_pairs([("refund", 1)]).unwrap();
+        let mut cursor = LogAuditCursor::new();
+        assert!(matches!(
+            cursor.push_step(&t, &Instance::empty(&other)),
+            Err(VerifyError::Precondition { .. })
+        ));
+        assert_eq!(cursor.steps(), 0);
     }
 
     #[test]

@@ -171,24 +171,37 @@ pub fn run_satisfies(property: &Formula, run: &Run, db: &Instance) -> Result<boo
         } else {
             run.states().get(index - 1).expect("aligned sequences")
         };
-        let combined = output.union(state_before)?.union(db)?;
-        let mut domain: Vec<rtx_relational::Value> = rtx_relational::active_domain(&combined)
-            .into_iter()
-            .collect();
-        for c in property.constants() {
-            if !domain.contains(&c) {
-                domain.push(c);
-            }
-        }
-        let structure = rtx_logic::FiniteStructure::from_instance(domain, &combined);
-        if !property
-            .eval(&structure, &BTreeMap::new())
-            .map_err(VerifyError::from)?
-        {
+        if !step_satisfies(property, output, state_before, db)? {
             return Ok(false);
         }
     }
     Ok(true)
+}
+
+/// The per-step form of [`run_satisfies`]: does the `T_past-input` sentence
+/// hold at one step, given the step's output, the state *before* the step,
+/// and the database?  An online monitor calls this once per step as the run
+/// advances instead of re-scanning the whole run; `run_satisfies(p, run, db)`
+/// is exactly the conjunction of `step_satisfies` over the run's steps.
+pub fn step_satisfies(
+    property: &Formula,
+    output: &Instance,
+    state_before: &Instance,
+    db: &Instance,
+) -> Result<bool, VerifyError> {
+    let combined = output.union(state_before)?.union(db)?;
+    let mut domain: Vec<rtx_relational::Value> = rtx_relational::active_domain(&combined)
+        .into_iter()
+        .collect();
+    for c in property.constants() {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let structure = rtx_logic::FiniteStructure::from_instance(domain, &combined);
+    property
+        .eval(&structure, &BTreeMap::new())
+        .map_err(VerifyError::from)
 }
 
 #[cfg(test)]
