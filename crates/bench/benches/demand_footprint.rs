@@ -1,0 +1,84 @@
+//! PERF-DD: per-session probe cost vs catalog size — the demand-driven
+//! evaluation claim.  A storefront session browses a couple of products per
+//! step while a catalog-wide `offer` rule re-derives on every refresh tick:
+//!
+//! * `full` — an undemanded session evaluates the original program and
+//!   materializes the whole catalog's offers every step: cost grows with
+//!   the catalog (1k → 100k);
+//! * `restricted` — the session states its demand but the `Full` policy
+//!   evaluates unrewritten and filters to the footprint: same O(catalog)
+//!   evaluation, the filter alone buys nothing;
+//! * `rewritten` — the `Demand` policy evaluates the magic-set-rewritten
+//!   program seeded from the session's own `browse` inputs: per-step cost
+//!   stays flat as the catalog grows.
+
+use criterion::Criterion;
+use rtx::core::{DemandPolicy, Runtime};
+use std::sync::Arc;
+
+fn benches(c: &mut Criterion) {
+    let model = Arc::new(rtx::workloads::storefront_model());
+    let mut group = c.benchmark_group("demand_footprint");
+    for products in [1_000usize, 10_000, 100_000] {
+        let db = rtx::workloads::category_catalog(products, 50, 1);
+        let inputs = rtx::workloads::browse_session(8, products, 7);
+        let resident = Arc::new(model.compiled_output_program().prepare(&db));
+
+        // Baseline: no demand — every step derives offers for the whole
+        // catalog.
+        group.bench_function(format!("full/products={products}"), |b| {
+            b.iter(|| {
+                let runtime = Runtime::shared(Arc::clone(&resident));
+                let mut session = runtime.open_session("probe", Arc::clone(&model)).unwrap();
+                for input in inputs.iter() {
+                    session.step(input).unwrap();
+                }
+            });
+        });
+
+        // Demanded footprint via the fallback policy: full evaluation, then
+        // filter — shows the win comes from the rewrite, not the filter.
+        group.bench_function(format!("restricted/products={products}"), |b| {
+            b.iter(|| {
+                let runtime = Runtime::shared(Arc::clone(&resident));
+                runtime.set_demand_policy(DemandPolicy::Full);
+                let mut session = runtime
+                    .open_session_with_demand(
+                        "probe",
+                        Arc::clone(&model),
+                        rtx::workloads::storefront_demand(),
+                    )
+                    .unwrap();
+                for input in inputs.iter() {
+                    session.step(input).unwrap();
+                }
+            });
+        });
+
+        // The same footprint through the magic-set rewrite: seeded per step
+        // from the session's own browse inputs, flat in the catalog size.
+        group.bench_function(format!("rewritten/products={products}"), |b| {
+            b.iter(|| {
+                let runtime = Runtime::shared(Arc::clone(&resident));
+                runtime.set_demand_policy(DemandPolicy::Demand);
+                let mut session = runtime
+                    .open_session_with_demand(
+                        "probe",
+                        Arc::clone(&model),
+                        rtx::workloads::storefront_demand(),
+                    )
+                    .unwrap();
+                for input in inputs.iter() {
+                    session.step(input).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = rtx_bench::criterion_config();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -56,6 +56,7 @@
 
 mod builder;
 mod control;
+pub mod demand;
 mod dsl;
 pub mod durable;
 mod error;
@@ -70,10 +71,12 @@ mod transducer;
 
 pub use builder::SpocusBuilder;
 pub use control::ControlDiscipline;
+pub use demand::{SessionDemand, SessionGoal};
 pub use dsl::parse_transducer;
 pub use durable::DurableRuntime;
 pub use error::CoreError;
 pub use propositional::PropositionalTransducer;
+pub use rtx_datalog::DemandPolicy;
 pub use run::{Run, RunStep};
 pub use runtime::{Runtime, Session};
 pub use schema::TransducerSchema;

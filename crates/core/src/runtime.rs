@@ -31,10 +31,12 @@
 //! one-shot [`RelationalTransducer::run`](crate::RelationalTransducer::run)
 //! over the same inputs and catalog.
 
+use crate::demand::{DemandPlan, SessionDemand};
 use crate::supervise::{MonitorPolicy, RuntimeHealth, SessionObserver, Violation};
 use crate::{CoreError, Run, SpocusTransducer};
 use rtx_datalog::{
-    ChangeClass, EvalBudget, EvalStats, Parallelism, ResidentDb, ResidentView, StepEvaluator,
+    ChangeClass, DemandPolicy, EvalBudget, EvalStats, Parallelism, ResidentDb, ResidentView,
+    StepEvaluator,
 };
 use rtx_relational::{Instance, InstanceSequence, RelationName};
 use std::collections::BTreeSet;
@@ -73,6 +75,12 @@ pub(crate) struct IncrementalStepper {
     /// other threads mutate the shared database.  Sessions leave this false
     /// and observe catalog changes at their next step.
     pin_view: bool,
+    /// The session's demand plan, if any: under
+    /// [`DemandPolicy::Demand`] the evaluator runs the magic-set-rewritten
+    /// program with the step's seed facts merged into the volatile sources;
+    /// under [`DemandPolicy::Full`] the original program runs and the output
+    /// is filtered to the same footprint.
+    demand: Option<DemandPlan>,
     /// State after the last step (`S_{i-1}` when evaluating step `i`).
     state: Instance,
     /// State before that (`S_{i-2}`).
@@ -88,7 +96,7 @@ impl IncrementalStepper {
         db: &ResidentDb,
         parallelism: Parallelism,
     ) -> Result<Self, CoreError> {
-        Self::with_pinning(transducer, db, false, parallelism)
+        Self::with_pinning(transducer, db, false, parallelism, None)
     }
 
     /// A stepper whose view never refreshes: the whole run happens against
@@ -98,7 +106,17 @@ impl IncrementalStepper {
         db: &ResidentDb,
         parallelism: Parallelism,
     ) -> Result<Self, CoreError> {
-        Self::with_pinning(transducer, db, true, parallelism)
+        Self::with_pinning(transducer, db, true, parallelism, None)
+    }
+
+    /// A session stepper evaluating under a demand plan.
+    pub(crate) fn demanded(
+        transducer: &SpocusTransducer,
+        db: &ResidentDb,
+        parallelism: Parallelism,
+        plan: DemandPlan,
+    ) -> Result<Self, CoreError> {
+        Self::with_pinning(transducer, db, false, parallelism, Some(plan))
     }
 
     fn with_pinning(
@@ -106,12 +124,19 @@ impl IncrementalStepper {
         db: &ResidentDb,
         pin_view: bool,
         parallelism: Parallelism,
+        demand: Option<DemandPlan>,
     ) -> Result<Self, CoreError> {
         let schema = transducer.schema();
         let input = schema.input().clone();
         let state = schema.state().clone();
+        // Magic seed relations are per-session, per-step demand: volatile,
+        // never part of the shared database or the cumulative state.
+        let magic = demand
+            .as_ref()
+            .map(|plan| plan.magic_names())
+            .unwrap_or_default();
         let classify = move |name: &RelationName| {
-            if input.contains(name.clone()) {
+            if input.contains(name.clone()) || magic.contains(name) {
                 ChangeClass::Volatile
             } else if state.contains(name.clone()) {
                 ChangeClass::GrowOnly
@@ -119,7 +144,10 @@ impl IncrementalStepper {
                 ChangeClass::Static
             }
         };
-        let compiled = transducer.compiled_output_program();
+        let compiled = demand
+            .as_ref()
+            .and_then(|plan| plan.compiled())
+            .unwrap_or_else(|| transducer.compiled_output_program());
         let evaluator = StepEvaluator::new(compiled, classify)
             .map_err(CoreError::Datalog)?
             .with_parallelism(parallelism);
@@ -129,11 +157,17 @@ impl IncrementalStepper {
             evaluator,
             view,
             pin_view,
+            demand,
             state: empty_state.clone(),
             old_state: empty_state.clone(),
             delta: empty_state,
             last_stats: EvalStats::default(),
         })
+    }
+
+    /// The session's demand plan, if it was opened with one.
+    pub(crate) fn demand(&self) -> Option<&DemandPlan> {
+        self.demand.as_ref()
     }
 
     /// The state after the last step.
@@ -172,20 +206,60 @@ impl IncrementalStepper {
         // that join against it, not the whole evaluator.  Pinned (one-shot
         // run) steppers never refresh, so the produced run is consistent
         // with a single catalog state.
+        let compiled = self
+            .demand
+            .as_ref()
+            .and_then(|plan| plan.compiled())
+            .unwrap_or_else(|| transducer.compiled_output_program());
         if !self.pin_view && !db.view_is_current(&self.view) {
             let stale = db.stale_relations(&self.view);
-            self.view = db.view_for(transducer.compiled_output_program());
+            self.view = db.view_for(compiled);
             self.evaluator.invalidate_relations(&stale);
         }
 
-        let (derived, stats) = self.evaluator.step(
-            transducer.compiled_output_program(),
-            input,
-            &self.state,
-            &self.old_state,
-            &self.delta,
-            &self.view,
-        )?;
+        let (derived, stats) = match &self.demand {
+            None => self.evaluator.step(
+                compiled,
+                input,
+                &self.state,
+                &self.old_state,
+                &self.delta,
+                &self.view,
+            )?,
+            Some(plan) => {
+                // Seed this step's demand: the session constants plus the
+                // projections of this step's own input.  The seeds are
+                // volatile per-step state — never stamped into the shared
+                // database or carried into the cumulative state.
+                let seeds = plan.seed_instance(input)?;
+                if plan.compiled().is_some() {
+                    let volatile = plan.volatile_instance(input, &seeds)?;
+                    let (derived, stats) = self.evaluator.step(
+                        compiled,
+                        &volatile,
+                        &self.state,
+                        &self.old_state,
+                        &self.delta,
+                        &self.view,
+                    )?;
+                    // Adorned relations hold answers for every transitively
+                    // demanded binding; restrict to the goals' own seeds.
+                    (plan.rewrite().restrict_with(&derived, Some(&seeds)), stats)
+                } else {
+                    let (derived, stats) = self.evaluator.step(
+                        compiled,
+                        input,
+                        &self.state,
+                        &self.old_state,
+                        &self.delta,
+                        &self.view,
+                    )?;
+                    // Full-evaluation fallback: filter the unrewritten
+                    // result to the identical demanded footprint.
+                    (plan.rewrite().footprint_with(&derived, Some(&seeds)), stats)
+                }
+            }
+        };
         self.last_stats = stats;
         let mut output = Instance::empty(transducer.schema().output());
         output.absorb(&derived)?;
@@ -225,6 +299,17 @@ impl IncrementalStepper {
 struct RuntimeConfig {
     budget: EvalBudget,
     policy: MonitorPolicy,
+    demand: DemandPolicy,
+}
+
+/// The initial demand policy of a runtime: demanded sessions evaluate
+/// goal-directed unless `RTX_DEMAND=full` (or `off`) forces the
+/// full-evaluation fallback.  Note the default differs from
+/// [`DemandPolicy::from_env`]: opening a session *with* a demand is already
+/// the opt-in, so the environment variable only serves as a kill switch (or
+/// an explicit confirmation, `RTX_DEMAND=demand`).
+fn demand_policy_from_env() -> DemandPolicy {
+    DemandPolicy::parse(std::env::var("RTX_DEMAND").ok().as_deref()).unwrap_or(DemandPolicy::Demand)
 }
 
 /// Aggregate supervision counters behind [`Runtime::health`].
@@ -277,6 +362,7 @@ impl Runtime {
                 config: Mutex::new(RuntimeConfig {
                     budget: EvalBudget::UNLIMITED,
                     policy: MonitorPolicy::from_env(),
+                    demand: demand_policy_from_env(),
                 }),
                 health: Mutex::new(HealthInner::default()),
             }),
@@ -321,6 +407,24 @@ impl Runtime {
         lock_clean(&self.inner.config).policy
     }
 
+    /// Sets the [`DemandPolicy`] for sessions opened **with a demand** after
+    /// this call ([`Runtime::open_session_with_demand`]; already-open
+    /// sessions keep theirs).  Under [`DemandPolicy::Demand`] such a session
+    /// evaluates the magic-set-rewritten program seeded from its own inputs
+    /// and constants; under [`DemandPolicy::Full`] it evaluates the original
+    /// program and filters the output to the identical footprint — a pure
+    /// performance knob.  The initial default is [`DemandPolicy::Demand`]
+    /// unless the `RTX_DEMAND` environment variable says `full`/`off`.
+    /// Sessions opened without a demand are unaffected.
+    pub fn set_demand_policy(&self, policy: DemandPolicy) {
+        lock_clean(&self.inner.config).demand = policy;
+    }
+
+    /// The [`DemandPolicy`] demanded sessions are opened under.
+    pub fn demand_policy(&self) -> DemandPolicy {
+        lock_clean(&self.inner.config).demand
+    }
+
     /// A snapshot of the runtime's supervision state: live session count,
     /// quarantined session names, and the aggregate violation/rejection
     /// counters across all sessions (past and present).
@@ -343,9 +447,37 @@ impl Runtime {
         name: impl Into<String>,
         transducer: impl Into<Arc<SpocusTransducer>>,
     ) -> Result<Session, CoreError> {
-        let name = name.into();
-        let transducer = transducer.into();
+        self.open_session_inner(name.into(), transducer.into(), None)
+    }
 
+    /// Opens a named session that only ever reads the demanded footprint of
+    /// its outputs: every step's output is restricted to the
+    /// [`SessionDemand`]'s goals, seeded per step from the session's
+    /// constants and its own input projections.  Under the runtime's
+    /// [`DemandPolicy`] ([`Runtime::set_demand_policy`]) the step either
+    /// evaluates the magic-set-rewritten program (goal-directed, per-step
+    /// cost proportional to the session's footprint) or falls back to full
+    /// evaluation plus filtering — the outputs are identical either way.
+    ///
+    /// Fails like [`Runtime::open_session`], and additionally with
+    /// [`DatalogError::DemandUnsupported`](rtx_datalog::DatalogError::DemandUnsupported)
+    /// when the demand names a non-output relation, mismatches an arity, or
+    /// states no goal at all.
+    pub fn open_session_with_demand(
+        &self,
+        name: impl Into<String>,
+        transducer: impl Into<Arc<SpocusTransducer>>,
+        demand: SessionDemand,
+    ) -> Result<Session, CoreError> {
+        self.open_session_inner(name.into(), transducer.into(), Some(demand))
+    }
+
+    fn open_session_inner(
+        &self,
+        name: String,
+        transducer: Arc<SpocusTransducer>,
+        demand: Option<SessionDemand>,
+    ) -> Result<Session, CoreError> {
         let resident_schema = self.inner.db.schema();
         if !transducer.schema().db().is_subschema_of(&resident_schema) {
             return Err(CoreError::SchemaMismatch {
@@ -366,14 +498,24 @@ impl Runtime {
         }
 
         let config = *lock_clean(&self.inner.config);
-        let mut stepper =
-            match IncrementalStepper::new(&transducer, &self.inner.db, self.inner.parallelism) {
-                Ok(stepper) => stepper,
-                Err(e) => {
-                    self.release(&name);
-                    return Err(e);
-                }
-            };
+        let built = match demand {
+            None => IncrementalStepper::new(&transducer, &self.inner.db, self.inner.parallelism),
+            Some(spec) => DemandPlan::new(&transducer, spec, config.demand).and_then(|plan| {
+                IncrementalStepper::demanded(
+                    &transducer,
+                    &self.inner.db,
+                    self.inner.parallelism,
+                    plan,
+                )
+            }),
+        };
+        let mut stepper = match built {
+            Ok(stepper) => stepper,
+            Err(e) => {
+                self.release(&name);
+                return Err(e);
+            }
+        };
         stepper.set_budget(config.budget);
         let schema = transducer.schema();
         Ok(Session {
@@ -464,6 +606,19 @@ impl Session {
     /// The session's [`MonitorPolicy`].
     pub fn monitor_policy(&self) -> MonitorPolicy {
         self.policy
+    }
+
+    /// True if the session was opened with a [`SessionDemand`]
+    /// ([`Runtime::open_session_with_demand`]): its step outputs are
+    /// restricted to the demanded footprint.
+    pub fn is_demanded(&self) -> bool {
+        self.stepper.demand().is_some()
+    }
+
+    /// The [`DemandPolicy`] the session's demand plan was compiled under —
+    /// `None` for sessions opened without a demand.
+    pub fn demand_policy(&self) -> Option<DemandPolicy> {
+        self.stepper.demand().map(|plan| plan.policy())
     }
 
     /// Changes the session's [`MonitorPolicy`] (the session was opened with
@@ -648,6 +803,7 @@ impl Drop for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::demand::SessionGoal;
     use crate::models;
     use crate::RelationalTransducer;
     use rtx_relational::{Schema, Tuple, Value};
@@ -856,6 +1012,187 @@ mod tests {
         );
         good.step(&step).unwrap();
         let _reopened = runtime.open_session("bad", transducer).unwrap();
+    }
+
+    /// A demand following the session's own inputs: bills for what this
+    /// step orders, deliveries for what this step pays.
+    fn short_demand() -> SessionDemand {
+        SessionDemand::new()
+            .goal(
+                SessionGoal::new("sendbill", "bf")
+                    .unwrap()
+                    .from_input("order", [0]),
+            )
+            .goal(
+                SessionGoal::new("deliver", "b")
+                    .unwrap()
+                    .from_input("pay", [0]),
+            )
+    }
+
+    #[test]
+    fn demanded_session_matches_full_session_on_both_policies() {
+        let transducer = Arc::new(models::short());
+        let db = models::figure1_database();
+        let inputs = models::figure1_inputs();
+        let runtime = Runtime::new(ResidentDb::new(db));
+
+        let mut full = runtime
+            .open_session("full", Arc::clone(&transducer))
+            .unwrap();
+        assert!(!full.is_demanded());
+        assert_eq!(full.demand_policy(), None);
+
+        runtime.set_demand_policy(DemandPolicy::Demand);
+        let mut rewritten = runtime
+            .open_session_with_demand("rewritten", Arc::clone(&transducer), short_demand())
+            .unwrap();
+        assert!(rewritten.is_demanded());
+        assert_eq!(rewritten.demand_policy(), Some(DemandPolicy::Demand));
+
+        runtime.set_demand_policy(DemandPolicy::Full);
+        let mut filtered = runtime
+            .open_session_with_demand("filtered", Arc::clone(&transducer), short_demand())
+            .unwrap();
+        assert_eq!(filtered.demand_policy(), Some(DemandPolicy::Full));
+
+        // This demand covers everything the program can derive (bills are
+        // driven by `order`, deliveries by `pay`), so all three sessions
+        // must agree bit-for-bit at every step — and the two demanded modes
+        // must agree with each other by construction.
+        for input in inputs.iter() {
+            let expected = full.step(input).unwrap();
+            assert_eq!(rewritten.step(input).unwrap(), expected);
+            assert_eq!(filtered.step(input).unwrap(), expected);
+        }
+        assert!(rewritten.last_stats().tuples_derived <= full.last_stats().tuples_derived);
+    }
+
+    #[test]
+    fn demanded_session_restricts_to_its_constants() {
+        let transducer = Arc::new(models::short());
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        runtime.set_demand_policy(DemandPolicy::Demand);
+        let demand = SessionDemand::new().goal(
+            SessionGoal::new("sendbill", "bf")
+                .unwrap()
+                .with_constants([Tuple::from_iter(["time"])]),
+        );
+        let mut session = runtime
+            .open_session_with_demand("time-only", Arc::clone(&transducer), demand)
+            .unwrap();
+
+        let out = session
+            .step(&input_step(&["time", "newsweek"], &[]))
+            .unwrap();
+        assert!(out.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("time"), Value::int(855)])
+        ));
+        // The newsweek bill is derivable but not demanded.
+        assert_eq!(out.relation("sendbill").unwrap().len(), 1);
+        // Deliveries are not demanded at all.
+        assert!(out.relation("deliver").unwrap().is_empty());
+    }
+
+    #[test]
+    fn constant_specialized_goal_matches_the_seeded_one() {
+        let transducer = Arc::new(models::short());
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        runtime.set_demand_policy(DemandPolicy::Demand);
+        let specialized = SessionDemand::new().goal(
+            SessionGoal::new("deliver", "b")
+                .unwrap()
+                .with_constants([Tuple::from_iter(["time"])])
+                .specialized(),
+        );
+        let seeded = SessionDemand::new().goal(
+            SessionGoal::new("deliver", "b")
+                .unwrap()
+                .with_constants([Tuple::from_iter(["time"])]),
+        );
+        let mut a = runtime
+            .open_session_with_demand("specialized", Arc::clone(&transducer), specialized)
+            .unwrap();
+        let mut b = runtime
+            .open_session_with_demand("seeded", Arc::clone(&transducer), seeded)
+            .unwrap();
+        for input in [
+            input_step(&["time", "newsweek"], &[]),
+            input_step(&[], &[("time", 855), ("newsweek", 845)]),
+        ] {
+            let out = a.step(&input).unwrap();
+            assert_eq!(out, b.step(&input).unwrap());
+        }
+        // Only time's delivery is demanded, though newsweek's is derivable.
+        assert!(a.state().holds(
+            "past-pay",
+            &Tuple::new(vec![Value::str("newsweek"), Value::int(845)])
+        ));
+    }
+
+    #[test]
+    fn catalog_mutations_reach_demanded_sessions_at_the_next_step() {
+        let transducer = Arc::new(models::short());
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        runtime.set_demand_policy(DemandPolicy::Demand);
+        let mut session = runtime
+            .open_session_with_demand("customer", transducer, short_demand())
+            .unwrap();
+
+        let out = session.step(&input_step(&["economist"], &[])).unwrap();
+        assert!(out.relation("sendbill").unwrap().is_empty());
+        runtime
+            .database()
+            .insert(
+                "price",
+                Tuple::new(vec![Value::str("economist"), Value::int(700)]),
+            )
+            .unwrap();
+        let out = session.step(&input_step(&["economist"], &[])).unwrap();
+        assert!(out.holds(
+            "sendbill",
+            &Tuple::new(vec![Value::str("economist"), Value::int(700)])
+        ));
+    }
+
+    #[test]
+    fn invalid_session_demands_are_rejected_and_release_the_name() {
+        let transducer = Arc::new(models::short());
+        let runtime = Runtime::new(ResidentDb::new(models::figure1_database()));
+        let invalid = [
+            SessionDemand::new(),
+            SessionDemand::new().goal(SessionGoal::new("nonexistent", "b").unwrap()),
+            SessionDemand::new().goal(SessionGoal::new("sendbill", "b").unwrap()),
+            SessionDemand::new().goal(
+                SessionGoal::new("sendbill", "bf")
+                    .unwrap()
+                    .from_input("no-such-input", [0]),
+            ),
+            SessionDemand::new().goal(
+                SessionGoal::new("sendbill", "bf")
+                    .unwrap()
+                    .from_input("order", [7]),
+            ),
+            SessionDemand::new().goal(SessionGoal::new("sendbill", "bf").unwrap().specialized()),
+        ];
+        for demand in invalid {
+            let err = runtime
+                .open_session_with_demand("a", Arc::clone(&transducer), demand)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CoreError::Datalog(rtx_datalog::DatalogError::DemandUnsupported { .. })
+                ),
+                "expected DemandUnsupported, got {err:?}"
+            );
+        }
+        // Every rejection released the name.
+        assert_eq!(runtime.session_count(), 0);
+        let _ok = runtime
+            .open_session_with_demand("a", transducer, short_demand())
+            .unwrap();
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! compare naive, semi-naive and compiled-indexed evaluation through
 //! [`crate::EvalOptions`].
 
+use crate::demand::{magic_rewrite, DemandGoal, DemandProgram};
 use crate::engine::{EvalBudget, EvalStats};
 use crate::graph::DependencyGraph;
 use crate::pool::{Parallelism, Pool};
@@ -185,6 +186,10 @@ pub struct CompiledRule {
     pub(crate) slot_names: Vec<String>,
     /// Rendering of the source rule, for diagnostics.
     pub(crate) source: String,
+    /// True for demand bookkeeping (magic/supplementary) rules of a
+    /// demand-compiled program: their derivations are reported through the
+    /// separate `magic_*` [`EvalStats`] counters.
+    pub(crate) auxiliary: bool,
 }
 
 impl CompiledRule {
@@ -238,6 +243,10 @@ pub struct CompiledProgram {
     strata: Vec<Stratum>,
     out_schema: Schema,
     recursive: bool,
+    /// Present for demand-compiled programs
+    /// ([`CompiledProgram::compile_demand`]): the rewrite metadata used to
+    /// seed and to restrict evaluations.
+    demand: Option<Box<DemandProgram>>,
 }
 
 impl CompiledProgram {
@@ -250,6 +259,38 @@ impl CompiledProgram {
     /// entry point for Spocus output programs, which must be non-recursive.
     pub fn compile_nonrecursive(program: &Program) -> Result<Self, DatalogError> {
         Self::compile_with(program, true, None)
+    }
+
+    /// Compiles a program through the demand (magic-set) rewrite of
+    /// [`crate::demand`]: the program is adorned for the given goals at
+    /// compile time, magic guards become join-order seeds (every rewritten
+    /// rule drives its join from the demanded bindings), and the
+    /// [`Self::evaluate`] family automatically merges the goals' static seed
+    /// facts into the sources and maps results back onto the original goal
+    /// relations via [`DemandProgram::restrict_with`].
+    ///
+    /// Derivations into magic/supplementary relations are reported through
+    /// the separate `magic_*` counters of [`EvalStats`].
+    pub fn compile_demand(program: &Program, goals: &[DemandGoal]) -> Result<Self, DatalogError> {
+        Self::compile_demand_program(magic_rewrite(program, goals)?)
+    }
+
+    /// [`Self::compile_demand`] from an already-computed rewrite.
+    pub fn compile_demand_program(rewrite: DemandProgram) -> Result<Self, DatalogError> {
+        let mut seeds: BTreeSet<RelationName> = rewrite.auxiliary().clone();
+        seeds.extend(rewrite.magic_schema().names().cloned());
+        let mut compiled = Self::compile_with(rewrite.program(), false, Some(&seeds))?;
+        for rule in &mut compiled.rules {
+            rule.auxiliary = rewrite.is_auxiliary(&rule.head_relation);
+        }
+        compiled.demand = Some(Box::new(rewrite));
+        Ok(compiled)
+    }
+
+    /// The demand-rewrite metadata, for programs built by
+    /// [`Self::compile_demand`].
+    pub fn demand(&self) -> Option<&DemandProgram> {
+        self.demand.as_deref()
     }
 
     /// Compiles a program whose rules carry **seed** atoms: relations known
@@ -351,6 +392,7 @@ impl CompiledProgram {
             strata,
             out_schema,
             recursive,
+            demand: None,
         })
     }
 
@@ -463,6 +505,35 @@ impl CompiledProgram {
         budget: EvalBudget,
     ) -> Result<(Instance, EvalStats), DatalogError> {
         let parallelism = parallelism.resolved();
+        // A demand-compiled program reads its magic seed relations as
+        // extensional inputs: merge the goals' static seeds with any runtime
+        // seeds the caller put in `sources` and front the combined instance
+        // (first match wins, so the merge shadows the partial copies).
+        let merged_seeds: Option<Instance> = match &self.demand {
+            Some(demand) => {
+                let mut inst = demand.seed_instance();
+                for name in demand.magic_schema().names() {
+                    for source in sources {
+                        if let Some(relation) = source.get(name) {
+                            inst.absorb_relation(name.clone(), relation)?;
+                            break;
+                        }
+                    }
+                }
+                Some(inst)
+            }
+            None => None,
+        };
+        let seeded_sources: Vec<&Instance>;
+        let sources: &[&Instance] = match &merged_seeds {
+            Some(inst) => {
+                seeded_sources = std::iter::once(inst)
+                    .chain(sources.iter().copied())
+                    .collect();
+                &seeded_sources
+            }
+            None => sources,
+        };
         let mut ctx = EvalContext::new(&self.out_schema, sources, prepared);
         let mut stats = EvalStats::default();
         for stratum in &self.strata {
@@ -472,7 +543,13 @@ impl CompiledProgram {
                 self.run_single_pass_stratum(stratum, &mut ctx, &mut stats, parallelism, budget)?;
             }
         }
-        Ok((ctx.derived, stats))
+        match &self.demand {
+            Some(demand) => Ok((
+                demand.restrict_with(&ctx.derived, merged_seeds.as_ref()),
+                stats,
+            )),
+            None => Ok((ctx.derived, stats)),
+        }
     }
 
     /// Non-recursive stratum: its rules are split into consecutive **waves**
@@ -522,8 +599,13 @@ impl CompiledProgram {
             }
             for (&ri, sink) in wave.iter().zip(sinks.iter_mut()) {
                 let rule = &self.rules[ri];
-                stats.rule_applications += 1;
-                stats.tuples_derived += sink.len() as u64;
+                if rule.auxiliary {
+                    stats.magic_applications += 1;
+                    stats.magic_tuples_derived += sink.len() as u64;
+                } else {
+                    stats.rule_applications += 1;
+                    stats.tuples_derived += sink.len() as u64;
+                }
                 ctx.insert_derived(&rule.head_relation, sink.drain(..))?;
             }
             budget.check(stats)?;
@@ -620,10 +702,18 @@ impl CompiledProgram {
             let mut pass_cursor = 0;
             for (slot, &ri) in active.iter().enumerate() {
                 let rule = &self.rules[ri];
-                stats.rule_applications += 1;
+                if rule.auxiliary {
+                    stats.magic_applications += 1;
+                } else {
+                    stats.rule_applications += 1;
+                }
                 while pass_cursor < pass_rule.len() && pass_rule[pass_cursor] == slot {
                     let sink = &mut sinks[pass_cursor];
-                    stats.tuples_derived += sink.len() as u64;
+                    if rule.auxiliary {
+                        stats.magic_tuples_derived += sink.len() as u64;
+                    } else {
+                        stats.tuples_derived += sink.len() as u64;
+                    }
                     for tuple in sink.drain(..) {
                         if !ctx
                             .derived
@@ -1568,6 +1658,7 @@ fn compile_rule(
         n_slots: slot_names.len(),
         slot_names,
         source: rule.to_string(),
+        auxiliary: false,
     })
 }
 
@@ -1585,6 +1676,89 @@ mod tests {
                 .unwrap();
         }
         inst
+    }
+
+    #[test]
+    fn demand_compiled_program_seeds_restricts_and_splits_counters() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Y) :- edge(X,Z), tc(Z,Y).",
+        )
+        .unwrap();
+        // A long chain plus a large disconnected clique: full evaluation
+        // derives the clique's closure, a demanded probe never visits it.
+        let mut facts: Vec<(String, String)> = Vec::new();
+        for i in 0..4 {
+            facts.push((format!("c{i}"), format!("c{}", i + 1)));
+        }
+        for i in 0..10 {
+            for j in 0..10 {
+                facts.push((format!("k{i}"), format!("k{j}")));
+            }
+        }
+        let schema = Schema::from_pairs([("edge", 2)]).unwrap();
+        let mut db = Instance::empty(&schema);
+        for (a, b) in &facts {
+            db.insert("edge", Tuple::from_iter([a.as_str(), b.as_str()]))
+                .unwrap();
+        }
+
+        let goal = crate::demand::DemandGoal::seeded("tc", "bf")
+            .unwrap()
+            .with_seeds([Tuple::from_iter(["c0"])]);
+        let demand = CompiledProgram::compile_demand(&program, &[goal]).unwrap();
+        assert!(demand.demand().is_some());
+        let full = CompiledProgram::compile(&program).unwrap();
+
+        let (demanded, demand_stats) = demand.evaluate(&[&db]).unwrap();
+        let (complete, full_stats) = full.evaluate(&[&db]).unwrap();
+
+        // The restricted result is the goal footprint of the full fixpoint.
+        let footprint = demand.demand().unwrap().footprint(&complete);
+        assert_eq!(demanded, footprint);
+        assert_eq!(demanded.get(&RelationName::new("tc")).unwrap().len(), 4);
+
+        // Magic bookkeeping is counted separately, and the demanded
+        // evaluation derives far fewer content tuples than the full one.
+        assert!(demand_stats.magic_tuples_derived > 0);
+        assert_eq!(full_stats.magic_tuples_derived, 0);
+        assert!(demand_stats.tuples_derived < full_stats.tuples_derived / 5);
+    }
+
+    #[test]
+    fn demand_compiled_program_accepts_runtime_seeds_in_sources() {
+        let program = parse_program(
+            "tc(X,Y) :- edge(X,Y).\n\
+             tc(X,Y) :- edge(X,Z), tc(Z,Y).",
+        )
+        .unwrap();
+        let goal = crate::demand::DemandGoal::seeded("tc", "bf").unwrap();
+        let compiled = CompiledProgram::compile_demand(&program, &[goal]).unwrap();
+        let seed_rel = compiled
+            .demand()
+            .unwrap()
+            .seed_relation(
+                &RelationName::new("tc"),
+                &crate::demand::Adornment::parse("bf").unwrap(),
+            )
+            .unwrap()
+            .clone();
+
+        let db = edb(
+            &[("edge", 2)],
+            &[
+                ("edge", &["a", "b"]),
+                ("edge", &["b", "c"]),
+                ("edge", &["x", "y"]),
+            ],
+        );
+        let seed_schema = Schema::from_pairs([(seed_rel.clone(), 1)]).unwrap();
+        let mut seeds = Instance::empty(&seed_schema);
+        seeds.insert(seed_rel, Tuple::from_iter(["a"])).unwrap();
+
+        let (out, _) = compiled.evaluate(&[&seeds, &db]).unwrap();
+        assert!(out.holds("tc", &Tuple::from_iter(["a", "c"])));
+        assert!(!out.holds("tc", &Tuple::from_iter(["x", "y"])));
     }
 
     #[test]

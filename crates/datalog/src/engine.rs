@@ -63,6 +63,12 @@ pub struct EvalOptions {
     pub parallelism: crate::pool::Parallelism,
     /// Resource budget for the evaluation; unlimited by default.
     pub budget: EvalBudget,
+    /// Demand policy: [`Demand`](crate::demand::DemandPolicy::Demand) routes
+    /// the evaluation through the magic-set rewrite ([`crate::demand`]) with
+    /// every derived relation demanded all-free — result-identical to
+    /// [`Full`](crate::demand::DemandPolicy::Full), which the randomized
+    /// equivalence suite pins.
+    pub demand: crate::demand::DemandPolicy,
 }
 
 /// A resource budget for one evaluation: a runaway rule set (or an
@@ -125,11 +131,15 @@ impl EvalBudget {
     /// Checks the running counters against the limits.
     pub fn check(&self, stats: &EvalStats) -> Result<(), DatalogError> {
         if let Some(limit) = self.max_derivations {
-            if stats.tuples_derived > limit {
+            // Magic/supplementary derivations count against the budget too:
+            // a runaway demand rewrite must trip the limit like any other
+            // runaway rule set.
+            let spent = stats.tuples_derived + stats.magic_tuples_derived;
+            if spent > limit {
                 return Err(DatalogError::BudgetExceeded {
                     resource: "derivations".into(),
                     limit,
-                    spent: stats.tuples_derived,
+                    spent,
                 });
             }
         }
@@ -157,6 +167,13 @@ pub struct EvalStats {
     pub tuples_derived: u64,
     /// Number of fixpoint rounds across all strata.
     pub rounds: u64,
+    /// Rule applications of demand bookkeeping (magic/supplementary) rules —
+    /// reported separately so [`EvalStats::rule_applications`] keeps counting
+    /// exactly the original program's rules through a demand rewrite.
+    pub magic_applications: u64,
+    /// Tuples derived into magic/supplementary relations (see
+    /// [`EvalStats::magic_applications`]).
+    pub magic_tuples_derived: u64,
 }
 
 /// Evaluates a non-recursive program against an extensional database.
@@ -215,6 +232,19 @@ pub fn evaluate_stratified(
     edb: &Instance,
     options: EvalOptions,
 ) -> Result<(Instance, EvalStats), DatalogError> {
+    if options.demand == crate::demand::DemandPolicy::Demand {
+        // Demand every derived relation all-free: the rewrite degenerates to
+        // reachability pruning and is result-identical to full evaluation.
+        // An unsupported program falls back to the unrewritten path.
+        if let Ok(rewrite) = crate::demand::demand_all(program) {
+            let full_options = EvalOptions {
+                demand: crate::demand::DemandPolicy::Full,
+                ..options
+            };
+            let (derived, stats) = evaluate_stratified(rewrite.program(), edb, full_options)?;
+            return Ok((rewrite.restrict(&derived), stats));
+        }
+    }
     if options.engine == EvalEngine::CompiledIndexed {
         return CompiledProgram::compile(program)?.evaluate_with_view_par_budget(
             &[edb],

@@ -77,6 +77,13 @@ pub enum DatalogError {
         /// The amount of the resource consumed when the limit tripped.
         spent: u64,
     },
+    /// A demand rewrite ([`crate::demand::magic_rewrite`]) could not be
+    /// applied: a goal names a non-derived relation, mismatches an arity, or
+    /// duplicates another goal.  Callers fall back to full evaluation.
+    DemandUnsupported {
+        /// Description of the offending goal.
+        reason: String,
+    },
     /// An error bubbled up from the relational layer.
     Relational(rtx_relational::RelationalError),
 }
@@ -125,6 +132,9 @@ impl fmt::Display for DatalogError {
                 f,
                 "evaluation budget exceeded: {spent} {resource} against a limit of {limit}"
             ),
+            DatalogError::DemandUnsupported { reason } => {
+                write!(f, "demand rewrite unsupported: {reason}")
+            }
             DatalogError::Relational(e) => write!(f, "relational error: {e}"),
         }
     }

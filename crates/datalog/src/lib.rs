@@ -43,6 +43,11 @@
 //!   (non-recursive components, via signed delta rules that never copy
 //!   pre-mutation state) with delete-rederive (recursive components), at
 //!   affected-closure cost instead of re-evaluation;
+//! * [`demand`] — demand-driven evaluation: the magic-set rewrite and
+//!   constant specialization that turn "which bindings will actually be
+//!   read" into a program transformation, so a per-session probe costs the
+//!   session's footprint instead of the catalog (see *Demand-driven
+//!   evaluation* below);
 //! * [`pool`] — the scoped-thread executor behind data-parallel stratum
 //!   evaluation: independent rules of a stratum and chunks of one rule's
 //!   outer-atom candidates fan out to a fixed worker pool under a
@@ -75,6 +80,49 @@
 //! [`DredEngine`] instead: one retraction then costs on the order of the
 //! derivation closure it actually affects.
 //!
+//! ## Demand-driven evaluation
+//!
+//! The [`demand`] module makes evaluation goal-directed.  Its lifecycle is
+//! **adorn → seed → specialize → evaluate**:
+//!
+//! 1. **Adorn.**  Each [`DemandGoal`] names a derived relation and a
+//!    binding pattern ([`Adornment`], e.g. `sendbill@bf` — first column
+//!    bound).  [`magic_rewrite`] propagates the patterns through rule
+//!    bodies left-to-right, producing adorned rules guarded by *magic*
+//!    predicates (and supplementary chains where a body holds several
+//!    derived subgoals).
+//! 2. **Seed.**  Bound goals read their demanded keys from seed relations:
+//!    static seeds stated on the goal ([`DemandGoal::with_seeds`]) land in
+//!    [`DemandProgram::seed_instance`]; a caller may merge further
+//!    *runtime* seeds per evaluation (a session's per-step inputs) and
+//!    filter with [`DemandProgram::restrict_with`].
+//! 3. **Specialize.**  A goal whose bound values are session constants
+//!    ([`DemandGoal::constants`]) is partially evaluated instead: the
+//!    constants are substituted into the rules and no magic guard is
+//!    emitted at all.
+//! 4. **Evaluate.**  The rewritten program is an ordinary program —
+//!    compile it ([`CompiledProgram::compile_demand_program`]) or set
+//!    [`EvalOptions::demand`] to [`DemandPolicy::Demand`]; either way the
+//!    result, mapped back through [`DemandProgram::restrict`] /
+//!    [`DemandProgram::footprint`], is **bit-identical** to full
+//!    evaluation restricted to the demanded footprint (pinned by the
+//!    randomized property suite at 1/2/8 threads).  Magic/supplementary
+//!    bookkeeping is reported separately in
+//!    [`EvalStats::magic_applications`] / [`EvalStats::magic_tuples_derived`],
+//!    so the original-rule counters stay comparable across policies.
+//!
+//! ## Environment variables
+//!
+//! Process-wide defaults across the workspace (each is a *default*; the
+//! corresponding API setter always wins):
+//!
+//! | Variable | Values | Effect |
+//! |---|---|---|
+//! | `RTX_THREADS` | `n` ≥ 1 (unset = core count) | Default worker count of [`Parallelism`]/[`Pool`] for parallel stratum evaluation. |
+//! | `RTX_DEMAND` | `demand`/`on`, `full`/`off` | Default [`DemandPolicy`]: route evaluation through the magic-set rewrite, or evaluate unrewritten (demanded sessions then filter to the same footprint — the kill-switch is result-identical). |
+//! | `RTX_MONITOR` | `off`, `observe`, `enforce` | Default monitor policy of the runtime's session guardrails (`rtx-core::supervise`). |
+//! | `RTX_FSYNC` | `always`, `never`, `every:n` | Fsync policy of the durable store's write-ahead log (`rtx-store`). |
+//!
 //! Rules share the [`rtx_logic::Term`] type so the verification crate can
 //! translate rule bodies directly into the ∃\*∀\*FO sentences of §3.2.
 
@@ -83,6 +131,7 @@
 
 pub mod ast;
 pub mod compile;
+pub mod demand;
 pub mod dred;
 pub mod engine;
 pub mod graph;
@@ -96,6 +145,7 @@ mod error;
 
 pub use ast::{Atom, BodyLiteral, Program, Rule};
 pub use compile::{CompiledProgram, CompiledRule};
+pub use demand::{magic_rewrite, Adornment, DemandGoal, DemandPolicy, DemandProgram};
 pub use dred::{DredEngine, DredStats, MutationBatch};
 pub use engine::{
     evaluate_nonrecursive, evaluate_stratified, EvalBudget, EvalEngine, EvalOptions, EvalStats,

@@ -3,14 +3,18 @@
 //! enforces over them, plus seeded input sequences — one clean, one that
 //! violates a constraint — for the guardrail tests and benchmarks.
 //!
-//! Three scenarios, each a paper-flavoured electronic-commerce workflow:
+//! Four scenarios, each a paper-flavoured electronic-commerce workflow:
 //!
 //! * [`auction_scenario`] — an auction whose sniping guard forbids bids on a
 //!   closed item;
 //! * [`inventory_scenario`] — unit-stock reservations whose oversell guard
 //!   forbids reserving an already-reserved item;
 //! * [`escrow_scenario`] — a multi-party escrow whose release guard demands
-//!   that both buyer and seller have deposited before funds are released.
+//!   that both buyer and seller have deposited before funds are released;
+//! * [`fraud_scenario`] — a marketplace whose payout guard forbids paying
+//!   out to a flagged account (and whose per-account outputs are the natural
+//!   target of a demanded session: see
+//!   [`rtx_core::Runtime::open_session_with_demand`]).
 
 use rtx_core::SpocusBuilder;
 use rtx_core::SpocusTransducer;
@@ -51,9 +55,14 @@ impl Scenario {
         Ok(monitor)
     }
 
-    /// All three guardrail scenarios.
+    /// All four guardrail scenarios.
     pub fn all() -> Vec<Scenario> {
-        vec![auction_scenario(), inventory_scenario(), escrow_scenario()]
+        vec![
+            auction_scenario(),
+            inventory_scenario(),
+            escrow_scenario(),
+            fraud_scenario(),
+        ]
     }
 }
 
@@ -270,6 +279,81 @@ pub fn escrow_scenario() -> Scenario {
     }
 }
 
+/// A marketplace with a fraud screen: purchases of listed items by
+/// unflagged accounts are confirmed, purchases by flagged accounts raise an
+/// alert, and a repeat purchase of the same item is surfaced as a
+/// `repeat-buy` pattern.  The payout guard — constraint `no-flagged-payout`
+/// — forbids paying out to an account the screen has flagged.
+///
+/// Every output is keyed on the account in column 0, so a session serving
+/// one account naturally demands `confirm`/`alert`/`repeat-buy` under a
+/// `bf` binding pattern seeded from its own `purchase` inputs — the
+/// demand-driven evaluation path of
+/// [`rtx_core::Runtime::open_session_with_demand`].
+pub fn fraud_scenario() -> Scenario {
+    let transducer = SpocusBuilder::new("fraud")
+        .input("purchase", 2)
+        .input("payout", 1)
+        .database("flagged", 1)
+        .database("listed", 1)
+        .output("confirm", 2)
+        .output("alert", 2)
+        .output("repeat-buy", 2)
+        .output_rule("confirm(A,I) :- purchase(A,I), listed(I), NOT flagged(A)")
+        .output_rule("alert(A,I) :- purchase(A,I), flagged(A)")
+        .output_rule("repeat-buy(A,I) :- purchase(A,I), past-purchase(A,I)")
+        .log(["purchase", "payout", "alert", "repeat-buy"])
+        .build()
+        .expect("the fraud model is Spocus by construction");
+
+    let mut database = Instance::empty(transducer.schema().db());
+    database
+        .insert("flagged", Tuple::from_iter(["mallory"]))
+        .expect("flagged/1");
+    for item in ["ring", "watch"] {
+        database
+            .insert("listed", Tuple::from_iter([item]))
+            .expect("listed/1");
+    }
+
+    // payout(A) ∧ flagged(A) → ⊥ : no payout to a flagged account.
+    let no_flagged_payout = SdiConstraint::new(
+        vec![
+            BodyLiteral::Positive(Atom::new("payout", [Term::var("a")])),
+            BodyLiteral::Positive(Atom::new("flagged", [Term::var("a")])),
+        ],
+        Formula::False,
+    )
+    .expect("the payout guard is a well-formed T_sdi constraint");
+
+    let input = transducer.schema().input().clone();
+    let clean_inputs = steps(
+        &input,
+        &[
+            &[("purchase", &["alice", "ring"][..])],
+            &[("purchase", &["alice", "ring"])],
+            &[("payout", &["alice"])],
+        ],
+    );
+    let violating_inputs = steps(
+        &input,
+        &[
+            &[("purchase", &["mallory", "watch"][..])],
+            &[("payout", &["mallory"])],
+        ],
+    );
+
+    Scenario {
+        name: "fraud",
+        transducer: Arc::new(transducer),
+        database,
+        constraints: vec![("no-flagged-payout", no_flagged_payout)],
+        clean_inputs,
+        violating_inputs,
+        violated_constraint: "no-flagged-payout",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +449,73 @@ mod tests {
             assert_eq!(session.len(), last, "{}", scenario.name);
             assert_eq!(runtime.health().rejections, 1, "{}", scenario.name);
         }
+    }
+
+    #[test]
+    fn the_fraud_screen_enforces_through_the_demand_path() {
+        use rtx_core::{DemandPolicy, SessionDemand, SessionGoal};
+
+        // A demanded fraud session: every output is probed at the accounts of
+        // this step's own purchases.  The demand covers every derivation the
+        // model can make for those inputs, so the monitor's log validation
+        // sees the same outputs the offline run produces — and the payout
+        // guard still rejects the flagged payout at the last step.
+        let scenario = fraud_scenario();
+        let demand = |mode: DemandPolicy| {
+            let db = Arc::new(ResidentDb::new(scenario.database.clone()));
+            let runtime = Runtime::shared(db.clone());
+            runtime.set_demand_policy(mode);
+            let spec = SessionDemand::new()
+                .goal(
+                    SessionGoal::new("confirm", "bf")
+                        .unwrap()
+                        .from_input("purchase", [0]),
+                )
+                .goal(
+                    SessionGoal::new("alert", "bf")
+                        .unwrap()
+                        .from_input("purchase", [0]),
+                )
+                .goal(
+                    SessionGoal::new("repeat-buy", "bf")
+                        .unwrap()
+                        .from_input("purchase", [0]),
+                );
+            let mut session = runtime
+                .open_session_with_demand(scenario.name, scenario.transducer.clone(), spec)
+                .unwrap();
+            session.set_monitor_policy(MonitorPolicy::Enforce);
+            session.attach_observer(Box::new(scenario.monitor(&db).unwrap()));
+
+            let last = scenario.violating_inputs.len() - 1;
+            let mut outputs = Vec::new();
+            for (index, input) in scenario.violating_inputs.iter().enumerate() {
+                if index < last {
+                    outputs.push(session.step(input).unwrap());
+                    continue;
+                }
+                match session.step(input) {
+                    Err(CoreError::StepRejected { constraint, .. }) => {
+                        assert_eq!(constraint, scenario.violated_constraint);
+                    }
+                    other => panic!("{mode:?}: expected StepRejected, got {other:?}"),
+                }
+            }
+            outputs
+        };
+
+        let rewritten = demand(DemandPolicy::Demand);
+        let filtered = demand(DemandPolicy::Full);
+        // Both demand policies agree, and both match the offline run on the
+        // accepted prefix (the demand covers every per-account derivation).
+        assert_eq!(rewritten, filtered);
+        let offline = scenario
+            .transducer
+            .run(&scenario.database, &scenario.violating_inputs)
+            .unwrap();
+        let last = scenario.violating_inputs.len() - 1;
+        let expected: Vec<Instance> = offline.outputs().iter().take(last).cloned().collect();
+        assert_eq!(rewritten, expected);
     }
 
     #[test]

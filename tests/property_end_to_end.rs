@@ -4,10 +4,11 @@
 //! on randomly generated programs and databases.
 
 use proptest::prelude::*;
-use rtx::core::{models, Runtime};
+use rtx::core::{models, DemandPolicy, Runtime, SessionDemand, SessionGoal};
 use rtx::datalog::{
-    evaluate_nonrecursive, evaluate_stratified, Atom, BodyLiteral, CompiledProgram, DredEngine,
-    EvalOptions, FixpointStrategy, MutationBatch, Parallelism, Program, ResidentDb, Rule,
+    evaluate_nonrecursive, evaluate_stratified, Adornment, Atom, BodyLiteral, CompiledProgram,
+    DemandGoal, DredEngine, EvalOptions, FixpointStrategy, MutationBatch, Parallelism, Program,
+    ResidentDb, Rule,
 };
 use rtx::logic::Term;
 use rtx::prelude::*;
@@ -332,6 +333,183 @@ proptest! {
                 prop_assert_eq!(
                     &out, &oracle,
                     "session step ≠ fresh evaluation at {} threads", threads
+                );
+            }
+        }
+    }
+}
+
+/// A random demand over the program's defined IDB relations: an adornment
+/// selector plus seed-value selectors for `d0` and for `d1`.
+type DemandSpec = (usize, Vec<usize>, usize, Vec<(usize, usize)>);
+
+fn demand_spec_strategy() -> impl Strategy<Value = DemandSpec> {
+    (
+        0usize..2,
+        proptest::collection::vec(0usize..4, 0..3),
+        0usize..4,
+        proptest::collection::vec((0usize..4, 0usize..4), 0..3),
+    )
+}
+
+/// One [`DemandGoal`] per IDB relation the random program actually defines,
+/// with adornments and seed tuples drawn from the spec.
+fn demand_goals(program: &Program, spec: &DemandSpec) -> Vec<DemandGoal> {
+    let (a0, seeds0, a1, seeds1) = spec;
+    let idb = program.idb_relations();
+    let mut goals = Vec::new();
+    if idb.contains(&RelationName::new("d0")) {
+        goals.push(if a0 % 2 == 0 {
+            DemandGoal::free("d0", 1)
+        } else {
+            DemandGoal::seeded("d0", "b")
+                .unwrap()
+                .with_seeds(seeds0.iter().map(|&v| Tuple::from_iter([DOMAIN[v % 4]])))
+        });
+    }
+    if idb.contains(&RelationName::new("d1")) {
+        let pattern = ["ff", "bf", "fb", "bb"][a1 % 4];
+        goals.push(if pattern == "ff" {
+            DemandGoal::free("d1", 2)
+        } else {
+            let adornment = Adornment::parse(pattern).unwrap();
+            DemandGoal::seeded("d1", pattern)
+                .unwrap()
+                .with_seeds(seeds1.iter().map(|&(x, y)| {
+                    if adornment.bound_count() == 1 {
+                        Tuple::from_iter([DOMAIN[if adornment.is_bound(0) { x } else { y } % 4]])
+                    } else {
+                        Tuple::from_iter([DOMAIN[x % 4], DOMAIN[y % 4]])
+                    }
+                }))
+        });
+    }
+    goals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The demand-driven evaluation equivalence (datalog layer): on randomly
+    /// generated programs, databases and demands, evaluating the magic-set
+    /// rewrite over the seeded sources and mapping the adorned result back
+    /// is **bit-identical** to evaluating the original program in full and
+    /// filtering it to the demanded footprint — at 1, 2 and 8 workers
+    /// (threshold zero, so even tiny instances take the parallel path).
+    #[test]
+    fn demand_rewrite_is_bit_identical_to_the_filtered_full_evaluation(
+        program in random_program_strategy(),
+        db in random_edb_strategy(),
+        spec in demand_spec_strategy(),
+    ) {
+        let goals = demand_goals(&program, &spec);
+        let rewrite = rtx::datalog::magic_rewrite(&program, &goals).unwrap();
+        let sources = db
+            .union(&rewrite.seed_instance())
+            .expect("seed relations are disjoint from the database");
+
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let (full, _) = compiled.evaluate(&[&db]).unwrap();
+        let expected = rewrite.footprint(&full);
+
+        let rewritten = CompiledProgram::compile_demand_program(rewrite.clone()).unwrap();
+        let (sequential, _) = rewritten
+            .evaluate_par(&[&sources], Parallelism::sequential())
+            .unwrap();
+        prop_assert_eq!(
+            &rewrite.restrict(&sequential), &expected,
+            "demand rewrite ≠ filtered full evaluation\n{}", program
+        );
+        for threads in [1usize, 2, 8] {
+            let policy = Parallelism::threads(threads).with_threshold(0);
+            let (parallel, _) = rewritten.evaluate_par(&[&sources], policy).unwrap();
+            prop_assert_eq!(
+                &parallel, &sequential,
+                "rewritten program drifted at {} threads\n{}", threads, program
+            );
+        }
+    }
+
+    /// The session arm of the demand equivalence: with a demand that covers
+    /// every derivation of the `short` model (bills keyed by this step's
+    /// orders, deliveries by this step's payments), a demanded session under
+    /// **either** policy steps bit-identically to an undemanded one — at 1,
+    /// 2 and 8 workers, with catalog inserts *and* retractions landing on
+    /// the shared resident database mid-session.
+    #[test]
+    fn demanded_sessions_match_full_sessions_under_catalog_mutations(
+        db in catalog_strategy(),
+        steps in mutated_session_strategy(),
+    ) {
+        let input_schema = models::short_input_schema();
+        let covering_demand = || {
+            SessionDemand::new()
+                .goal(
+                    SessionGoal::new("sendbill", "bf")
+                        .unwrap()
+                        .from_input("order", [0]),
+                )
+                .goal(SessionGoal::new("deliver", "b").unwrap().from_input("pay", [0]))
+        };
+        for threads in [1usize, 2, 8] {
+            let resident = Arc::new(ResidentDb::new(db.clone()));
+            let runtime = Runtime::shared_with(
+                Arc::clone(&resident),
+                Parallelism::threads(threads).with_threshold(0),
+            );
+            let mut full = runtime.open_session("full", models::short()).unwrap();
+            runtime.set_demand_policy(DemandPolicy::Demand);
+            let mut rewritten = runtime
+                .open_session_with_demand("rewritten", models::short(), covering_demand())
+                .unwrap();
+            runtime.set_demand_policy(DemandPolicy::Full);
+            let mut filtered = runtime
+                .open_session_with_demand("filtered", models::short(), covering_demand())
+                .unwrap();
+            for (orders, pays, mutations) in &steps {
+                for &(insert, on_price, sel, amount) in mutations {
+                    let (insert, on_price) = (insert == 1, on_price == 1);
+                    if on_price {
+                        let row = Tuple::new(vec![
+                            Value::str(format!("p{sel}")),
+                            Value::int(amount),
+                        ]);
+                        if insert {
+                            resident.insert("price", row).unwrap();
+                        } else {
+                            resident.retract("price", &row).unwrap();
+                        }
+                    } else {
+                        let row = Tuple::from_iter([format!("p{sel}").as_str()]);
+                        if insert {
+                            resident.insert("available", row).unwrap();
+                        } else {
+                            resident.retract("available", &row).unwrap();
+                        }
+                    }
+                }
+                let mut input = Instance::empty(&input_schema);
+                for &o in orders {
+                    input
+                        .insert("order", Tuple::from_iter([format!("p{o}").as_str()]))
+                        .unwrap();
+                }
+                for &(p, amount) in pays {
+                    input
+                        .insert(
+                            "pay",
+                            Tuple::new(vec![Value::str(format!("p{p}")), Value::int(amount)]),
+                        )
+                        .unwrap();
+                }
+                let reference = full.step(&input).unwrap();
+                prop_assert_eq!(
+                    &rewritten.step(&input).unwrap(), &reference,
+                    "rewritten session ≠ full session at {} threads", threads
+                );
+                prop_assert_eq!(
+                    &filtered.step(&input).unwrap(), &reference,
+                    "filtered session ≠ full session at {} threads", threads
                 );
             }
         }
