@@ -2,7 +2,7 @@
 //! storage.
 //!
 //! [`Runtime`] alone serves sessions against an in-memory
-//! [`ResidentDb`](rtx_datalog::ResidentDb); a process restart loses the
+//! [`ResidentDb`]; a process restart loses the
 //! catalog.  [`DurableRuntime`] closes that gap by pairing the runtime with
 //! an [`rtx_store::DurableStore`]: every catalog mutation is write-ahead
 //! logged through the store's [`Vfs`] *before* it reaches
@@ -18,7 +18,9 @@
 //! absolute journal offsets, so [`DurableRuntime::checkpoint`] (which
 //! truncates the journal) never desynchronizes it.
 
+use crate::shard::{ShardedRuntime, ShardedSession};
 use crate::{CoreError, Runtime, Session, SpocusTransducer};
+use rtx_datalog::ResidentDb;
 use rtx_relational::Tuple;
 use rtx_store::{DurableStore, FsyncPolicy, RecoveryReport, ResidentSync, Vfs};
 use std::sync::{Arc, Mutex};
@@ -36,6 +38,15 @@ pub struct DurableRuntime {
 struct DurableState {
     store: DurableStore,
     sync: ResidentSync,
+}
+
+impl DurableState {
+    /// Replays the journal suffix of the last mutation into the shared
+    /// resident database.
+    fn flow(&mut self, db: &Arc<ResidentDb>) -> Result<(), CoreError> {
+        self.sync.sync(self.store.store(), db)?;
+        Ok(())
+    }
 }
 
 impl Runtime {
@@ -131,12 +142,112 @@ impl DurableRuntime {
         self.durable.lock().expect("durable state poisoned")
     }
 
-    /// Replays the journal suffix of the last mutation into the shared
-    /// resident database.
     fn flow(&self, state: &mut DurableState) -> Result<(), CoreError> {
-        let DurableState { store, sync } = state;
-        sync.sync(store.store(), self.runtime.database())?;
-        Ok(())
+        state.flow(self.runtime.database())
+    }
+}
+
+/// A [`ShardedRuntime`] whose catalog survives process crashes: **one**
+/// [`DurableStore`] write-ahead logs every catalog mutation and feeds every
+/// shard through the single shared `Arc<ResidentDb>` — shards never hold
+/// divergent catalog copies, and recovery rebuilds the fleet's database
+/// bit-identically regardless of the shard count it reopens with.
+#[derive(Debug)]
+pub struct ShardedDurableRuntime {
+    sharded: ShardedRuntime,
+    durable: Mutex<DurableState>,
+}
+
+impl ShardedRuntime {
+    /// Opens (or recovers) a sharded durable runtime on `vfs`: persisted
+    /// state is recovered by the [`DurableStore`], made resident **once**,
+    /// and served to sessions on `shards` shard runtimes.  The fsync
+    /// `policy` may be overridden by the `RTX_FSYNC` environment variable
+    /// (see [`FsyncPolicy::from_env`]; a malformed value is a hard error).
+    pub fn open_durable(
+        vfs: Arc<dyn Vfs>,
+        policy: FsyncPolicy,
+        shards: usize,
+    ) -> Result<(ShardedDurableRuntime, RecoveryReport), CoreError> {
+        let (store, report) = DurableStore::open(vfs, policy)?;
+        let (resident, sync) = store.store().to_resident()?;
+        Ok((
+            ShardedDurableRuntime {
+                sharded: ShardedRuntime::shared(Arc::new(resident), shards),
+                durable: Mutex::new(DurableState { store, sync }),
+            },
+            report,
+        ))
+    }
+}
+
+impl ShardedDurableRuntime {
+    /// The sharded session runtime serving the recovered catalog.
+    pub fn sharded(&self) -> &ShardedRuntime {
+        &self.sharded
+    }
+
+    /// Opens a named session on its home shard — delegates to
+    /// [`ShardedRuntime::open_session`].
+    pub fn open_session(
+        &self,
+        name: impl Into<String>,
+        transducer: impl Into<Arc<SpocusTransducer>>,
+    ) -> Result<ShardedSession, CoreError> {
+        self.sharded.open_session(name, transducer)
+    }
+
+    /// Creates a catalog table durably, then makes it resident for every
+    /// shard.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        arity: usize,
+        attributes: Option<Vec<String>>,
+    ) -> Result<(), CoreError> {
+        let mut state = self.lock();
+        state.store.create_table(name, arity, attributes)?;
+        state.flow(self.sharded.database())
+    }
+
+    /// Inserts a catalog row durably, then makes it resident.  Open
+    /// sessions on every shard observe the change at their next step.
+    /// Returns `true` if the row was new.
+    pub fn insert(&self, table: &str, row: Tuple) -> Result<bool, CoreError> {
+        let mut state = self.lock();
+        let new = state.store.insert(table, row)?;
+        state.flow(self.sharded.database())?;
+        Ok(new)
+    }
+
+    /// Retracts a catalog row durably, then removes it from the resident
+    /// database shared by every shard.  Returns `true` if the row was
+    /// present.
+    pub fn retract(&self, table: &str, row: &Tuple) -> Result<bool, CoreError> {
+        let mut state = self.lock();
+        let removed = state.store.retract(table, row)?;
+        state.flow(self.sharded.database())?;
+        Ok(removed)
+    }
+
+    /// Forces every acknowledged write to stable storage, regardless of the
+    /// fsync policy.
+    pub fn sync(&self) -> Result<(), CoreError> {
+        Ok(self.lock().store.sync()?)
+    }
+
+    /// Checkpoints the backing store — see [`DurableRuntime::checkpoint`].
+    pub fn checkpoint(&self) -> Result<(), CoreError> {
+        Ok(self.lock().store.checkpoint()?)
+    }
+
+    /// The backing store's snapshot/WAL epoch (bumped per checkpoint).
+    pub fn epoch(&self) -> u64 {
+        self.lock().store.epoch()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DurableState> {
+        self.durable.lock().expect("durable state poisoned")
     }
 }
 
@@ -241,6 +352,67 @@ mod tests {
             4
         );
         assert_eq!(rt.epoch(), 1);
+    }
+
+    #[test]
+    fn one_durable_store_feeds_every_shard() {
+        let vfs = MemVfs::new();
+        let (rt, report) =
+            ShardedRuntime::open_durable(Arc::new(vfs.clone()), FsyncPolicy::Always, 3).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(rt.sharded().shard_count(), 3);
+        let db = models::figure1_database();
+        for (name, relation) in db.iter() {
+            rt.create_table(name.as_str(), relation.arity(), None)
+                .unwrap();
+            for tuple in relation.clone().iter() {
+                rt.insert(name.as_str(), tuple.clone()).unwrap();
+            }
+        }
+
+        // Sessions pinned to different shards all see one durable mutation
+        // at their next step: the store feeds a single shared ResidentDb.
+        let transducer = Arc::new(models::short());
+        let mut sessions: Vec<_> = (0..3)
+            .map(|i| {
+                rt.sharded()
+                    .open_session_on(i, format!("s{i}"), Arc::clone(&transducer))
+                    .unwrap()
+            })
+            .collect();
+        let schema = models::short_input_schema();
+        let order_economist = {
+            let mut inst = rtx_relational::Instance::empty(&schema);
+            inst.insert("order", Tuple::from_iter(["economist"]))
+                .unwrap();
+            inst
+        };
+        for session in &mut sessions {
+            let out = session.step(&order_economist).unwrap();
+            assert!(out.relation("sendbill").unwrap().is_empty());
+        }
+        rt.insert(
+            "price",
+            Tuple::new(vec![Value::str("economist"), Value::int(700)]),
+        )
+        .unwrap();
+        for session in &mut sessions {
+            let out = session.step(&order_economist).unwrap();
+            assert!(out.holds(
+                "sendbill",
+                &Tuple::new(vec![Value::str("economist"), Value::int(700)])
+            ));
+        }
+        let expect = rt.sharded().database().snapshot();
+        drop(sessions);
+        drop(rt); // crash
+
+        // Recovery is shard-count independent: reopening with a different
+        // fleet size rebuilds the identical catalog.
+        let (recovered, report) =
+            ShardedRuntime::open_durable(Arc::new(vfs), FsyncPolicy::Always, 2).unwrap();
+        assert!(report.replayed > 0);
+        assert_eq!(recovered.sharded().database().snapshot(), expect);
     }
 
     #[test]

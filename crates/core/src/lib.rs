@@ -36,7 +36,15 @@
 //! * [`durable`] — the same service backed by crash-safe storage: a
 //!   [`DurableRuntime`] write-ahead logs every catalog mutation through
 //!   `rtx-store`'s WAL + snapshot layer, and [`Runtime::open_durable`]
-//!   recovers the committed catalog after a crash.
+//!   recovers the committed catalog after a crash;
+//! * [`shard`] — the scale-out shape: a [`ShardedRuntime`] routes sessions
+//!   by name hash across `N` shard runtimes that all read the **same**
+//!   `Arc<ResidentDb>` (route → shard-local step → snapshot refresh →
+//!   health aggregation), with a fleet-wide name registry, per-shard worker
+//!   budgets split from one total
+//!   ([`Parallelism::divided_among`](rtx_datalog::Parallelism::divided_among)),
+//!   and one durable store feeding every shard
+//!   ([`durable::ShardedDurableRuntime`]).
 //!
 //! The prepare/resident lifecycle: a one-shot
 //! [`RelationalTransducer::run`] makes its database resident for the
@@ -65,6 +73,7 @@ mod propositional;
 mod run;
 pub mod runtime;
 mod schema;
+pub mod shard;
 mod spocus;
 pub mod supervise;
 mod transducer;
@@ -73,13 +82,14 @@ pub use builder::SpocusBuilder;
 pub use control::ControlDiscipline;
 pub use demand::{SessionDemand, SessionGoal};
 pub use dsl::parse_transducer;
-pub use durable::DurableRuntime;
+pub use durable::{DurableRuntime, ShardedDurableRuntime};
 pub use error::CoreError;
 pub use propositional::PropositionalTransducer;
 pub use rtx_datalog::DemandPolicy;
 pub use run::{Run, RunStep};
 pub use runtime::{Runtime, Session};
 pub use schema::TransducerSchema;
+pub use shard::{ShardedRuntime, ShardedSession};
 pub use spocus::SpocusTransducer;
 pub use supervise::{MonitorPolicy, RuntimeHealth, SessionObserver, Violation, ViolationKind};
 pub use transducer::RelationalTransducer;

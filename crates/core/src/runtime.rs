@@ -47,7 +47,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// simple ownership records (name sets, counters) that are valid after any
 /// partial update, so a panic in one session must not wedge
 /// [`Runtime::open_session`] — or session drop — for every sibling.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -302,14 +302,42 @@ struct RuntimeConfig {
     demand: DemandPolicy,
 }
 
-/// The initial demand policy of a runtime: demanded sessions evaluate
-/// goal-directed unless `RTX_DEMAND=full` (or `off`) forces the
-/// full-evaluation fallback.  Note the default differs from
-/// [`DemandPolicy::from_env`]: opening a session *with* a demand is already
-/// the opt-in, so the environment variable only serves as a kill switch (or
-/// an explicit confirmation, `RTX_DEMAND=demand`).
-fn demand_policy_from_env() -> DemandPolicy {
-    DemandPolicy::parse(std::env::var("RTX_DEMAND").ok().as_deref()).unwrap_or(DemandPolicy::Demand)
+/// The runtime-wide defaults resolved from `RTX_MONITOR`/`RTX_DEMAND`
+/// environment overrides, plus a per-variable report of every *malformed*
+/// override.
+///
+/// Malformed values are never silently ignored: the report is kept on the
+/// runtime and every `open_session*` call is **rejected** with a
+/// [`CoreError::Runtime`] naming the bad variable until either the
+/// environment is fixed or an explicit setter
+/// ([`Runtime::set_monitor_policy`] / [`Runtime::set_demand_policy`])
+/// overrides it — the setter is deliberate operator intent, which clears
+/// that variable's report.
+///
+/// The demand default differs from [`DemandPolicy::from_env`]'s caller
+/// default: opening a session *with* a demand is already the opt-in, so the
+/// environment variable only serves as a kill switch (`RTX_DEMAND=full`) or
+/// an explicit confirmation (`RTX_DEMAND=demand`).
+fn resolve_env_config(
+    monitor_raw: Option<&str>,
+    demand_raw: Option<&str>,
+) -> (MonitorPolicy, DemandPolicy, Vec<(&'static str, String)>) {
+    let mut errors = Vec::new();
+    let policy = match MonitorPolicy::from_env_setting(monitor_raw) {
+        Ok(policy) => policy.unwrap_or_default(),
+        Err(e) => {
+            errors.push(("RTX_MONITOR", e.to_string()));
+            MonitorPolicy::default()
+        }
+    };
+    let demand = match DemandPolicy::from_env_setting(demand_raw) {
+        Ok(policy) => policy.unwrap_or(DemandPolicy::Demand),
+        Err(e) => {
+            errors.push(("RTX_DEMAND", e.to_string()));
+            DemandPolicy::Demand
+        }
+    };
+    (policy, demand, errors)
 }
 
 /// Aggregate supervision counters behind [`Runtime::health`].
@@ -327,6 +355,10 @@ struct RuntimeInner {
     parallelism: Parallelism,
     config: Mutex<RuntimeConfig>,
     health: Mutex<HealthInner>,
+    /// Malformed `RTX_*` overrides found at construction, keyed by variable
+    /// name.  Non-empty ⇒ every `open_session*` is rejected until the
+    /// corresponding explicit setter clears the entry.
+    env_errors: Mutex<Vec<(&'static str, String)>>,
 }
 
 /// A resident transducer runtime: one shared [`ResidentDb`] serving many
@@ -353,7 +385,29 @@ impl Runtime {
     /// evaluates its steps under it.  Parallel steps are bit-identical to
     /// sequential ones (the engine merges worker results in a fixed order),
     /// so the policy is purely a scheduling knob.
+    ///
+    /// The default monitor and demand policies come from the `RTX_MONITOR`
+    /// and `RTX_DEMAND` environment variables, parsed **strictly**: a
+    /// malformed value does not silently fall back — it is recorded and
+    /// every subsequent `open_session*` call is rejected until the
+    /// corresponding explicit setter ([`Runtime::set_monitor_policy`] /
+    /// [`Runtime::set_demand_policy`]) overrides it.
     pub fn shared_with(db: Arc<ResidentDb>, parallelism: Parallelism) -> Self {
+        let monitor = std::env::var("RTX_MONITOR").ok();
+        let demand = std::env::var("RTX_DEMAND").ok();
+        Runtime::shared_with_settings(db, parallelism, monitor.as_deref(), demand.as_deref())
+    }
+
+    /// [`Runtime::shared_with`] over explicit raw `RTX_MONITOR`/`RTX_DEMAND`
+    /// values instead of the process environment — the testable core of the
+    /// strict env-override path.
+    pub(crate) fn shared_with_settings(
+        db: Arc<ResidentDb>,
+        parallelism: Parallelism,
+        monitor_raw: Option<&str>,
+        demand_raw: Option<&str>,
+    ) -> Self {
+        let (policy, demand, env_errors) = resolve_env_config(monitor_raw, demand_raw);
         Runtime {
             inner: Arc::new(RuntimeInner {
                 db,
@@ -361,10 +415,11 @@ impl Runtime {
                 parallelism,
                 config: Mutex::new(RuntimeConfig {
                     budget: EvalBudget::UNLIMITED,
-                    policy: MonitorPolicy::from_env(),
-                    demand: demand_policy_from_env(),
+                    policy,
+                    demand,
                 }),
                 health: Mutex::new(HealthInner::default()),
+                env_errors: Mutex::new(env_errors),
             }),
         }
     }
@@ -397,9 +452,13 @@ impl Runtime {
     /// Sets the default [`MonitorPolicy`] for sessions opened after this
     /// call (already-open sessions keep theirs; see
     /// [`Session::set_monitor_policy`]).  The initial default comes from the
-    /// `RTX_MONITOR` environment variable ([`MonitorPolicy::from_env`]).
+    /// `RTX_MONITOR` environment variable ([`MonitorPolicy::from_env`]);
+    /// calling this setter also clears any malformed-`RTX_MONITOR` report
+    /// blocking `open_session*` — an explicit policy is deliberate operator
+    /// intent.
     pub fn set_monitor_policy(&self, policy: MonitorPolicy) {
         lock_clean(&self.inner.config).policy = policy;
+        lock_clean(&self.inner.env_errors).retain(|(var, _)| *var != "RTX_MONITOR");
     }
 
     /// The default [`MonitorPolicy`] sessions are opened with.
@@ -415,9 +474,12 @@ impl Runtime {
     /// program and filters the output to the identical footprint — a pure
     /// performance knob.  The initial default is [`DemandPolicy::Demand`]
     /// unless the `RTX_DEMAND` environment variable says `full`/`off`.
-    /// Sessions opened without a demand are unaffected.
+    /// Sessions opened without a demand are unaffected.  Calling this setter
+    /// also clears any malformed-`RTX_DEMAND` report blocking
+    /// `open_session*` — an explicit policy is deliberate operator intent.
     pub fn set_demand_policy(&self, policy: DemandPolicy) {
         lock_clean(&self.inner.config).demand = policy;
+        lock_clean(&self.inner.env_errors).retain(|(var, _)| *var != "RTX_DEMAND");
     }
 
     /// The [`DemandPolicy`] demanded sessions are opened under.
@@ -478,6 +540,21 @@ impl Runtime {
         transducer: Arc<SpocusTransducer>,
         demand: Option<SessionDemand>,
     ) -> Result<Session, CoreError> {
+        // A malformed RTX_* override is a hard refusal, not a silent
+        // default: a fleet must fail at session-open time, loudly naming
+        // the variable, until the environment is fixed or an explicit
+        // setter overrides it.
+        {
+            let env_errors = lock_clean(&self.inner.env_errors);
+            if let Some((_, detail)) = env_errors.first() {
+                return Err(CoreError::Runtime {
+                    detail: format!(
+                        "refusing to open session `{name}`: {detail} \
+                         (fix the environment or override with the explicit policy setter)"
+                    ),
+                });
+            }
+        }
         let resident_schema = self.inner.db.schema();
         if !transducer.schema().db().is_subschema_of(&resident_schema) {
             return Err(CoreError::SchemaMismatch {
@@ -1193,6 +1270,58 @@ mod tests {
         let _ok = runtime
             .open_session_with_demand("a", transducer, short_demand())
             .unwrap();
+    }
+
+    #[test]
+    fn malformed_env_overrides_reject_session_opens_until_explicitly_overridden() {
+        // The bug this pins: `RTX_DEMAND=ful` used to silently resolve to
+        // Demand (the opposite of the kill-switch intent) and
+        // `RTX_MONITOR=enforec` to Off.  Now the runtime records the
+        // malformed override and refuses to open sessions, naming the
+        // variable.
+        let db = Arc::new(ResidentDb::new(models::figure1_database()));
+        let runtime = Runtime::shared_with_settings(
+            Arc::clone(&db),
+            Parallelism::default(),
+            Some("enforec"),
+            Some("ful"),
+        );
+        let err = runtime.open_session("a", models::short()).unwrap_err();
+        match &err {
+            CoreError::Runtime { detail } => {
+                assert!(detail.contains("RTX_MONITOR"), "{detail}");
+                assert!(detail.contains("enforec"), "{detail}");
+            }
+            other => panic!("expected a Runtime refusal, got {other:?}"),
+        }
+        // The refusal does not leak a registry entry.
+        assert_eq!(runtime.session_count(), 0);
+
+        // Explicit setters are deliberate operator intent: each clears its
+        // own variable's report, and only once both are addressed do
+        // sessions open.
+        runtime.set_monitor_policy(MonitorPolicy::Observe);
+        let err = runtime.open_session("a", models::short()).unwrap_err();
+        match &err {
+            CoreError::Runtime { detail } => {
+                assert!(detail.contains("RTX_DEMAND"), "{detail}");
+                assert!(detail.contains("ful"), "{detail}");
+            }
+            other => panic!("expected a Runtime refusal, got {other:?}"),
+        }
+        runtime.set_demand_policy(DemandPolicy::Full);
+        let _ok = runtime.open_session("a", models::short()).unwrap();
+
+        // Well-formed overrides configure the runtime without any refusal.
+        let runtime = Runtime::shared_with_settings(
+            db,
+            Parallelism::default(),
+            Some(" Enforce "),
+            Some("full"),
+        );
+        assert_eq!(runtime.monitor_policy(), MonitorPolicy::Enforce);
+        assert_eq!(runtime.demand_policy(), DemandPolicy::Full);
+        let _ok = runtime.open_session("a", models::short()).unwrap();
     }
 
     #[test]

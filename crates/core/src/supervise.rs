@@ -28,13 +28,13 @@
 use crate::CoreError;
 use rtx_relational::{Instance, RelationName, Tuple};
 use std::fmt;
-use std::sync::OnceLock;
 
 /// How a [`Session`](crate::Session) treats its attached monitor.
 ///
-/// The process-wide default is read once from the `RTX_MONITOR` environment
-/// variable ([`MonitorPolicy::from_env`]); a runtime or session can override
-/// it programmatically.
+/// The process-wide default comes from the `RTX_MONITOR` environment
+/// variable ([`MonitorPolicy::from_env`] — strict: a malformed value is a
+/// hard error, never a silent fallback to [`MonitorPolicy::Off`]); a runtime
+/// or session can override it programmatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MonitorPolicy {
     /// No monitoring: attached observers are not consulted.
@@ -52,9 +52,15 @@ pub enum MonitorPolicy {
 }
 
 impl MonitorPolicy {
+    /// The accepted forms of `RTX_MONITOR`, for the strict-parse error
+    /// message.
+    pub const ENV_EXPECTED: &'static str = "`off`, `observe` or `enforce`";
+
     /// Parses an `RTX_MONITOR` value (`off` / `observe` / `enforce`,
     /// whitespace-trimmed, ASCII case-insensitive).  `None` (unset, empty or
-    /// garbage) falls through to the caller's default.
+    /// garbage) falls through to the caller's default — prefer
+    /// [`MonitorPolicy::from_env_setting`], which distinguishes "unset" from
+    /// "malformed" instead of conflating them.
     pub fn parse(value: Option<&str>) -> Option<MonitorPolicy> {
         match value?.trim().to_ascii_lowercase().as_str() {
             "off" => Some(MonitorPolicy::Off),
@@ -64,14 +70,24 @@ impl MonitorPolicy {
         }
     }
 
-    /// The process-wide default policy: the `RTX_MONITOR` environment
-    /// variable, read and cached on first use; [`MonitorPolicy::Off`] when
-    /// unset or unparseable.
-    pub fn from_env() -> MonitorPolicy {
-        static POLICY: OnceLock<MonitorPolicy> = OnceLock::new();
-        *POLICY.get_or_init(|| {
-            MonitorPolicy::parse(std::env::var("RTX_MONITOR").ok().as_deref()).unwrap_or_default()
+    /// Strictly parses an `RTX_MONITOR` value through the shared
+    /// [`env`](rtx_relational::env) contract: `Ok(None)` when unset or
+    /// blank, a hard [`EnvParseError`](rtx_relational::env::EnvParseError)
+    /// when malformed — a typo'd `RTX_MONITOR=enforec` must fail loudly,
+    /// not silently disable the guardrails.
+    pub fn from_env_setting(
+        raw: Option<&str>,
+    ) -> Result<Option<MonitorPolicy>, rtx_relational::env::EnvParseError> {
+        rtx_relational::env::parse_setting("RTX_MONITOR", raw, Self::ENV_EXPECTED, |value| {
+            MonitorPolicy::parse(Some(value))
         })
+    }
+
+    /// Reads and strictly parses the `RTX_MONITOR` environment variable.
+    /// `Ok(None)` when unset: the caller's programmatic default applies.
+    pub fn from_env() -> Result<Option<MonitorPolicy>, rtx_relational::env::EnvParseError> {
+        let raw = std::env::var("RTX_MONITOR").ok();
+        MonitorPolicy::from_env_setting(raw.as_deref())
     }
 
     /// True unless the policy is [`MonitorPolicy::Off`].
@@ -235,13 +251,24 @@ mod tests {
         assert!(!MonitorPolicy::Off.is_active());
         assert!(MonitorPolicy::Observe.is_active());
         assert!(MonitorPolicy::Enforce.is_active());
-        // The OnceLock makes the env-var path untestable in-process after
-        // first use; from_env must at least agree with some parse result.
-        let p = MonitorPolicy::from_env();
-        assert!(matches!(
-            p,
-            MonitorPolicy::Off | MonitorPolicy::Observe | MonitorPolicy::Enforce
-        ));
+    }
+
+    #[test]
+    fn rtx_monitor_setting_rejects_malformed_values_loudly() {
+        assert_eq!(MonitorPolicy::from_env_setting(None), Ok(None));
+        assert_eq!(MonitorPolicy::from_env_setting(Some("")), Ok(None));
+        assert_eq!(MonitorPolicy::from_env_setting(Some("  ")), Ok(None));
+        assert_eq!(
+            MonitorPolicy::from_env_setting(Some(" Enforce ")),
+            Ok(Some(MonitorPolicy::Enforce))
+        );
+        // The fleet-misconfiguration bug this pins: a typo'd policy
+        // (`enforec`) used to silently leave monitoring Off.
+        for bad in ["enforec", "on", "1", "observe,enforce"] {
+            let err = MonitorPolicy::from_env_setting(Some(bad)).unwrap_err();
+            assert_eq!(err.var, "RTX_MONITOR");
+            assert_eq!(err.value, bad);
+        }
     }
 
     #[test]

@@ -49,12 +49,12 @@ use rtx_logic::Term;
 use rtx_relational::{Instance, RelationName, Schema, Tuple};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::OnceLock;
 
 /// Whether an evaluation applies the demand rewrite.
 ///
-/// The process-wide default is read once from the `RTX_DEMAND` environment
-/// variable ([`DemandPolicy::from_env`]); a runtime or caller can override it
+/// The process-wide default comes from the `RTX_DEMAND` environment variable
+/// ([`DemandPolicy::from_env`] — strict: a malformed value is a hard error,
+/// never a silent fallback); a runtime or caller can override it
 /// programmatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DemandPolicy {
@@ -69,9 +69,15 @@ pub enum DemandPolicy {
 }
 
 impl DemandPolicy {
+    /// The accepted forms of `RTX_DEMAND`, for the strict-parse error
+    /// message.
+    pub const ENV_EXPECTED: &'static str = "`demand`/`on` or `full`/`off`";
+
     /// Parses an `RTX_DEMAND` value (`full`/`off` or `demand`/`on`,
     /// whitespace-trimmed, ASCII case-insensitive).  `None` (unset, empty or
-    /// garbage) falls through to the caller's default.
+    /// garbage) falls through to the caller's default — prefer
+    /// [`DemandPolicy::from_env_setting`], which distinguishes "unset" from
+    /// "malformed" instead of conflating them.
     pub fn parse(value: Option<&str>) -> Option<DemandPolicy> {
         match value?.trim().to_ascii_lowercase().as_str() {
             "full" | "off" => Some(DemandPolicy::Full),
@@ -80,14 +86,25 @@ impl DemandPolicy {
         }
     }
 
-    /// The process-wide default policy: the `RTX_DEMAND` environment
-    /// variable, read and cached on first use; [`DemandPolicy::Full`] when
-    /// unset or unparseable.
-    pub fn from_env() -> DemandPolicy {
-        static POLICY: OnceLock<DemandPolicy> = OnceLock::new();
-        *POLICY.get_or_init(|| {
-            DemandPolicy::parse(std::env::var("RTX_DEMAND").ok().as_deref()).unwrap_or_default()
+    /// Strictly parses an `RTX_DEMAND` value through the shared
+    /// [`env`](rtx_relational::env) contract: `Ok(None)` when unset or
+    /// blank, `Ok(Some(_))` for a well-formed value, and a hard
+    /// [`EnvParseError`](rtx_relational::env::EnvParseError) when malformed —
+    /// a typo'd kill switch (`RTX_DEMAND=ful`) must fail loudly, not
+    /// silently leave demand evaluation on.
+    pub fn from_env_setting(
+        raw: Option<&str>,
+    ) -> Result<Option<DemandPolicy>, rtx_relational::env::EnvParseError> {
+        rtx_relational::env::parse_setting("RTX_DEMAND", raw, Self::ENV_EXPECTED, |value| {
+            DemandPolicy::parse(Some(value))
         })
+    }
+
+    /// Reads and strictly parses the `RTX_DEMAND` environment variable.
+    /// `Ok(None)` when unset: the caller's programmatic default applies.
+    pub fn from_env() -> Result<Option<DemandPolicy>, rtx_relational::env::EnvParseError> {
+        let raw = std::env::var("RTX_DEMAND").ok();
+        DemandPolicy::from_env_setting(raw.as_deref())
     }
 }
 
@@ -982,6 +999,29 @@ mod tests {
         assert_eq!(DemandPolicy::parse(Some("sometimes")), None);
         assert_eq!(DemandPolicy::parse(None), None);
         assert_eq!(DemandPolicy::Demand.to_string(), "demand");
+    }
+
+    #[test]
+    fn rtx_demand_setting_rejects_malformed_values_loudly() {
+        assert_eq!(DemandPolicy::from_env_setting(None), Ok(None));
+        assert_eq!(DemandPolicy::from_env_setting(Some("")), Ok(None));
+        assert_eq!(DemandPolicy::from_env_setting(Some("  ")), Ok(None));
+        assert_eq!(
+            DemandPolicy::from_env_setting(Some(" Full ")),
+            Ok(Some(DemandPolicy::Full))
+        );
+        assert_eq!(
+            DemandPolicy::from_env_setting(Some("on")),
+            Ok(Some(DemandPolicy::Demand))
+        );
+        // The fleet-misconfiguration bug this pins: a typo'd kill switch
+        // (`ful` for `full`) used to silently keep the demand rewrite on.
+        for bad in ["ful", "enforec", "1", "demand,full", "true"] {
+            let err = DemandPolicy::from_env_setting(Some(bad)).unwrap_err();
+            assert_eq!(err.var, "RTX_DEMAND");
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains("RTX_DEMAND"), "{err}");
+        }
     }
 
     #[test]

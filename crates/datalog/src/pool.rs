@@ -53,29 +53,44 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// The accepted forms of `RTX_THREADS`, for the strict-parse error message.
+const RTX_THREADS_EXPECTED: &str = "a positive integer worker count";
+
 /// The process's available parallelism, resolved once.  An `RTX_THREADS`
 /// environment variable (a positive integer) overrides the detected core
 /// count — the benchmark harness and container deployments use it to pin
 /// auto parallelism without touching every [`Parallelism`] call site.
 /// `std::thread::available_parallelism` inspects the cgroup filesystem on
 /// Linux — far too expensive to query per evaluation step.
+///
+/// This path is structurally infallible (it resolves deep inside evaluation),
+/// so a malformed override is *loudly reported* on stderr before falling
+/// back to core-count detection — never silently ignored.
 fn default_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        workers_from_env(std::env::var("RTX_THREADS").ok().as_deref()).unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+        let raw = std::env::var("RTX_THREADS").ok();
+        workers_setting(raw.as_deref())
+            .unwrap_or_else(|e| {
+                eprintln!("warning: ignoring {e}");
+                None
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
     })
 }
 
-/// Parses an `RTX_THREADS` value; `None` (unset, empty, zero or garbage)
-/// falls through to core-count detection.
-fn workers_from_env(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+/// Strictly parses an `RTX_THREADS` value through the shared
+/// [`env`](rtx_relational::env) contract: `Ok(None)` when unset or blank, a
+/// hard [`EnvParseError`](rtx_relational::env::EnvParseError) when malformed
+/// (anything but a positive integer).
+fn workers_setting(raw: Option<&str>) -> Result<Option<usize>, rtx_relational::env::EnvParseError> {
+    rtx_relational::env::parse_setting("RTX_THREADS", raw, RTX_THREADS_EXPECTED, |value| {
+        value.parse::<usize>().ok().filter(|&n| n > 0)
+    })
 }
 
 /// The default level-0 candidate count above which a pass is fanned out to
@@ -143,6 +158,24 @@ impl Parallelism {
     pub fn resolved(self) -> Self {
         Parallelism {
             threads: self.worker_count(),
+            threshold: self.threshold,
+        }
+    }
+
+    /// This policy's worker budget divided across `shards` co-resident
+    /// evaluators: each shard receives an equal share of the *resolved*
+    /// budget (at least one worker), so `shards` concurrently evaluating
+    /// runtimes claim about one core total per core available — instead of
+    /// each independently claiming `available_parallelism` and
+    /// oversubscribing the machine `shards`×.
+    ///
+    /// The division happens eagerly: the returned policy carries a concrete
+    /// worker count, never the "resolve from the environment" sentinel, so
+    /// the process-global core budget is split, not re-resolved per shard.
+    pub fn divided_among(self, shards: usize) -> Parallelism {
+        let shards = shards.max(1);
+        Parallelism {
+            threads: (self.worker_count() / shards).max(1),
             threshold: self.threshold,
         }
     }
@@ -338,13 +371,41 @@ mod tests {
     fn rtx_threads_override_parses_strictly() {
         // The OnceLock makes the env-var path untestable in-process after
         // first use, so the parser itself is the unit under test.
-        assert_eq!(workers_from_env(Some("3")), Some(3));
-        assert_eq!(workers_from_env(Some(" 8 ")), Some(8));
-        assert_eq!(workers_from_env(Some("0")), None);
-        assert_eq!(workers_from_env(Some("-2")), None);
-        assert_eq!(workers_from_env(Some("many")), None);
-        assert_eq!(workers_from_env(Some("")), None);
-        assert_eq!(workers_from_env(None), None);
+        assert_eq!(workers_setting(Some("3")), Ok(Some(3)));
+        assert_eq!(workers_setting(Some(" 8 ")), Ok(Some(8)));
+        assert_eq!(workers_setting(None), Ok(None));
+        assert_eq!(workers_setting(Some("")), Ok(None));
+        // Malformed values are hard errors naming the variable — the shared
+        // `RTX_*` contract — not a silent fall-through to core detection.
+        for bad in ["0", "-2", "many", "3.5", "2 shards"] {
+            let err = workers_setting(Some(bad)).unwrap_err();
+            assert_eq!(err.var, "RTX_THREADS");
+            assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
+    fn divided_among_splits_the_resolved_budget_across_shards() {
+        // N shards share the budget instead of multiplying it: with the
+        // process budget resolved to W workers, shard policies carry
+        // max(1, W / N) workers each.
+        assert_eq!(Parallelism::threads(8).divided_among(4).worker_count(), 2);
+        assert_eq!(Parallelism::threads(8).divided_among(3).worker_count(), 2);
+        assert_eq!(Parallelism::threads(3).divided_among(8).worker_count(), 1);
+        assert_eq!(Parallelism::threads(5).divided_among(1).worker_count(), 5);
+        // Degenerate shard counts clamp rather than panic.
+        assert_eq!(Parallelism::threads(4).divided_among(0).worker_count(), 4);
+        // The auto sentinel is resolved *before* division: the result is a
+        // concrete count, so no shard re-resolves `available_parallelism`.
+        let total = Parallelism::auto().worker_count();
+        let per_shard = Parallelism::auto().divided_among(4);
+        assert_eq!(per_shard.worker_count(), (total / 4).max(1));
+        assert_eq!(per_shard, per_shard.resolved());
+        // The threshold knob is untouched by division.
+        assert_eq!(
+            Parallelism::threads(8).with_threshold(7).divided_among(2),
+            Parallelism::threads(4).with_threshold(7)
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`codec`] — the little-endian binary codec values and tuples cross the
 //!   process boundary with (WAL records, snapshots), serializing symbols by
 //!   text;
+//! * [`mod@env`] — strict parsing of the workspace's `RTX_*` environment
+//!   overrides: one shared contract (unset = no override, malformed = loud
+//!   [`env::EnvParseError`], never a silent fallback) used by every crate
+//!   that reads a process-wide knob;
 //! * [`active_domain`] helpers — the set of constants occurring in instances,
 //!   needed by the small-model constructions of the verification crate.
 //!
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod env;
 mod error;
 mod fxhash;
 mod index;

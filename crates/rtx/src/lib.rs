@@ -54,8 +54,9 @@ pub use rtx_workloads as workloads;
 pub mod prelude {
     pub use rtx_core::{
         models, parse_transducer, ControlDiscipline, MonitorPolicy, PropositionalTransducer,
-        RelationalTransducer, Run, RuntimeHealth, SessionObserver, SpocusBuilder, SpocusTransducer,
-        TransducerSchema, Violation, ViolationKind,
+        RelationalTransducer, Run, Runtime, RuntimeHealth, Session, SessionObserver,
+        ShardedRuntime, ShardedSession, SpocusBuilder, SpocusTransducer, TransducerSchema,
+        Violation, ViolationKind,
     };
     pub use rtx_datalog::{parse_program, parse_rule, Program, Rule};
     pub use rtx_logic::{Formula, Term};

@@ -100,17 +100,19 @@ pub enum FsyncPolicy {
 }
 
 impl FsyncPolicy {
-    /// Parses an `RTX_FSYNC` override: `"always"`, `"never"`, or
-    /// `"every:N"` with `N ≥ 1`.  Returns `None` (meaning "no override")
-    /// when the value is absent or fails to parse **strictly** — no
-    /// trimming, no partial prefixes, no `N = 0`.
-    pub fn from_env(value: Option<&str>) -> Option<FsyncPolicy> {
-        match value? {
+    /// The accepted forms of `RTX_FSYNC`, for the strict-parse error
+    /// message.
+    pub const ENV_EXPECTED: &'static str = "`always`, `never`, or `every:N` with N >= 1";
+
+    /// Parses one (pre-trimmed, non-empty) `RTX_FSYNC` token: `"always"`,
+    /// `"never"`, or `"every:N"` with `N ≥ 1` (ASCII case-insensitive on the
+    /// keyword; the count rejects signs, spaces and 0).
+    fn parse_token(value: &str) -> Option<FsyncPolicy> {
+        match value.to_ascii_lowercase().as_str() {
             "always" => Some(FsyncPolicy::Always),
             "never" => Some(FsyncPolicy::Never),
             v => {
                 let n = v.strip_prefix("every:")?;
-                // Strict like `workers_from_env`: reject signs, spaces and 0.
                 if n.is_empty() || !n.bytes().all(|b| b.is_ascii_digit()) {
                     return None;
                 }
@@ -120,6 +122,24 @@ impl FsyncPolicy {
                 }
             }
         }
+    }
+
+    /// Strictly parses an `RTX_FSYNC` override through the shared
+    /// [`env`](rtx_relational::env) contract: `Ok(None)` ("no override")
+    /// when the value is absent or blank, a hard
+    /// [`EnvParseError`](rtx_relational::env::EnvParseError) when it is set
+    /// but malformed.  [`DurableStore::open`] turns that error into
+    /// [`StoreError::Config`] — a typo'd fsync policy must refuse to open
+    /// the store, not silently fall back to the programmatic default.
+    pub fn from_env(
+        value: Option<&str>,
+    ) -> Result<Option<FsyncPolicy>, rtx_relational::env::EnvParseError> {
+        rtx_relational::env::parse_setting(
+            "RTX_FSYNC",
+            value,
+            Self::ENV_EXPECTED,
+            Self::parse_token,
+        )
     }
 }
 
@@ -283,13 +303,20 @@ impl DurableStore {
     /// # Errors
     ///
     /// [`StoreError::Io`] if the backend fails; [`StoreError::Corrupt`] if
-    /// persisted data fails validation anywhere before the WAL tail.
+    /// persisted data fails validation anywhere before the WAL tail;
+    /// [`StoreError::Config`] if `RTX_FSYNC` is set to a malformed value —
+    /// a typo'd policy refuses to open rather than silently running under
+    /// the wrong durability guarantee.
     pub fn open(
         vfs: Arc<dyn Vfs>,
         policy: FsyncPolicy,
     ) -> Result<(Self, RecoveryReport), StoreError> {
-        let policy =
-            FsyncPolicy::from_env(std::env::var("RTX_FSYNC").ok().as_deref()).unwrap_or(policy);
+        let raw = std::env::var("RTX_FSYNC").ok();
+        let policy = FsyncPolicy::from_env(raw.as_deref())
+            .map_err(|e| StoreError::Config {
+                detail: e.to_string(),
+            })?
+            .unwrap_or(policy);
         let mut report = RecoveryReport::default();
 
         // 1. Snapshot: the base state plus the absolute op count it captures.
@@ -975,25 +1002,27 @@ mod tests {
 
     #[test]
     fn rtx_fsync_override_parses_strictly() {
-        assert_eq!(FsyncPolicy::from_env(None), None);
+        // Unset or blank means "no override" under the shared RTX_* contract.
+        assert_eq!(FsyncPolicy::from_env(None), Ok(None));
+        assert_eq!(FsyncPolicy::from_env(Some("")), Ok(None));
+        assert_eq!(FsyncPolicy::from_env(Some("  ")), Ok(None));
+        // Well-formed values trim surrounding whitespace and ignore keyword
+        // case, like every other RTX_* variable.
         assert_eq!(
             FsyncPolicy::from_env(Some("always")),
-            Some(FsyncPolicy::Always)
+            Ok(Some(FsyncPolicy::Always))
         );
         assert_eq!(
-            FsyncPolicy::from_env(Some("never")),
-            Some(FsyncPolicy::Never)
+            FsyncPolicy::from_env(Some(" Never ")),
+            Ok(Some(FsyncPolicy::Never))
         );
         assert_eq!(
             FsyncPolicy::from_env(Some("every:8")),
-            Some(FsyncPolicy::EveryN(8))
+            Ok(Some(FsyncPolicy::EveryN(8)))
         );
-        // Strict: no trimming, no signs, no zero, no garbage.
+        // Malformed values are hard errors naming the variable — no signs,
+        // no zero, no inner spaces, no garbage.
         for bad in [
-            "",
-            " always",
-            "Always",
-            "ALWAYS",
             "every:",
             "every:0",
             "every:-2",
@@ -1001,8 +1030,11 @@ mod tests {
             "every:3x",
             "3",
             "sometimes",
+            "alwaysnever",
         ] {
-            assert_eq!(FsyncPolicy::from_env(Some(bad)), None, "{bad:?}");
+            let err = FsyncPolicy::from_env(Some(bad)).unwrap_err();
+            assert_eq!(err.var, "RTX_FSYNC", "{bad:?}");
+            assert_eq!(err.value, bad);
         }
     }
 

@@ -131,6 +131,14 @@ pub enum StoreError {
         /// The journal's base offset (first operation still buffered).
         base: usize,
     },
+    /// A malformed configuration override (e.g. an unparseable `RTX_FSYNC`
+    /// value).  Never produced for an *unset* variable — only a set value
+    /// that fails the strict parse, so a typo'd fsync policy can't silently
+    /// weaken (or tighten) durability.
+    Config {
+        /// Which override failed to parse, the value, and the accepted forms.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -158,6 +166,7 @@ impl std::fmt::Display for StoreError {
                 f,
                 "journal truncated past cursor: applied {applied} < base {base}"
             ),
+            StoreError::Config { detail } => write!(f, "configuration error: {detail}"),
         }
     }
 }
